@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper: it runs
+the workload, prints the same rows/series the paper reports, and asserts
+the qualitative *shape* of the result (who wins, by roughly what factor).
+Absolute numbers differ — the substrate is a simulator, not the authors'
+testbed — and that is expected.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> None:
+    """Render a paper-style results table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "+".join("-" * (w + 2) for w in widths)
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print(line)
+    for row in rows:
+        print(" | ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+    print(line)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def wall_time_ms(fn: Callable[[], Any], repeat: int = 1) -> tuple[float, Any]:
+    """Best-of-``repeat`` wall-clock milliseconds plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, (time.perf_counter() - start) * 1000.0)
+    return best, result
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(int(round(p / 100.0 * (len(ordered) - 1))), len(ordered) - 1)
+    return ordered[index]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    import math
+
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

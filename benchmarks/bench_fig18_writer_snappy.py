@@ -1,0 +1,15 @@
+"""Figure 18: writer throughput comparison, Snappy compression.
+
+Paper result: "Native parquet writer consistently improves throughput by
+20% for snappy compressed files."
+"""
+
+from _writer_common import report_and_assert, run_writer_comparison
+from repro.formats.parquet.compression import SNAPPY
+
+
+def test_fig18_writer_throughput_snappy(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_writer_comparison(SNAPPY), rounds=1, iterations=1
+    )
+    report_and_assert(results, "Snappy", benchmark)

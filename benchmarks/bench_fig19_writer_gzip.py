@@ -1,0 +1,21 @@
+"""Figure 19: writer throughput comparison, Gzip compression.
+
+Paper result: ≥20% gains everywhere; "for bigint type with Gzip
+compression, our native parquet writer performs best, with more than 650%
+throughput improvements."
+"""
+
+from _writer_common import report_and_assert, run_writer_comparison
+from repro.formats.parquet.compression import GZIP
+
+
+def test_fig19_writer_throughput_gzip(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_writer_comparison(GZIP), rounds=1, iterations=1
+    )
+    report_and_assert(results, "Gzip", benchmark)
+    gains = {name: gain for name, _, _, gain in results}
+    # Paper highlight: bigint is the standout under Gzip.
+    assert max(gains["Bigint Sequential"], gains["Bigint Random"]) == max(gains.values()) or (
+        max(gains["Bigint Sequential"], gains["Bigint Random"]) > 2.5
+    )

@@ -1,0 +1,18 @@
+"""Figure 20: writer throughput comparison, no compression.
+
+Paper result: ≥20% gains everywhere; "when writing all columns of TPCH
+LINEITEM, the throughput gain is around 50%."
+"""
+
+from _writer_common import report_and_assert, run_writer_comparison
+from repro.formats.parquet.compression import UNCOMPRESSED
+
+
+def test_fig20_writer_throughput_uncompressed(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_writer_comparison(UNCOMPRESSED), rounds=1, iterations=1
+    )
+    report_and_assert(results, "No Compression", benchmark)
+    gains = {name: gain for name, _, _, gain in results}
+    # Paper highlight: all-LINEITEM gains are substantial (~50%).
+    assert gains["All Lineitem columns"] > 1.3

@@ -1,0 +1,136 @@
+"""Section VIII: cluster federation via the Presto gateway.
+
+Paper claims: a single coordinator degrades "bigger than 1000 machines, or
+... more than 500 complex queries running concurrently"; the gateway
+federates multiple clusters behind one endpoint, and traffic can be
+redirected dynamically (e.g. for zero-downtime maintenance).
+
+The concurrency sweep drives one oversized cluster versus three federated
+clusters of the same total capacity through the gateway, comparing mean
+simulated query latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import print_table
+from repro.common.clock import SimulatedClock
+from repro.execution.cluster import PrestoClusterSim
+from repro.federation.gateway import PrestoGateway
+
+TOTAL_WORKERS = 1800
+CONCURRENT_QUERIES = 600
+SPLITS_PER_QUERY = 8
+SPLIT_MS = 250.0
+
+
+def run_single_cluster() -> float:
+    cluster = PrestoClusterSim(
+        workers=TOTAL_WORKERS, slots_per_worker=2, clock=SimulatedClock(), name="mono"
+    )
+    executions = [
+        cluster.submit_query([SPLIT_MS] * SPLITS_PER_QUERY)
+        for _ in range(CONCURRENT_QUERIES)
+    ]
+    cluster.run_until_idle()
+    return sum(e.latency_ms for e in executions) / len(executions)
+
+
+def run_federated(clusters: int = 3) -> float:
+    gateway = PrestoGateway()
+    for index in range(clusters):
+        gateway.register_cluster(
+            PrestoClusterSim(
+                workers=TOTAL_WORKERS // clusters,
+                slots_per_worker=2,
+                clock=SimulatedClock(),
+                name=f"fed{index}",
+            )
+        )
+        gateway.routing.assign_group(f"team{index}", f"fed{index}")
+    gateway.routing.set_default("fed0")
+    executions = []
+    for i in range(CONCURRENT_QUERIES):
+        executions.append(
+            gateway.submit(
+                f"user{i}", [SPLIT_MS] * SPLITS_PER_QUERY, groups=(f"team{i % clusters}",)
+            )
+        )
+    for cluster in gateway.clusters.values():
+        cluster.run_until_idle()
+    return sum(e.latency_ms for e in executions) / len(executions)
+
+
+def test_sec8_federation_beats_monolith(benchmark):
+    def run():
+        return run_single_cluster(), run_federated()
+
+    single_ms, federated_ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section VIII: coordinator bottleneck vs gateway federation "
+        f"({TOTAL_WORKERS} workers total, {CONCURRENT_QUERIES} concurrent queries)",
+        ["deployment", "mean query latency ms"],
+        [
+            (f"single cluster ({TOTAL_WORKERS} workers, 1 coordinator)", f"{single_ms:.0f}"),
+            ("3 federated clusters behind gateway", f"{federated_ms:.0f}"),
+        ],
+    )
+    print(
+        f"federation speedup: {single_ms / federated_ms:.2f}x "
+        "(paper: single coordinator degrades >1000 machines / >500 queries)"
+    )
+    benchmark.extra_info["federation_speedup"] = single_ms / federated_ms
+    assert federated_ms < single_ms
+
+
+def test_sec8_coordinator_degradation_sweep(benchmark):
+    """Latency vs cluster size at fixed per-query work: the knee >1000."""
+
+    def run():
+        rows = []
+        for workers in (250, 500, 1000, 2000, 3000):
+            cluster = PrestoClusterSim(
+                workers=workers, slots_per_worker=2, clock=SimulatedClock()
+            )
+            executions = [cluster.submit_query([SPLIT_MS] * 4) for _ in range(50)]
+            cluster.run_until_idle()
+            mean = sum(e.latency_ms for e in executions) / len(executions)
+            rows.append((workers, mean))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section VIII: single-coordinator latency vs cluster size",
+        ["workers", "mean query latency ms"],
+        [(w, f"{ms:.0f}") for w, ms in rows],
+    )
+    latencies = dict(rows)
+    # Shape: gentle growth through 1000 machines, steep beyond the knee.
+    assert latencies[3000] > latencies[1000] * 1.5
+    assert latencies[1000] < latencies[250] * 2.0
+
+
+def test_sec8_zero_downtime_maintenance(benchmark):
+    """Drain a cluster for upgrade; its users keep running on the shared one."""
+
+    def run():
+        gateway = PrestoGateway()
+        dedicated = PrestoClusterSim(workers=4, clock=SimulatedClock(), name="dedicated")
+        shared = PrestoClusterSim(workers=8, clock=SimulatedClock(), name="shared")
+        gateway.register_cluster(dedicated)
+        gateway.register_cluster(shared)
+        gateway.routing.assign_user("alice", "dedicated")
+        gateway.routing.set_default("shared")
+
+        before = gateway.submit("alice", [10.0])
+        gateway.drain_cluster("dedicated", fallback="shared")
+        during = gateway.submit("alice", [10.0])
+        for cluster in gateway.clusters.values():
+            cluster.run_until_idle()
+        return before, during
+
+    before, during = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert before.query_id.startswith("dedicated")
+    assert during.query_id.startswith("shared")  # no downtime for alice
+    assert before.finished_at is not None and during.finished_at is not None

@@ -1,0 +1,13 @@
+"""Pytest root conftest: make ``src`` importable without installation.
+
+The canonical workflow is ``pip install -e .``; this fallback keeps tests
+and benchmarks runnable in environments where the editable install is not
+present (e.g. a fresh checkout).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,65 @@
+"""Quickstart: run SQL against in-memory tables with the repro engine.
+
+Demonstrates the basic engine surface of section III: SQL text goes in,
+the coordinator pipeline (parse → analyze → optimize → execute) runs, and
+rows come out — with EXPLAIN showing the optimized plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MemoryConnector, PrestoEngine, Session
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+
+
+def main() -> None:
+    connector = MemoryConnector()
+    connector.create_table(
+        "demo",
+        "orders",
+        [("order_id", BIGINT), ("city", VARCHAR), ("amount", DOUBLE)],
+        [
+            (1, "san_francisco", 12.50),
+            (2, "new_york", 8.25),
+            (3, "san_francisco", 43.10),
+            (4, "chicago", 5.00),
+            (5, "new_york", 21.75),
+            (6, "san_francisco", 9.99),
+        ],
+    )
+    connector.create_table(
+        "demo",
+        "cities",
+        [("city", VARCHAR), ("state", VARCHAR)],
+        [("san_francisco", "CA"), ("new_york", "NY"), ("chicago", "IL")],
+    )
+
+    engine = PrestoEngine(session=Session(catalog="memory", schema="demo"))
+    engine.register_connector("memory", connector)
+
+    print("-- simple aggregation --")
+    result = engine.execute(
+        "SELECT city, count(*) AS orders, sum(amount) AS revenue "
+        "FROM orders GROUP BY city ORDER BY revenue DESC"
+    )
+    for row in result.rows:
+        print(row)
+
+    print("\n-- join with a HAVING clause --")
+    result = engine.execute(
+        "SELECT c.state, sum(o.amount) AS revenue "
+        "FROM orders o JOIN cities c ON o.city = c.city "
+        "GROUP BY c.state HAVING sum(o.amount) > 10 ORDER BY 2 DESC"
+    )
+    for row in result.rows:
+        print(row)
+
+    print("\n-- EXPLAIN: the optimized plan --")
+    print(engine.explain("SELECT city FROM orders WHERE amount > 10 LIMIT 2"))
+
+    print("\n-- execution statistics --")
+    result = engine.execute("SELECT count(*) FROM orders")
+    print(f"count(*): {result.rows[0][0]}  stats: {result.stats.as_dict()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim so legacy (non-PEP-517) editable installs work offline."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

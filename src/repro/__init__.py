@@ -1,0 +1,36 @@
+"""repro — a working reproduction of "Running Presto at Scale" (ICDE 2022).
+
+A single-process, fully simulated implementation of the Presto features the
+paper describes: a SQL engine with pushdown-capable connectors, a nested
+columnar (Parquet-like) file format with old/new readers and writers, a
+geospatial QuadTree plugin, coordinator/worker caches, cluster federation
+through a gateway, and cloud elasticity over a simulated S3.
+
+Quickstart::
+
+    from repro import MemoryConnector, PrestoEngine, Session
+    from repro.core.types import BIGINT, VARCHAR
+
+    connector = MemoryConnector()
+    connector.create_table("demo", "t", [("id", BIGINT), ("name", VARCHAR)],
+                           [(1, "ada"), (2, "grace")])
+    engine = PrestoEngine(session=Session(catalog="memory", schema="demo"))
+    engine.register_connector("memory", connector)
+    print(engine.execute("SELECT name FROM t ORDER BY id").rows)
+"""
+
+from repro.connectors.memory import MemoryConnector
+from repro.connectors.spi import Catalog
+from repro.execution.engine import PrestoEngine, QueryResult
+from repro.planner.analyzer import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "MemoryConnector",
+    "PrestoEngine",
+    "QueryResult",
+    "Session",
+    "__version__",
+]

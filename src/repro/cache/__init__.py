@@ -1,0 +1,25 @@
+"""Caching inside Presto (section VII).
+
+- :mod:`repro.cache.file_list_cache` — coordinator-side cache of NameNode
+  ``listFiles`` results, applied only to sealed directories.
+- :mod:`repro.cache.footer_cache` — worker-side cache of file handles
+  (``getFileInfo``) and file footers.
+- :mod:`repro.cache.metastore_cache` — versioned metastore cache.
+- :mod:`repro.cache.fragment_result_cache` — caches the results of plan
+  fragments keyed by their canonical description.
+- :mod:`repro.cache.lru` — the shared LRU core.
+"""
+
+from repro.cache.lru import LruCache
+from repro.cache.file_list_cache import FileListCache
+from repro.cache.footer_cache import FileHandleAndFooterCache
+from repro.cache.metastore_cache import VersionedMetastoreCache
+from repro.cache.fragment_result_cache import FragmentResultCache
+
+__all__ = [
+    "LruCache",
+    "FileListCache",
+    "FileHandleAndFooterCache",
+    "VersionedMetastoreCache",
+    "FragmentResultCache",
+]

@@ -1,0 +1,41 @@
+"""Fragment result cache (section VII, RaptorX techniques).
+
+Caches the materialized output of deterministic leaf plan fragments,
+keyed by the fragment's canonical plan description plus the identity of
+the split it processed.  A repeated dashboard query whose underlying
+partition has not changed is served without rescanning."""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.cache.lru import LruCache
+from repro.core.page import Page
+
+
+class FragmentResultCache:
+    """Caches per-(fragment, split) page lists."""
+
+    def __init__(self, max_entries: int = 1_000) -> None:
+        self._cache = LruCache(max_entries)
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    def fragment_key(self, plan_description: str, split_id: str, data_version: Hashable) -> tuple:
+        """Cache key: canonical fragment text + split + data version.
+
+        ``data_version`` should change whenever the underlying data does
+        (e.g. partition modification time) so stale results are never
+        served.
+        """
+        return (plan_description, split_id, data_version)
+
+    def get_or_compute(
+        self, key: tuple, compute: Callable[[], Sequence[Page]]
+    ) -> Sequence[Page]:
+        return self._cache.get_or_load(key, lambda: list(compute()))
+
+    def invalidate_all(self) -> None:
+        self._cache.invalidate_all()

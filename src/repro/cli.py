@@ -1,0 +1,134 @@
+"""Command-line SQL shell: ``python -m repro``.
+
+Starts an engine over a demo warehouse (nested trips data on simulated
+HDFS plus a small MySQL dimension) and runs SQL from ``-e/--execute``
+arguments or an interactive prompt.  Supports the metadata statements
+(SHOW/DESCRIBE/EXPLAIN) so the experience mirrors the Presto CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, TextIO
+
+from repro.execution.engine import PrestoEngine, QueryResult
+from repro.planner.analyzer import Session
+
+
+def build_demo_engine() -> PrestoEngine:
+    """An engine preloaded with the demo warehouse."""
+    from repro.connectors.hive import HiveConnector
+    from repro.connectors.mysql import MySqlConnector, MySqlServer
+    from repro.core.types import BIGINT, VARCHAR
+    from repro.metastore.metastore import HiveMetastore
+    from repro.storage.hdfs import HdfsFileSystem
+    from repro.workloads.trips import load_trips_table
+
+    metastore = HiveMetastore()
+    fs = HdfsFileSystem()
+    load_trips_table(
+        metastore,
+        fs,
+        ["2017-03-01", "2017-03-02"],
+        rows_per_date=500,
+        row_group_size=250,
+        num_cities=40,
+        table="trips",
+    )
+    mysql = MySqlServer()
+    mysql.create_table(
+        "dim",
+        "cities",
+        [("city_id", BIGINT), ("region", VARCHAR)],
+        [(i, f"region{i % 5}") for i in range(1, 41)],
+    )
+    engine = PrestoEngine(session=Session(catalog="hive", schema="rawdata"))
+    engine.register_connector("hive", HiveConnector(metastore, fs))
+    engine.register_connector("mysql", MySqlConnector(mysql))
+    return engine
+
+
+def render_result(result: QueryResult, out: TextIO) -> None:
+    """Presto-CLI-style aligned table output."""
+    rows = [tuple("NULL" if v is None else str(v) for v in row) for row in result.rows]
+    headers = result.column_names
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in rows:
+        out.write(" | ".join(v.ljust(w) for v, w in zip(row, widths)) + "\n")
+    out.write(f"({len(rows)} row{'s' if len(rows) != 1 else ''})\n")
+
+
+def run_statement(engine: PrestoEngine, sql: str, out: TextIO) -> bool:
+    """Execute one statement; returns False on error."""
+    from repro.common.errors import PrestoError
+
+    try:
+        result = engine.execute(sql)
+    except PrestoError as error:
+        out.write(f"Query failed: {error}\n")
+        return False
+    render_result(result, out)
+    return True
+
+
+def main(
+    argv: Optional[Sequence[str]] = None,
+    engine: Optional[PrestoEngine] = None,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SQL shell over the repro engine (demo warehouse preloaded)",
+    )
+    parser.add_argument(
+        "-e",
+        "--execute",
+        action="append",
+        default=[],
+        metavar="SQL",
+        help="execute a statement and exit (repeatable)",
+    )
+    arguments = parser.parse_args(argv)
+    out = stdout or sys.stdout
+    engine = engine or build_demo_engine()
+
+    if arguments.execute:
+        ok = True
+        for sql in arguments.execute:
+            ok = run_statement(engine, sql, out) and ok
+        return 0 if ok else 1
+
+    source = stdin or sys.stdin
+    out.write("repro SQL shell — demo catalog 'hive', schema 'rawdata'.\n")
+    out.write("Try: SHOW TABLES; DESCRIBE trips; SELECT count(*) FROM trips;\n")
+    buffer = ""
+    while True:
+        if not buffer.strip():
+            buffer = ""
+        out.write("repro> " if not buffer else "    -> ")
+        out.flush()
+        line = source.readline()
+        if not line:
+            break
+        buffer += line
+        if ";" not in buffer:
+            continue
+        statement, _, buffer = buffer.partition(";")
+        statement = statement.strip()
+        if not statement:
+            continue
+        if statement.lower() in ("quit", "exit"):
+            break
+        run_statement(engine, statement, out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Presto on cloud: graceful expansion/shrink and autoscaling (section IX)."""
+
+from repro.cloud.elasticity import Autoscaler, AutoscalerPolicy
+
+__all__ = ["Autoscaler", "AutoscalerPolicy"]

@@ -1,0 +1,92 @@
+"""Elastic scaling of a cluster on cloud infrastructure (section IX).
+
+"During busy hours, to expand on Amazon or GCP, we could simply add more
+workers, configured with the same coordinator.  New workers are
+automatically added to the existing cluster.  During non-busy hours, to
+gracefully shrink workers from existing clusters, administrators could
+send a command to presto workers" — which triggers the SHUTTING_DOWN
+drain protocol implemented in :mod:`repro.execution.cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.execution.cluster import (
+    DEFAULT_GRACE_PERIOD_MS,
+    PrestoClusterSim,
+    WorkerState,
+)
+
+
+@dataclass
+class AutoscalerPolicy:
+    """Utilization-band policy: scale out above ``high``, in below ``low``."""
+
+    low_utilization: float = 0.3
+    high_utilization: float = 0.8
+    min_workers: int = 2
+    max_workers: int = 1000
+    step: int = 1
+
+
+class Autoscaler:
+    """Drives expansion and graceful shrink from observed utilization."""
+
+    def __init__(
+        self,
+        cluster: PrestoClusterSim,
+        policy: Optional[AutoscalerPolicy] = None,
+        grace_period_ms: float = DEFAULT_GRACE_PERIOD_MS,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy or AutoscalerPolicy()
+        self.grace_period_ms = grace_period_ms
+        self.scale_out_events = 0
+        self.scale_in_events = 0
+
+    def utilization(self) -> float:
+        """Fraction of active slots currently running work."""
+        active = [
+            w for w in self.cluster.workers.values() if w.state is WorkerState.ACTIVE
+        ]
+        total_slots = sum(w.slots for w in active)
+        if total_slots == 0:
+            return 1.0
+        return sum(w.running for w in active) / total_slots
+
+    def evaluate(self) -> str:
+        """One policy evaluation; returns 'out', 'in', or 'hold'."""
+        utilization = self.utilization()
+        active = self.cluster.active_worker_count()
+        if (
+            utilization > self.policy.high_utilization
+            and active < self.policy.max_workers
+        ):
+            for _ in range(self.policy.step):
+                self.cluster.add_worker()
+            self.scale_out_events += 1
+            return "out"
+        if (
+            utilization < self.policy.low_utilization
+            and active > self.policy.min_workers
+        ):
+            victims = self._least_loaded(self.policy.step)
+            for worker in victims:
+                self.cluster.request_graceful_shutdown(
+                    worker.worker_id, self.grace_period_ms
+                )
+            if victims:
+                self.scale_in_events += 1
+                return "in"
+        return "hold"
+
+    def _least_loaded(self, count: int):
+        active = [
+            w for w in self.cluster.workers.values() if w.state is WorkerState.ACTIVE
+        ]
+        # Never shrink below the floor.
+        available = max(0, len(active) - self.policy.min_workers)
+        active.sort(key=lambda w: w.running)
+        return active[: min(count, available)]

@@ -1,0 +1,28 @@
+"""Shared infrastructure: simulated clock, errors, configuration, ids."""
+
+from repro.common.clock import SimulatedClock, SystemClock
+from repro.common.errors import (
+    PrestoError,
+    SyntaxError_,
+    SemanticError,
+    PlanningError,
+    ExecutionError,
+    InsufficientResourcesError,
+    SchemaEvolutionError,
+    ConnectorError,
+    StorageError,
+)
+
+__all__ = [
+    "SimulatedClock",
+    "SystemClock",
+    "PrestoError",
+    "SyntaxError_",
+    "SemanticError",
+    "PlanningError",
+    "ExecutionError",
+    "InsufficientResourcesError",
+    "SchemaEvolutionError",
+    "ConnectorError",
+    "StorageError",
+]

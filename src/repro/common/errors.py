@@ -1,0 +1,62 @@
+"""Exception hierarchy for the engine.
+
+Mirrors Presto's user-facing error classes: syntax errors from the parser,
+semantic errors from the analyzer, planning errors from the optimizer, and
+execution errors from the runtime.  ``InsufficientResourcesError`` reproduces
+the "Insufficient Resource" failure the paper's section XII.C describes for
+over-large joins.
+"""
+
+from __future__ import annotations
+
+
+class PrestoError(Exception):
+    """Base class for all engine errors."""
+
+
+class SyntaxError_(PrestoError):
+    """SQL text failed to lex or parse.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        location = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class SemanticError(PrestoError):
+    """Query references unknown tables/columns or misuses types."""
+
+
+class PlanningError(PrestoError):
+    """The optimizer could not produce a valid physical plan."""
+
+
+class ExecutionError(PrestoError):
+    """A task failed at runtime."""
+
+
+class InsufficientResourcesError(ExecutionError):
+    """Query exceeded cluster memory limits (paper section XII.C)."""
+
+    def __init__(self, message: str = "Insufficient Resources") -> None:
+        super().__init__(message)
+
+
+class SchemaEvolutionError(PrestoError):
+    """A schema change violates the company-wide evolution rules (V.A)."""
+
+
+class ConnectorError(PrestoError):
+    """A connector failed to serve metadata or data."""
+
+
+class StorageError(PrestoError):
+    """A simulated storage system (HDFS/S3) failed a request."""
+
+
+class GatewayError(PrestoError):
+    """The federation gateway could not route a query (VIII)."""

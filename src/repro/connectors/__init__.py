@@ -1,0 +1,46 @@
+"""Presto connectors: unified SQL on heterogeneous storage without data copy.
+
+Section IV: a connector provides ``ConnectorMetadata`` (schemas/tables/
+columns), ``ConnectorSplitManager`` (how data divides into parallel splits),
+``ConnectorSplit`` (one processing unit), and
+``ConnectorRecordSetProvider`` (how streams become Presto pages).  Tables
+are addressed as ``catalog.schema.table`` where the catalog names the
+connector instance.
+
+Pushdown (IV.A/IV.B) is negotiated through the metadata interface: the
+optimizer offers filters, projections, limits and aggregations as
+serialized RowExpressions and the connector absorbs what its storage can
+evaluate natively.
+"""
+
+from repro.connectors.spi import (
+    Catalog,
+    ColumnMetadata,
+    Connector,
+    ConnectorMetadata,
+    ConnectorRecordSetProvider,
+    ConnectorSplit,
+    ConnectorSplitManager,
+    ConnectorTableHandle,
+    AggregationFunction,
+    AggregationPushdownResult,
+    FilterPushdownResult,
+    TableMetadata,
+)
+from repro.connectors.memory import MemoryConnector
+
+__all__ = [
+    "Catalog",
+    "ColumnMetadata",
+    "Connector",
+    "ConnectorMetadata",
+    "ConnectorRecordSetProvider",
+    "ConnectorSplit",
+    "ConnectorSplitManager",
+    "ConnectorTableHandle",
+    "AggregationFunction",
+    "AggregationPushdownResult",
+    "FilterPushdownResult",
+    "TableMetadata",
+    "MemoryConnector",
+]

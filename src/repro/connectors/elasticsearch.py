@@ -1,0 +1,315 @@
+"""Simulated Elasticsearch and the Presto-Elasticsearch connector.
+
+Section IV: "In Presto-Elasticsearch-connector, we map each Elasticsearch
+index into a table.  Each Elasticsearch field is mapped into a column."
+The simulated cluster stores JSON documents with inverted indexes on
+keyword fields; term and range queries are pushed down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ConnectorError
+from repro.connectors.spi import (
+    ColumnMetadata,
+    Connector,
+    ConnectorMetadata,
+    ConnectorRecordSetProvider,
+    ConnectorSplit,
+    ConnectorSplitManager,
+    ConnectorTableHandle,
+    FilterPushdownResult,
+    TableMetadata,
+)
+from repro.core.expressions import (
+    CallExpression,
+    ConstantExpression,
+    RowExpression,
+    SpecialForm,
+    SpecialFormExpression,
+    VariableReferenceExpression,
+    and_,
+    combine_conjuncts,
+    conjuncts,
+    expression_from_dict,
+)
+from repro.core.page import Page
+from repro.core.types import BIGINT, DOUBLE, PrestoType, VARCHAR
+
+
+@dataclass
+class EsStats:
+    searches: int = 0
+    docs_examined: int = 0
+    docs_returned: int = 0
+
+
+class ElasticsearchCluster:
+    """Documents in indices, sharded, with keyword inverted indexes."""
+
+    def __init__(
+        self, clock: Optional[SimulatedClock] = None, shards_per_index: int = 3
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.shards_per_index = shards_per_index
+        self.stats = EsStats()
+        self._indices: dict[str, tuple[list[tuple[str, PrestoType]], list[list[dict]]]] = {}
+        self.search_latency_ms = 5.0
+        self.doc_match_ms = 0.0002
+        self.doc_fetch_ms = 0.001
+
+    def create_index(
+        self, name: str, fields: Sequence[tuple[str, PrestoType]]
+    ) -> None:
+        self._indices[name] = (
+            list(fields),
+            [[] for _ in range(self.shards_per_index)],
+        )
+
+    def index_document(self, index: str, document: dict) -> None:
+        fields, shards = self._require(index)
+        shard = hash(str(sorted(document.items()))) % len(shards)
+        shards[shard].append(document)
+
+    def index_documents(self, index: str, documents: Sequence[dict]) -> None:
+        for document in documents:
+            self.index_document(index, document)
+
+    def _require(self, index: str):
+        entry = self._indices.get(index)
+        if entry is None:
+            raise ConnectorError(f"elasticsearch: no index {index!r}")
+        return entry
+
+    def indices(self) -> list[str]:
+        return sorted(self._indices)
+
+    def fields(self, index: str) -> list[tuple[str, PrestoType]]:
+        return list(self._require(index)[0])
+
+    def search_shard(
+        self,
+        index: str,
+        shard: int,
+        term_filters: Sequence[tuple[str, list[Any]]],
+        range_filters: dict[str, tuple[Optional[float], Optional[float]]],
+        source_fields: Sequence[str],
+        size: Optional[int] = None,
+    ) -> list[dict]:
+        """Execute a bool query on one shard.
+
+        ``term_filters`` is a list of (field, allowed values) requirements,
+        all of which must hold (bool/must with terms clauses).
+        """
+        _, shards = self._require(index)
+        documents = shards[shard]
+        self.stats.searches += 1
+        self.stats.docs_examined += len(documents)
+        self.clock.advance(self.search_latency_ms + len(documents) * self.doc_match_ms)
+
+        hits: list[dict] = []
+        for document in documents:
+            if not all(
+                document.get(field) in values for field, values in term_filters
+            ):
+                continue
+            in_range = True
+            for field, (low, high) in range_filters.items():
+                value = document.get(field)
+                if value is None:
+                    in_range = False
+                    break
+                if low is not None and value < low:
+                    in_range = False
+                    break
+                if high is not None and value > high:
+                    in_range = False
+                    break
+            if not in_range:
+                continue
+            hits.append({f: document.get(f) for f in source_fields})
+            if size is not None and len(hits) >= size:
+                break
+        self.stats.docs_returned += len(hits)
+        self.clock.advance(len(hits) * self.doc_fetch_ms)
+        return hits
+
+
+class ElasticsearchConnector(Connector):
+    """Presto-Elasticsearch connector: index → table, field → column."""
+
+    name = "elasticsearch"
+
+    def __init__(self, cluster: ElasticsearchCluster, schema_name: str = "default") -> None:
+        self.cluster = cluster
+        self.schema_name = schema_name
+        self._metadata = _EsMetadata(self)
+        self._split_manager = _EsSplitManager(self)
+        self._provider = _EsProvider(self)
+
+    def metadata(self) -> ConnectorMetadata:
+        return self._metadata
+
+    def split_manager(self) -> ConnectorSplitManager:
+        return self._split_manager
+
+    def record_set_provider(self) -> ConnectorRecordSetProvider:
+        return self._provider
+
+
+class _EsMetadata(ConnectorMetadata):
+    def __init__(self, connector: ElasticsearchConnector) -> None:
+        self._connector = connector
+
+    def list_schemas(self) -> list[str]:
+        return [self._connector.schema_name]
+
+    def list_tables(self, schema_name: str) -> list[str]:
+        return self._connector.cluster.indices()
+
+    def get_table_handle(
+        self, schema_name: str, table_name: str
+    ) -> Optional[ConnectorTableHandle]:
+        if table_name in self._connector.cluster.indices():
+            return ConnectorTableHandle(schema_name, table_name)
+        return None
+
+    def get_table_metadata(self, handle: ConnectorTableHandle) -> TableMetadata:
+        fields = self._connector.cluster.fields(handle.table_name)
+        return TableMetadata(
+            handle.schema_name,
+            handle.table_name,
+            tuple(ColumnMetadata(n, t) for n, t in fields),
+        )
+
+    def apply_filter(
+        self, handle: ConnectorTableHandle, predicate: RowExpression
+    ) -> Optional[FilterPushdownResult]:
+        """Absorb term (equality/IN) and range conjuncts; leave the rest."""
+        absorbed: list[RowExpression] = []
+        remaining: list[RowExpression] = []
+        for conjunct in conjuncts(predicate):
+            if _as_term_or_range(conjunct) is not None:
+                absorbed.append(conjunct)
+            else:
+                remaining.append(conjunct)
+        if not absorbed:
+            return None
+        if handle.constraint is not None:
+            absorbed.insert(0, expression_from_dict(handle.constraint))
+        remaining_expression = combine_conjuncts(remaining)
+        return FilterPushdownResult(
+            handle.with_(constraint=and_(*absorbed).to_dict()),
+            None if remaining_expression is None else remaining_expression.to_dict(),
+        )
+
+    def apply_limit(
+        self, handle: ConnectorTableHandle, limit: int
+    ) -> Optional[ConnectorTableHandle]:
+        if handle.limit is not None and handle.limit <= limit:
+            return None
+        return handle.with_(limit=limit)
+
+    def apply_projection(
+        self, handle: ConnectorTableHandle, columns: Sequence[str]
+    ) -> Optional[ConnectorTableHandle]:
+        top_level: list[str] = []
+        for path in columns:
+            top = path.split(".")[0]
+            if top not in top_level:
+                top_level.append(top)
+        return handle.with_(projected_columns=tuple(top_level))
+
+
+class _EsSplitManager(ConnectorSplitManager):
+    def __init__(self, connector: ElasticsearchConnector) -> None:
+        self._connector = connector
+
+    def get_splits(self, handle: ConnectorTableHandle) -> list[ConnectorSplit]:
+        shards = self._connector.cluster.shards_per_index
+        return [
+            ConnectorSplit(
+                split_id=f"es:{handle.table_name}:{shard}",
+                info=(("shard", shard),),
+            )
+            for shard in range(shards)
+        ]
+
+
+class _EsProvider(ConnectorRecordSetProvider):
+    def __init__(self, connector: ElasticsearchConnector) -> None:
+        self._connector = connector
+
+    def pages(
+        self,
+        handle: ConnectorTableHandle,
+        split: ConnectorSplit,
+        columns: Sequence[str],
+    ) -> Iterator[Page]:
+        cluster = self._connector.cluster
+        term_filters: list[tuple[str, list[Any]]] = []
+        range_filters: dict[str, tuple[Optional[float], Optional[float]]] = {}
+        if handle.constraint is not None:
+            predicate = expression_from_dict(handle.constraint)
+            for conjunct in conjuncts(predicate):
+                parsed = _as_term_or_range(conjunct)
+                if parsed is None:
+                    continue
+                kind, field, payload = parsed
+                if kind == "term":
+                    term_filters.append((field, payload))
+                else:
+                    low, high = range_filters.get(field, (None, None))
+                    new_low, new_high = payload
+                    low = new_low if low is None else max(low, new_low) if new_low is not None else low
+                    high = new_high if high is None else min(high, new_high) if new_high is not None else high
+                    range_filters[field] = (low, high)
+        hits = cluster.search_shard(
+            handle.table_name,
+            split.info_dict()["shard"],
+            term_filters,
+            range_filters,
+            source_fields=list(columns),
+            size=handle.limit,
+        )
+        types = dict(cluster.fields(handle.table_name))
+        yield Page.from_rows(
+            [types[c] for c in columns],
+            [tuple(hit.get(c) for c in columns) for hit in hits],
+        )
+
+
+def _as_term_or_range(conjunct: RowExpression):
+    """Classify a conjunct as a term query, range query, or neither."""
+    if (
+        isinstance(conjunct, CallExpression)
+        and len(conjunct.arguments) == 2
+        and isinstance(conjunct.arguments[0], VariableReferenceExpression)
+        and isinstance(conjunct.arguments[1], ConstantExpression)
+    ):
+        field = conjunct.arguments[0].name
+        value = conjunct.arguments[1].value
+        name = conjunct.function_handle.name
+        if name == "equal":
+            return ("term", field, [value])
+        # Only inclusive bounds map onto the simulated range query; strict
+        # comparisons stay engine-side to keep semantics exact.
+        if name == "greater_than_or_equal":
+            return ("range", field, (value, None))
+        if name == "less_than_or_equal":
+            return ("range", field, (None, value))
+    if (
+        isinstance(conjunct, SpecialFormExpression)
+        and conjunct.form is SpecialForm.IN
+        and isinstance(conjunct.arguments[0], VariableReferenceExpression)
+        and all(isinstance(a, ConstantExpression) for a in conjunct.arguments[1:])
+    ):
+        return (
+            "term",
+            conjunct.arguments[0].name,
+            [a.value for a in conjunct.arguments[1:]],
+        )
+    return None

@@ -1,0 +1,12 @@
+"""Presto-Hive connector: tables on HDFS/S3 in the Parquet-like format.
+
+The workhorse connector of the paper's deployments: partitioned tables in
+a Hive metastore, data files on a (simulated) distributed filesystem, read
+through the old or new Parquet reader, accelerated by the file-list and
+footer caches of section VII.
+"""
+
+from repro.connectors.hive.connector import HiveConnector
+from repro.connectors.hive.writer import write_hive_partition
+
+__all__ = ["HiveConnector", "write_hive_partition"]

@@ -1,0 +1,466 @@
+"""The Hive connector implementation.
+
+Pushdown behaviour:
+
+- **partition pruning** — predicate conjuncts over partition keys are
+  absorbed and evaluated against partition values at split enumeration;
+- **predicate pushdown** — when configured with the new reader, conjuncts
+  over scalar (possibly nested) data columns are absorbed and evaluated by
+  the reader while scanning (sections V.F/V.G);
+- **projection pushdown** — requested (possibly dotted) column paths reach
+  the reader as nested column pruning (section V.D).
+
+Split = one data file of one matching partition.  The file-list cache and
+footer cache plug in here when provided.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.common.errors import ConnectorError
+from repro.core.blocks import Block
+from repro.core.evaluator import Evaluator, constant_block
+from repro.core.expressions import (
+    RowExpression,
+    combine_conjuncts,
+    conjuncts,
+    expression_from_dict,
+)
+from repro.core.page import Page
+from repro.core.types import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    PrestoType,
+    RowType,
+)
+from repro.connectors.spi import (
+    ColumnMetadata,
+    Connector,
+    ConnectorMetadata,
+    ConnectorRecordSetProvider,
+    ConnectorSplit,
+    ConnectorSplitManager,
+    ConnectorTableHandle,
+    FilterPushdownResult,
+    TableMetadata,
+)
+from repro.cache.file_list_cache import FileListCache
+from repro.cache.footer_cache import FileHandleAndFooterCache
+from repro.formats.parquet.file import ParquetFile, read_footer
+from repro.formats.parquet.options import ReaderOptions
+from repro.formats.parquet.reader_new import NewParquetReader
+from repro.formats.parquet.reader_old import OldParquetReader
+from repro.metastore.metastore import HiveMetastore, TableInfo
+from repro.storage.filesystem import FileSystem
+
+OLD_READER = "old"
+NEW_READER = "new"
+
+
+class HiveConnector(Connector):
+    """Connector over a Hive metastore and a distributed filesystem."""
+
+    name = "hive"
+
+    def __init__(
+        self,
+        metastore: HiveMetastore,
+        filesystem: FileSystem,
+        reader: str = NEW_READER,
+        reader_options: Optional[ReaderOptions] = None,
+        file_list_cache: Optional[FileListCache] = None,
+        footer_cache: Optional[FileHandleAndFooterCache] = None,
+    ) -> None:
+        if reader not in (OLD_READER, NEW_READER):
+            raise ValueError(f"unknown reader kind {reader!r}")
+        self.metastore = metastore
+        self.filesystem = filesystem
+        self.reader = reader
+        self.reader_options = reader_options or ReaderOptions()
+        self.file_list_cache = file_list_cache
+        self.footer_cache = footer_cache
+        self._evaluator = Evaluator()
+        self._metadata = _HiveMetadata(self)
+        self._split_manager = _HiveSplitManager(self)
+        self._provider = _HiveRecordSetProvider(self)
+
+    def metadata(self) -> ConnectorMetadata:
+        return self._metadata
+
+    def split_manager(self) -> ConnectorSplitManager:
+        return self._split_manager
+
+    def record_set_provider(self) -> ConnectorRecordSetProvider:
+        return self._provider
+
+    # -- shared internals ---------------------------------------------------
+
+    def _table(self, handle: ConnectorTableHandle) -> TableInfo:
+        return self.metastore.get_table(handle.schema_name, handle.table_name)
+
+    def _list_files(self, location: str, sealed: bool):
+        if self.file_list_cache is not None:
+            return self.file_list_cache.list_files(location, sealed)
+        return self.filesystem.list_files(location)
+
+    def _open_parquet(self, path: str) -> ParquetFile:
+        if self.footer_cache is not None:
+            return self.footer_cache.open_parquet(path)
+        # A worker checks the file handle (getFileInfo) before reading; the
+        # footer cache exists precisely to absorb these calls (VII.B).
+        self.filesystem.get_file_info(path)
+        return ParquetFile(self.filesystem.open(path))
+
+
+class _HiveMetadata(ConnectorMetadata):
+    def __init__(self, connector: HiveConnector) -> None:
+        self._connector = connector
+
+    def list_schemas(self) -> list[str]:
+        return self._connector.metastore.list_databases()
+
+    def list_tables(self, schema_name: str) -> list[str]:
+        return self._connector.metastore.list_tables(schema_name)
+
+    def get_table_handle(
+        self, schema_name: str, table_name: str
+    ) -> Optional[ConnectorTableHandle]:
+        if self._connector.metastore.has_table(schema_name, table_name):
+            return ConnectorTableHandle(schema_name, table_name)
+        return None
+
+    def get_table_metadata(self, handle: ConnectorTableHandle) -> TableMetadata:
+        table = self._connector._table(handle)
+        return TableMetadata(
+            handle.schema_name,
+            handle.table_name,
+            tuple(ColumnMetadata(n, t) for n, t in table.all_columns()),
+        )
+
+    def apply_filter(
+        self, handle: ConnectorTableHandle, predicate: RowExpression
+    ) -> Optional[FilterPushdownResult]:
+        table = self._connector._table(handle)
+        partition_keys = set(table.partition_key_names())
+        data_leaf_paths = self._scalar_leaf_paths(table)
+
+        partition_terms: list[RowExpression] = []
+        data_terms: list[RowExpression] = []
+        remaining: list[RowExpression] = []
+        data_pushdown_allowed = (
+            self._connector.reader == NEW_READER
+            and self._connector.reader_options.predicate_pushdown
+        )
+        for conjunct in conjuncts(predicate):
+            names = {v.name for v in conjunct.variables()}
+            if names and names <= partition_keys:
+                partition_terms.append(conjunct)
+                continue
+            # Nested field access arrives as DEREFERENCE chains; normalize
+            # them into dotted-path variables the reader understands.
+            normalized = _dereferences_to_paths(conjunct)
+            normalized_names = {v.name for v in normalized.variables()}
+            if (
+                data_pushdown_allowed
+                and normalized_names
+                and normalized_names <= data_leaf_paths
+            ):
+                data_terms.append(normalized)
+            else:
+                remaining.append(conjunct)
+        if not partition_terms and not data_terms:
+            return None
+
+        constraint = dict(handle.constraint or {})
+        if partition_terms:
+            existing = constraint.get("partition")
+            terms = ([expression_from_dict(existing)] if existing else []) + partition_terms
+            constraint["partition"] = combine_conjuncts(terms).to_dict()
+        if data_terms:
+            existing = constraint.get("data")
+            terms = ([expression_from_dict(existing)] if existing else []) + data_terms
+            constraint["data"] = combine_conjuncts(terms).to_dict()
+
+        remaining_expression = combine_conjuncts(remaining)
+        return FilterPushdownResult(
+            handle.with_(constraint=constraint),
+            None if remaining_expression is None else remaining_expression.to_dict(),
+        )
+
+    def apply_projection(
+        self, handle: ConnectorTableHandle, columns: Sequence[str]
+    ) -> Optional[ConnectorTableHandle]:
+        return handle.with_(projected_columns=tuple(columns))
+
+    def _scalar_leaf_paths(self, table: TableInfo) -> set[str]:
+        """Dotted paths of scalar leaves reachable through structs only."""
+        paths: set[str] = set()
+
+        def walk(prefix: str, presto_type: PrestoType) -> None:
+            if isinstance(presto_type, RowType):
+                for f in presto_type.fields:
+                    walk(f"{prefix}.{f.name}", f.type)
+            elif not presto_type.is_nested():
+                paths.add(prefix)
+
+        for name, presto_type in table.columns:
+            walk(name, presto_type)
+        return paths
+
+
+class _HiveSplitManager(ConnectorSplitManager):
+    def __init__(self, connector: HiveConnector) -> None:
+        self._connector = connector
+
+    def get_splits(self, handle: ConnectorTableHandle) -> list[ConnectorSplit]:
+        connector = self._connector
+        table = connector._table(handle)
+        constraint = handle.constraint or {}
+        partition_predicate = (
+            expression_from_dict(constraint["partition"])
+            if constraint.get("partition")
+            else None
+        )
+
+        splits: list[ConnectorSplit] = []
+        for partition in connector.metastore.list_partitions(
+            handle.schema_name, handle.table_name
+        ):
+            if partition_predicate is not None and not self._partition_matches(
+                table, partition.values, partition_predicate
+            ):
+                continue
+            for status in connector._list_files(partition.location, partition.sealed):
+                splits.append(
+                    ConnectorSplit(
+                        split_id=f"hive:{status.path}",
+                        info=(
+                            ("path", status.path),
+                            ("partition_values", partition.values),
+                            ("sealed", partition.sealed),
+                            # Version for the fragment result cache; a
+                            # rewritten file gets a new modification time.
+                            ("data_version", status.modification_time_ms),
+                        ),
+                    )
+                )
+        if not table.partition_keys and not table.partitions:
+            # Unpartitioned table: files live directly at the table location.
+            for status in connector._list_files(table.location, True):
+                splits.append(
+                    ConnectorSplit(
+                        split_id=f"hive:{status.path}",
+                        info=(("path", status.path), ("partition_values", ()), ("sealed", True)),
+                    )
+                )
+        return splits
+
+    def _partition_matches(
+        self,
+        table: TableInfo,
+        values: tuple[str, ...],
+        predicate: RowExpression,
+    ) -> bool:
+        bindings: dict[str, Block] = {}
+        for (key, key_type), value in zip(table.partition_keys, values):
+            bindings[key] = constant_block(_coerce(value, key_type), key_type, 1)
+        mask = self._connector._evaluator.filter_mask(predicate, bindings, 1)
+        return bool(mask[0])
+
+
+class _HiveRecordSetProvider(ConnectorRecordSetProvider):
+    def __init__(self, connector: HiveConnector) -> None:
+        self._connector = connector
+
+    def pages(
+        self,
+        handle: ConnectorTableHandle,
+        split: ConnectorSplit,
+        columns: Sequence[str],
+    ) -> Iterator[Page]:
+        connector = self._connector
+        table = connector._table(handle)
+        info = split.info_dict()
+        path = info["path"]
+        partition_values = dict(
+            zip(table.partition_key_names(), info["partition_values"])
+        )
+        partition_types = dict(table.partition_keys)
+        data_column_names = [n for n, _ in table.columns]
+
+        data_columns = [c for c in columns if c in data_column_names]
+        file = connector._open_parquet(path)
+
+        if connector.reader == OLD_READER:
+            yield from self._pages_old_reader(
+                file, table, columns, data_columns, partition_values, partition_types
+            )
+            return
+
+        constraint = handle.constraint or {}
+        predicate = (
+            expression_from_dict(constraint["data"]) if constraint.get("data") else None
+        )
+        # Schema evolution: columns added to the table after this file was
+        # written are absent from the file schema and read as nulls.
+        file_top_level = set(file.schema.column_names())
+        present = [c for c in data_columns if c in file_top_level]
+        restrict = self._restriction(handle, present)
+        reader = NewParquetReader(
+            file,
+            present,
+            options=connector.reader_options,
+            predicate=predicate,
+            restrict=restrict,
+        )
+        produced = False
+        for page in reader.read_pages():
+            produced = True
+            yield self._attach_partition_columns(
+                page, columns, present, partition_values, partition_types, table
+            )
+        if not produced:
+            yield self._empty_page(columns, table, partition_types)
+
+    def _restriction(
+        self, handle: ConnectorTableHandle, data_columns: list[str]
+    ) -> Optional[dict[str, list[str]]]:
+        if not handle.projected_columns:
+            return None
+        restrict: dict[str, list[str]] = {}
+        for path in handle.projected_columns:
+            top = path.split(".")[0]
+            if top in data_columns and "." in path:
+                restrict.setdefault(top, []).append(path)
+        # A bare top-level request means "whole column": drop restriction.
+        for path in handle.projected_columns:
+            if "." not in path:
+                restrict.pop(path, None)
+        return restrict or None
+
+    def _pages_old_reader(
+        self,
+        file: ParquetFile,
+        table: TableInfo,
+        columns: Sequence[str],
+        data_columns: list[str],
+        partition_values: dict,
+        partition_types: dict,
+    ) -> Iterator[Page]:
+        reader = OldParquetReader(file)
+        file_columns = file.schema.column_names()
+        produced = False
+        for page in reader.read_pages():
+            produced = True
+            blocks: list[Block] = []
+            for column in columns:
+                if column in partition_values:
+                    blocks.append(
+                        constant_block(
+                            _coerce(partition_values[column], partition_types[column]),
+                            partition_types[column],
+                            page.position_count,
+                        )
+                    )
+                elif column in file_columns:
+                    blocks.append(page.block(file_columns.index(column)))
+                else:
+                    # Column added to the table after this file was written.
+                    column_type = dict(table.columns)[column]
+                    blocks.append(constant_block(None, column_type, page.position_count))
+            yield Page(blocks, page.position_count)
+        if not produced:
+            yield self._empty_page(columns, table, partition_types)
+
+    def _attach_partition_columns(
+        self,
+        page: Page,
+        columns: Sequence[str],
+        present_columns: list[str],
+        partition_values: dict,
+        partition_types: dict,
+        table: TableInfo,
+    ) -> Page:
+        blocks: list[Block] = []
+        for column in columns:
+            if column in partition_values:
+                blocks.append(
+                    constant_block(
+                        _coerce(partition_values[column], partition_types[column]),
+                        partition_types[column],
+                        page.position_count,
+                    )
+                )
+            elif column in present_columns:
+                blocks.append(page.block(present_columns.index(column)))
+            else:
+                column_type = dict(table.columns)[column]
+                blocks.append(constant_block(None, column_type, page.position_count))
+        return Page(blocks, page.position_count)
+
+    def _empty_page(
+        self, columns: Sequence[str], table: TableInfo, partition_types: dict
+    ) -> Page:
+        all_types = dict(table.all_columns())
+        return Page.from_columns([all_types[c] for c in columns], [[] for _ in columns])
+
+
+def _dereferences_to_paths(expression: RowExpression) -> RowExpression:
+    """Rewrite DEREFERENCE(var, 'f')... chains as dotted-path variables."""
+    from repro.core.expressions import (
+        CallExpression,
+        ConstantExpression,
+        SpecialForm,
+        SpecialFormExpression,
+        VariableReferenceExpression,
+    )
+
+    def chain(expr) -> Optional[str]:
+        if isinstance(expr, VariableReferenceExpression):
+            return expr.name
+        if (
+            isinstance(expr, SpecialFormExpression)
+            and expr.form is SpecialForm.DEREFERENCE
+            and isinstance(expr.arguments[1], ConstantExpression)
+        ):
+            base = chain(expr.arguments[0])
+            if base is not None:
+                return f"{base}.{expr.arguments[1].value}"
+        return None
+
+    def rewrite(expr: RowExpression) -> RowExpression:
+        if (
+            isinstance(expr, SpecialFormExpression)
+            and expr.form is SpecialForm.DEREFERENCE
+        ):
+            path = chain(expr)
+            if path is not None:
+                return VariableReferenceExpression(path, expr.type)
+        if isinstance(expr, CallExpression):
+            return CallExpression(
+                expr.display_name,
+                expr.function_handle,
+                expr.type,
+                tuple(rewrite(a) for a in expr.arguments),
+            )
+        if isinstance(expr, SpecialFormExpression):
+            return SpecialFormExpression(
+                expr.form, expr.type, tuple(rewrite(a) for a in expr.arguments)
+            )
+        return expr
+
+    return rewrite(expression)
+
+
+def _coerce(value: str, presto_type: PrestoType) -> Any:
+    """Convert a partition value string to its typed representation."""
+    if presto_type in (BIGINT, INTEGER):
+        return int(value)
+    if presto_type is DOUBLE:
+        return float(value)
+    if presto_type is BOOLEAN:
+        return value.lower() in ("true", "1", "t")
+    return value

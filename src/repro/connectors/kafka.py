@@ -1,0 +1,317 @@
+"""Simulated Kafka and the Presto-Kafka connector (section XI's list).
+
+The simulated broker keeps topics as partitioned append-only logs.  The
+connector maps each topic to a table: message fields become columns and
+three hidden columns expose log coordinates (``_partition_id``,
+``_offset``, ``_timestamp_ms``).  Range predicates on the hidden columns
+push down as log seeks, so "tail the last five minutes" queries do not
+scan the whole topic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ConnectorError
+from repro.connectors.spi import (
+    ColumnMetadata,
+    Connector,
+    ConnectorMetadata,
+    ConnectorRecordSetProvider,
+    ConnectorSplit,
+    ConnectorSplitManager,
+    ConnectorTableHandle,
+    FilterPushdownResult,
+    TableMetadata,
+)
+from repro.core.expressions import (
+    CallExpression,
+    ConstantExpression,
+    RowExpression,
+    VariableReferenceExpression,
+    combine_conjuncts,
+    conjuncts,
+    expression_from_dict,
+)
+from repro.core.page import Page
+from repro.core.types import BIGINT, PrestoType
+
+HIDDEN_COLUMNS: list[tuple[str, PrestoType]] = [
+    ("_partition_id", BIGINT),
+    ("_offset", BIGINT),
+    ("_timestamp_ms", BIGINT),
+]
+
+
+@dataclass
+class _Record:
+    offset: int
+    timestamp_ms: int
+    values: tuple
+
+
+class KafkaBroker:
+    """Topics as partitioned, append-only, timestamp-ordered logs."""
+
+    def __init__(
+        self, clock: Optional[SimulatedClock] = None, fetch_ms_per_record: float = 0.0005
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.fetch_ms_per_record = fetch_ms_per_record
+        self._topics: dict[str, tuple[list[tuple[str, PrestoType]], list[list[_Record]]]] = {}
+        self.records_fetched = 0
+
+    def create_topic(
+        self,
+        name: str,
+        fields: Sequence[tuple[str, PrestoType]],
+        partitions: int = 3,
+    ) -> None:
+        self._topics[name] = (list(fields), [[] for _ in range(partitions)])
+
+    def produce(
+        self,
+        topic: str,
+        values: Sequence[Any],
+        partition: Optional[int] = None,
+        timestamp_ms: Optional[int] = None,
+    ) -> int:
+        """Append one message; returns its offset."""
+        fields, partitions = self._require(topic)
+        if len(values) != len(fields):
+            raise ConnectorError(
+                f"kafka: message has {len(values)} fields, topic {topic!r} has {len(fields)}"
+            )
+        if partition is None:
+            partition = hash(str(values[0])) % len(partitions)
+        log = partitions[partition]
+        timestamp = int(
+            timestamp_ms if timestamp_ms is not None else self.clock.now_ms()
+        )
+        if log and timestamp < log[-1].timestamp_ms:
+            timestamp = log[-1].timestamp_ms  # logs are time-ordered
+        record = _Record(len(log), timestamp, tuple(values))
+        log.append(record)
+        return record.offset
+
+    def _require(self, topic: str):
+        entry = self._topics.get(topic)
+        if entry is None:
+            raise ConnectorError(f"kafka: no topic {topic!r}")
+        return entry
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    def fields(self, topic: str) -> list[tuple[str, PrestoType]]:
+        return list(self._require(topic)[0])
+
+    def partition_count(self, topic: str) -> int:
+        return len(self._require(topic)[1])
+
+    def fetch(
+        self,
+        topic: str,
+        partition: int,
+        min_offset: int = 0,
+        max_offset: Optional[int] = None,
+        min_timestamp_ms: Optional[int] = None,
+        max_timestamp_ms: Optional[int] = None,
+    ) -> list[_Record]:
+        """Consume a partition range; only fetched records cost time."""
+        _, partitions = self._require(topic)
+        log = partitions[partition]
+        start = max(min_offset, 0)
+        end = len(log) if max_offset is None else min(max_offset + 1, len(log))
+        if min_timestamp_ms is not None:
+            # Timestamp index: logs are time-ordered, so binary search.
+            timestamps = [r.timestamp_ms for r in log]
+            start = max(start, bisect.bisect_left(timestamps, min_timestamp_ms))
+        records = log[start:end]
+        if max_timestamp_ms is not None:
+            records = [r for r in records if r.timestamp_ms <= max_timestamp_ms]
+        self.records_fetched += len(records)
+        self.clock.advance(len(records) * self.fetch_ms_per_record)
+        return records
+
+
+class KafkaConnector(Connector):
+    """Presto-Kafka connector: topic → table with hidden log coordinates."""
+
+    name = "kafka"
+
+    def __init__(self, broker: KafkaBroker, schema_name: str = "kafka") -> None:
+        self.broker = broker
+        self.schema_name = schema_name
+        self._metadata = _KafkaMetadata(self)
+        self._split_manager = _KafkaSplitManager(self)
+        self._provider = _KafkaProvider(self)
+
+    def metadata(self) -> ConnectorMetadata:
+        return self._metadata
+
+    def split_manager(self) -> ConnectorSplitManager:
+        return self._split_manager
+
+    def record_set_provider(self) -> ConnectorRecordSetProvider:
+        return self._provider
+
+    def all_columns(self, topic: str) -> list[tuple[str, PrestoType]]:
+        return self.broker.fields(topic) + HIDDEN_COLUMNS
+
+
+class _KafkaMetadata(ConnectorMetadata):
+    def __init__(self, connector: KafkaConnector) -> None:
+        self._connector = connector
+
+    def list_schemas(self) -> list[str]:
+        return [self._connector.schema_name]
+
+    def list_tables(self, schema_name: str) -> list[str]:
+        return self._connector.broker.topics()
+
+    def get_table_handle(
+        self, schema_name: str, table_name: str
+    ) -> Optional[ConnectorTableHandle]:
+        if table_name in self._connector.broker.topics():
+            return ConnectorTableHandle(schema_name, table_name)
+        return None
+
+    def get_table_metadata(self, handle: ConnectorTableHandle) -> TableMetadata:
+        return TableMetadata(
+            handle.schema_name,
+            handle.table_name,
+            tuple(
+                ColumnMetadata(n, t)
+                for n, t in self._connector.all_columns(handle.table_name)
+            ),
+        )
+
+    def apply_filter(
+        self, handle: ConnectorTableHandle, predicate: RowExpression
+    ) -> Optional[FilterPushdownResult]:
+        """Absorb offset/timestamp range conjuncts as log seeks."""
+        absorbed: list[RowExpression] = []
+        remaining: list[RowExpression] = []
+        for conjunct in conjuncts(predicate):
+            if _as_log_range(conjunct) is not None:
+                absorbed.append(conjunct)
+            else:
+                remaining.append(conjunct)
+        if not absorbed:
+            return None
+        if handle.constraint is not None:
+            absorbed.insert(0, expression_from_dict(handle.constraint))
+        remaining_expression = combine_conjuncts(remaining)
+        return FilterPushdownResult(
+            handle.with_(constraint=combine_conjuncts(absorbed).to_dict()),
+            None if remaining_expression is None else remaining_expression.to_dict(),
+        )
+
+    def apply_projection(
+        self, handle: ConnectorTableHandle, columns: Sequence[str]
+    ) -> Optional[ConnectorTableHandle]:
+        top_level: list[str] = []
+        for path in columns:
+            top = path.split(".")[0]
+            if top not in top_level:
+                top_level.append(top)
+        return handle.with_(projected_columns=tuple(top_level))
+
+    def apply_limit(
+        self, handle: ConnectorTableHandle, limit: int
+    ) -> Optional[ConnectorTableHandle]:
+        if handle.limit is not None and handle.limit <= limit:
+            return None
+        return handle.with_(limit=limit)
+
+
+def _as_log_range(conjunct: RowExpression) -> Optional[tuple[str, str, int]]:
+    """Match ``_offset``/``_timestamp_ms`` range conjuncts."""
+    if not (
+        isinstance(conjunct, CallExpression)
+        and len(conjunct.arguments) == 2
+        and isinstance(conjunct.arguments[0], VariableReferenceExpression)
+        and isinstance(conjunct.arguments[1], ConstantExpression)
+    ):
+        return None
+    column = conjunct.arguments[0].name
+    if column not in ("_offset", "_timestamp_ms"):
+        return None
+    name = conjunct.function_handle.name
+    if name not in ("greater_than_or_equal", "less_than_or_equal", "equal"):
+        return None
+    return column, name, conjunct.arguments[1].value
+
+
+class _KafkaSplitManager(ConnectorSplitManager):
+    def __init__(self, connector: KafkaConnector) -> None:
+        self._connector = connector
+
+    def get_splits(self, handle: ConnectorTableHandle) -> list[ConnectorSplit]:
+        count = self._connector.broker.partition_count(handle.table_name)
+        return [
+            ConnectorSplit(
+                split_id=f"kafka:{handle.table_name}:{partition}",
+                info=(("partition", partition),),
+            )
+            for partition in range(count)
+        ]
+
+
+class _KafkaProvider(ConnectorRecordSetProvider):
+    def __init__(self, connector: KafkaConnector) -> None:
+        self._connector = connector
+
+    def pages(
+        self,
+        handle: ConnectorTableHandle,
+        split: ConnectorSplit,
+        columns: Sequence[str],
+    ) -> Iterator[Page]:
+        connector = self._connector
+        partition = split.info_dict()["partition"]
+
+        ranges = {
+            "_offset": [0, None],
+            "_timestamp_ms": [None, None],
+        }
+        if handle.constraint is not None:
+            for conjunct in conjuncts(expression_from_dict(handle.constraint)):
+                parsed = _as_log_range(conjunct)
+                if parsed is None:
+                    continue
+                column, op, value = parsed
+                low, high = ranges[column]
+                if op in ("greater_than_or_equal", "equal"):
+                    low = value if low is None else max(low, value)
+                if op in ("less_than_or_equal", "equal"):
+                    high = value if high is None else min(high, value)
+                ranges[column] = [low, high]
+
+        records = connector.broker.fetch(
+            handle.table_name,
+            partition,
+            min_offset=ranges["_offset"][0] or 0,
+            max_offset=ranges["_offset"][1],
+            min_timestamp_ms=ranges["_timestamp_ms"][0],
+            max_timestamp_ms=ranges["_timestamp_ms"][1],
+        )
+        if handle.limit is not None:
+            records = records[: handle.limit]
+
+        field_names = [n for n, _ in connector.broker.fields(handle.table_name)]
+        types = dict(connector.all_columns(handle.table_name))
+        rows = []
+        for record in records:
+            full = {
+                **dict(zip(field_names, record.values)),
+                "_partition_id": partition,
+                "_offset": record.offset,
+                "_timestamp_ms": record.timestamp_ms,
+            }
+            rows.append(tuple(full[c] for c in columns))
+        yield Page.from_rows([types[c] for c in columns], rows)

@@ -1,0 +1,13 @@
+"""Update-able data lake tables (section IV).
+
+"We also implemented Presto-Iceberg-connector and Presto-Hoodie-connector,
+which enables Presto querying update-able data lakes."  This package
+implements an Iceberg-style table format — snapshot-versioned manifests
+over immutable Parquet data files with copy-on-write row-level updates and
+deletes — plus its Presto connector with snapshot time travel.
+"""
+
+from repro.connectors.lakehouse.table_format import IcebergTable, Snapshot
+from repro.connectors.lakehouse.connector import IcebergConnector
+
+__all__ = ["IcebergTable", "Snapshot", "IcebergConnector"]

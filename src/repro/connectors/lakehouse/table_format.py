@@ -1,0 +1,180 @@
+"""An Iceberg-style table format: snapshots over immutable data files.
+
+Structure on the (simulated) filesystem::
+
+    <location>/data/<uuid>.parquet     immutable data files
+    <location>/metadata/...            (implicit: kept in memory here)
+
+Every mutation — append, overwrite-where (update), delete-where — commits
+a new :class:`Snapshot` listing the exact set of live data files.  Readers
+pin a snapshot, so queries are isolated from concurrent writes and *time
+travel* to any historical snapshot is free.  Updates and deletes use
+copy-on-write: affected files are rewritten without the matching rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.common.errors import ConnectorError
+from repro.core.blocks import Block
+from repro.core.evaluator import Evaluator
+from repro.core.expressions import RowExpression
+from repro.core.page import Page
+from repro.core.types import PrestoType
+from repro.formats.parquet.file import ParquetFile
+from repro.formats.parquet.reader_new import NewParquetReader
+from repro.formats.parquet.schema import ParquetSchema
+from repro.formats.parquet.writer_native import NativeParquetWriter
+from repro.storage.filesystem import FileSystem
+
+
+@dataclass(frozen=True)
+class DataFile:
+    """One immutable data file tracked by a manifest."""
+
+    path: str
+    row_count: int
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One committed table version: the set of live data files."""
+
+    snapshot_id: int
+    operation: str  # 'append' | 'overwrite' | 'delete'
+    files: tuple[DataFile, ...]
+    parent_id: Optional[int] = None
+
+    @property
+    def row_count(self) -> int:
+        return sum(f.row_count for f in self.files)
+
+
+class IcebergTable:
+    """A snapshot-versioned table over immutable Parquet files."""
+
+    def __init__(
+        self,
+        filesystem: FileSystem,
+        location: str,
+        columns: Sequence[tuple[str, PrestoType]],
+        row_group_size: int = 10_000,
+    ) -> None:
+        self.filesystem = filesystem
+        self.location = location.rstrip("/")
+        self.columns = list(columns)
+        self.schema = ParquetSchema(self.columns)
+        self.row_group_size = row_group_size
+        self._snapshots: list[Snapshot] = [Snapshot(0, "create", ())]
+        self._file_ids = itertools.count()
+        self._evaluator = Evaluator()
+
+    # -- snapshot access -----------------------------------------------------
+
+    def current_snapshot(self) -> Snapshot:
+        return self._snapshots[-1]
+
+    def snapshot(self, snapshot_id: int) -> Snapshot:
+        for snapshot in self._snapshots:
+            if snapshot.snapshot_id == snapshot_id:
+                return snapshot
+        raise ConnectorError(f"no snapshot {snapshot_id} in {self.location}")
+
+    def history(self) -> list[Snapshot]:
+        return list(self._snapshots)
+
+    def _commit(self, operation: str, files: Sequence[DataFile]) -> Snapshot:
+        parent = self.current_snapshot()
+        snapshot = Snapshot(
+            parent.snapshot_id + 1, operation, tuple(files), parent.snapshot_id
+        )
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    # -- writes ----------------------------------------------------------------
+
+    def _write_data_file(self, rows: Sequence[tuple]) -> DataFile:
+        page = Page.from_rows([t for _, t in self.columns], list(rows))
+        blob = NativeParquetWriter(
+            self.schema, row_group_size=self.row_group_size
+        ).write_pages([page])
+        path = f"{self.location}/data/{next(self._file_ids):08d}.parquet"
+        self.filesystem.create(path, blob)
+        return DataFile(path, len(rows))
+
+    def append(self, rows: Sequence[tuple]) -> Snapshot:
+        """Append rows as a new data file (fast, no rewrites)."""
+        if not rows:
+            return self._commit("append", self.current_snapshot().files)
+        new_file = self._write_data_file(rows)
+        return self._commit(
+            "append", self.current_snapshot().files + (new_file,)
+        )
+
+    def delete_where(self, predicate: RowExpression) -> Snapshot:
+        """Row-level delete: copy-on-write rewrite of affected files."""
+        return self._rewrite(predicate, update=None, operation="delete")
+
+    def update_where(
+        self,
+        predicate: RowExpression,
+        update: Callable[[tuple], tuple],
+    ) -> Snapshot:
+        """Row-level update: matching rows are transformed, others kept."""
+        return self._rewrite(predicate, update=update, operation="overwrite")
+
+    def _rewrite(
+        self,
+        predicate: RowExpression,
+        update: Optional[Callable[[tuple], tuple]],
+        operation: str,
+    ) -> Snapshot:
+        column_names = [n for n, _ in self.columns]
+        kept_files: list[DataFile] = []
+        rewritten: list[DataFile] = []
+        for data_file in self.current_snapshot().files:
+            rows = self._read_file_rows(data_file)
+            matches = self._matching_mask(rows, predicate)
+            if not any(matches):
+                kept_files.append(data_file)  # untouched files stay as-is
+                continue
+            new_rows: list[tuple] = []
+            for row, matched in zip(rows, matches):
+                if not matched:
+                    new_rows.append(row)
+                elif update is not None:
+                    new_rows.append(update(row))
+            if new_rows:
+                rewritten.append(self._write_data_file(new_rows))
+        return self._commit(operation, kept_files + rewritten)
+
+    # -- reads ---------------------------------------------------------------------
+
+    def _read_file_rows(self, data_file: DataFile) -> list[tuple]:
+        file = ParquetFile(self.filesystem.open(data_file.path))
+        reader = NewParquetReader(file, [n for n, _ in self.columns])
+        return [row for page in reader.read_pages() for row in page.loaded().rows()]
+
+    def _matching_mask(
+        self, rows: list[tuple], predicate: RowExpression
+    ) -> list[bool]:
+        from repro.core.blocks import block_from_values
+
+        if not rows:
+            return []
+        bindings: dict[str, Block] = {}
+        for index, (name, presto_type) in enumerate(self.columns):
+            bindings[name] = block_from_values(
+                presto_type, [row[index] for row in rows]
+            )
+        mask = self._evaluator.filter_mask(predicate, bindings, len(rows))
+        return [bool(m) for m in mask]
+
+    def scan_files(self, snapshot_id: Optional[int] = None) -> tuple[Snapshot, tuple[DataFile, ...]]:
+        snapshot = (
+            self.current_snapshot() if snapshot_id is None else self.snapshot(snapshot_id)
+        )
+        return snapshot, snapshot.files

@@ -1,0 +1,157 @@
+"""In-memory connector.
+
+The simplest connector: tables are Python row lists held in memory, split
+into fixed-size shards for parallel scanning.  It supports projection
+pushdown (trivially — it only materializes requested columns) and declines
+filter/limit/aggregation pushdown, making it the baseline against which the
+pushdown-capable connectors (Druid, Pinot, MySQL) are compared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.common.errors import ConnectorError
+from repro.core.page import Page
+from repro.core.types import PrestoType
+from repro.connectors.spi import (
+    ColumnMetadata,
+    Connector,
+    ConnectorMetadata,
+    ConnectorRecordSetProvider,
+    ConnectorSplit,
+    ConnectorSplitManager,
+    ConnectorTableHandle,
+    TableMetadata,
+)
+
+
+class _MemoryTable:
+    def __init__(self, metadata: TableMetadata, rows: list[tuple]) -> None:
+        self.metadata = metadata
+        self.rows = rows
+
+
+class MemoryConnector(Connector):
+    """Connector over in-memory row lists, sharded into splits."""
+
+    name = "memory"
+
+    def __init__(self, split_size: int = 10_000) -> None:
+        self._tables: dict[tuple[str, str], _MemoryTable] = {}
+        self._split_size = split_size
+        self._metadata = _MemoryMetadata(self)
+        self._split_manager = _MemorySplitManager(self)
+        self._provider = _MemoryRecordSetProvider(self)
+
+    # -- population API ----------------------------------------------------
+
+    def create_table(
+        self,
+        schema_name: str,
+        table_name: str,
+        columns: Sequence[tuple[str, PrestoType]],
+        rows: Sequence[Sequence[Any]] = (),
+    ) -> None:
+        """Create (or replace) a table with the given columns and rows."""
+        metadata = TableMetadata(
+            schema_name,
+            table_name,
+            tuple(ColumnMetadata(n, t) for n, t in columns),
+        )
+        self._tables[(schema_name, table_name)] = _MemoryTable(
+            metadata, [tuple(r) for r in rows]
+        )
+
+    def insert(self, schema_name: str, table_name: str, rows: Sequence[Sequence[Any]]) -> None:
+        table = self._table(schema_name, table_name)
+        table.rows.extend(tuple(r) for r in rows)
+
+    def _table(self, schema_name: str, table_name: str) -> _MemoryTable:
+        table = self._tables.get((schema_name, table_name))
+        if table is None:
+            raise ConnectorError(f"memory table {schema_name}.{table_name} does not exist")
+        return table
+
+    # -- SPI ---------------------------------------------------------------
+
+    def metadata(self) -> ConnectorMetadata:
+        return self._metadata
+
+    def split_manager(self) -> ConnectorSplitManager:
+        return self._split_manager
+
+    def record_set_provider(self) -> ConnectorRecordSetProvider:
+        return self._provider
+
+
+class _MemoryMetadata(ConnectorMetadata):
+    def __init__(self, connector: MemoryConnector) -> None:
+        self._connector = connector
+
+    def list_schemas(self) -> list[str]:
+        return sorted({s for s, _ in self._connector._tables})
+
+    def list_tables(self, schema_name: str) -> list[str]:
+        return sorted(t for s, t in self._connector._tables if s == schema_name)
+
+    def get_table_handle(
+        self, schema_name: str, table_name: str
+    ) -> Optional[ConnectorTableHandle]:
+        if (schema_name, table_name) in self._connector._tables:
+            return ConnectorTableHandle(schema_name, table_name)
+        return None
+
+    def get_table_metadata(self, handle: ConnectorTableHandle) -> TableMetadata:
+        return self._connector._table(handle.schema_name, handle.table_name).metadata
+
+    def apply_projection(
+        self, handle: ConnectorTableHandle, columns: Sequence[str]
+    ) -> Optional[ConnectorTableHandle]:
+        return handle.with_(projected_columns=tuple(columns))
+
+
+class _MemorySplitManager(ConnectorSplitManager):
+    def __init__(self, connector: MemoryConnector) -> None:
+        self._connector = connector
+
+    def get_splits(self, handle: ConnectorTableHandle) -> list[ConnectorSplit]:
+        table = self._connector._table(handle.schema_name, handle.table_name)
+        size = self._connector._split_size
+        splits = []
+        total = len(table.rows)
+        for start in range(0, max(total, 1), size):
+            end = min(start + size, total)
+            splits.append(
+                ConnectorSplit(
+                    split_id=f"memory:{handle.schema_name}.{handle.table_name}:{start}-{end}",
+                    # Row count doubles as the data version: inserts bump it.
+                    info=(("start", start), ("end", end), ("data_version", total)),
+                )
+            )
+        return splits
+
+
+class _MemoryRecordSetProvider(ConnectorRecordSetProvider):
+    PAGE_SIZE = 4096
+
+    def __init__(self, connector: MemoryConnector) -> None:
+        self._connector = connector
+
+    def pages(
+        self,
+        handle: ConnectorTableHandle,
+        split: ConnectorSplit,
+        columns: Sequence[str],
+    ) -> Iterator[Page]:
+        table = self._connector._table(handle.schema_name, handle.table_name)
+        info = split.info_dict()
+        rows = table.rows[info["start"] : info["end"]]
+        all_names = table.metadata.column_names()
+        indexes = [all_names.index(c) for c in columns]
+        types = [table.metadata.column(c).type for c in columns]
+        for start in range(0, len(rows), self.PAGE_SIZE):
+            chunk = rows[start : start + self.PAGE_SIZE]
+            yield Page.from_rows(types, [tuple(row[i] for i in indexes) for row in chunk])
+        if not rows:
+            yield Page.from_rows(types, [])

@@ -1,0 +1,29 @@
+"""Simulated real-time OLAP stores (Druid, Pinot) and their connectors.
+
+Section IV.B: "Druid and Pinot are real time systems, which have in memory
+bitmap indices, inverted indices, pre-aggregations or dictionaries,
+enabling sub-second query latency ... they only have limited support for
+joins and subquery.  Presto connectors bridge the gap."
+"""
+
+from repro.connectors.realtime.store import (
+    NativeQuery,
+    RealtimeOlapStore,
+    Segment,
+    StoreCostModel,
+)
+from repro.connectors.realtime.connector import RealtimeOlapConnector
+from repro.connectors.realtime.druid import DruidCluster, DruidConnector
+from repro.connectors.realtime.pinot import PinotCluster, PinotConnector
+
+__all__ = [
+    "NativeQuery",
+    "RealtimeOlapStore",
+    "Segment",
+    "StoreCostModel",
+    "RealtimeOlapConnector",
+    "DruidCluster",
+    "DruidConnector",
+    "PinotCluster",
+    "PinotConnector",
+]

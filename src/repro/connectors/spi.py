@@ -1,0 +1,247 @@
+"""Connector Service Provider Interface.
+
+The four interfaces the paper names in section IV, plus the pushdown
+negotiation surface of sections IV.A and IV.B:
+
+- :class:`ConnectorMetadata` — "defines schemas, tables, columns etc."
+- :class:`ConnectorSplitManager` — "defines how Presto divide the
+  underlying data into splits, and process them in parallel."
+- :class:`ConnectorSplit` — "defines one processing unit, or one shard of
+  underlying data."
+- :class:`ConnectorRecordSetProvider` — "defines upon getting data streams
+  from underlying systems, how Presto parse and transform them into Presto
+  engine" (pages).
+
+Pushdown contracts return ``None`` when the connector cannot absorb the
+construct, in which case the engine evaluates it itself.  Expressions cross
+this boundary as serialized RowExpression dicts — the self-contained
+representation of Table I — and are deserialized connector-side, which is
+how real Presto keeps connectors decoupled from engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.common.errors import ConnectorError
+from repro.core.expressions import RowExpression
+from repro.core.functions import FunctionHandle
+from repro.core.page import Page
+from repro.core.types import PrestoType
+
+
+@dataclass(frozen=True)
+class ColumnMetadata:
+    """One column of a connector table."""
+
+    name: str
+    type: PrestoType
+    comment: str = ""
+
+
+@dataclass(frozen=True)
+class TableMetadata:
+    """Schema of one connector table."""
+
+    schema_name: str
+    table_name: str
+    columns: tuple[ColumnMetadata, ...]
+
+    def column(self, name: str) -> ColumnMetadata:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise ConnectorError(f"column {name!r} not found in {self.schema_name}.{self.table_name}")
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+@dataclass(frozen=True)
+class ConnectorTableHandle:
+    """Opaque-to-the-engine handle identifying a table plus absorbed pushdowns.
+
+    ``constraint`` / ``limit`` / ``aggregation`` record what the connector
+    has agreed to evaluate natively; ``projected_columns`` records projection
+    pushdown.  All pushed expressions are stored in serialized form so the
+    handle itself stays self-contained.
+    """
+
+    schema_name: str
+    table_name: str
+    constraint: Optional[dict] = None  # serialized RowExpression
+    limit: Optional[int] = None
+    projected_columns: Optional[tuple[str, ...]] = None
+    aggregation: Optional[dict] = None  # serialized AggregationPushdown spec
+
+    def with_(self, **updates: Any) -> "ConnectorTableHandle":
+        return replace(self, **updates)
+
+
+@dataclass(frozen=True)
+class ConnectorSplit:
+    """One shard of underlying data, the unit of parallel processing."""
+
+    split_id: str
+    # Hosts that hold this split's data; the affinity scheduler prefers them.
+    addresses: tuple[str, ...] = ()
+    # Connector-specific payload (file path, segment id, row range, ...).
+    info: tuple[tuple[str, Any], ...] = ()
+
+    def info_dict(self) -> dict:
+        return dict(self.info)
+
+
+@dataclass(frozen=True)
+class AggregationFunction:
+    """One aggregate offered for pushdown: resolved handle + input columns."""
+
+    function_handle: FunctionHandle
+    inputs: tuple[str, ...]  # column names
+    output_name: str
+
+    def to_dict(self) -> dict:
+        return {
+            "functionHandle": self.function_handle.to_dict(),
+            "inputs": list(self.inputs),
+            "outputName": self.output_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AggregationFunction":
+        return cls(
+            FunctionHandle.from_dict(data["functionHandle"]),
+            tuple(data["inputs"]),
+            data["outputName"],
+        )
+
+
+@dataclass(frozen=True)
+class FilterPushdownResult:
+    """Outcome of offering a filter to a connector.
+
+    ``handle`` has absorbed what the connector can evaluate;
+    ``remaining_expression`` (serialized) is what the engine must still
+    evaluate itself; ``None`` remaining means fully absorbed.
+    """
+
+    handle: ConnectorTableHandle
+    remaining_expression: Optional[dict]
+
+
+@dataclass(frozen=True)
+class AggregationPushdownResult:
+    """Outcome of offering an aggregation to a connector.
+
+    ``output_columns`` describes the (grouping keys + aggregate results)
+    the connector will stream back, in order.
+    """
+
+    handle: ConnectorTableHandle
+    output_columns: tuple[ColumnMetadata, ...]
+
+
+class ConnectorMetadata:
+    """Schemas, tables, columns — and the pushdown negotiation surface."""
+
+    def list_schemas(self) -> list[str]:
+        raise NotImplementedError
+
+    def list_tables(self, schema_name: str) -> list[str]:
+        raise NotImplementedError
+
+    def get_table_handle(self, schema_name: str, table_name: str) -> Optional[ConnectorTableHandle]:
+        raise NotImplementedError
+
+    def get_table_metadata(self, handle: ConnectorTableHandle) -> TableMetadata:
+        raise NotImplementedError
+
+    # -- pushdown negotiation (sections IV.A / IV.B) -----------------------
+
+    def apply_filter(
+        self, handle: ConnectorTableHandle, predicate: RowExpression
+    ) -> Optional[FilterPushdownResult]:
+        """Offer ``predicate`` for native evaluation.  Default: decline."""
+        return None
+
+    def apply_limit(
+        self, handle: ConnectorTableHandle, limit: int
+    ) -> Optional[ConnectorTableHandle]:
+        """Offer a row limit.  Default: decline."""
+        return None
+
+    def apply_projection(
+        self, handle: ConnectorTableHandle, columns: Sequence[str]
+    ) -> Optional[ConnectorTableHandle]:
+        """Offer a column projection.  Default: decline."""
+        return None
+
+    def apply_aggregation(
+        self,
+        handle: ConnectorTableHandle,
+        aggregations: Sequence[AggregationFunction],
+        grouping_columns: Sequence[str],
+    ) -> Optional[AggregationPushdownResult]:
+        """Offer an aggregation (section IV.B).  Default: decline."""
+        return None
+
+
+class ConnectorSplitManager:
+    """Divides a table (as constrained by its handle) into parallel splits."""
+
+    def get_splits(self, handle: ConnectorTableHandle) -> list[ConnectorSplit]:
+        raise NotImplementedError
+
+
+class ConnectorRecordSetProvider:
+    """Streams a split's data into the engine as pages."""
+
+    def pages(
+        self,
+        handle: ConnectorTableHandle,
+        split: ConnectorSplit,
+        columns: Sequence[str],
+    ) -> Iterator[Page]:
+        raise NotImplementedError
+
+
+class Connector:
+    """A bundle of the four SPI objects, registered under a catalog name."""
+
+    name: str = "connector"
+
+    def metadata(self) -> ConnectorMetadata:
+        raise NotImplementedError
+
+    def split_manager(self) -> ConnectorSplitManager:
+        raise NotImplementedError
+
+    def record_set_provider(self) -> ConnectorRecordSetProvider:
+        raise NotImplementedError
+
+
+class Catalog:
+    """Registry of connectors by catalog name.
+
+    ``catalog.schema.table`` naming (section IV) resolves through here:
+    the catalog part selects the connector.
+    """
+
+    def __init__(self) -> None:
+        self._connectors: dict[str, Connector] = {}
+
+    def register(self, catalog_name: str, connector: Connector) -> None:
+        self._connectors[catalog_name.lower()] = connector
+
+    def connector(self, catalog_name: str) -> Connector:
+        connector = self._connectors.get(catalog_name.lower())
+        if connector is None:
+            raise ConnectorError(f"catalog {catalog_name!r} not registered")
+        return connector
+
+    def has_catalog(self, catalog_name: str) -> bool:
+        return catalog_name.lower() in self._connectors
+
+    def catalog_names(self) -> list[str]:
+        return sorted(self._connectors)

@@ -1,0 +1,490 @@
+"""Function registry and resolvable FunctionHandles.
+
+Section IV.B: the AST-based pushdown representation "does not contain type
+information as well as enough information to perform function resolution.
+We resolve this by storing function resolution information in the expression
+representation itself as a serializable functionHandle."
+
+A :class:`FunctionHandle` is the serializable identity of one resolved
+function: name plus exact argument types plus return type.  Connectors on
+the far side of a pushdown can re-resolve the handle against their own copy
+of the registry, which is what makes ``RowExpression`` self-contained.
+
+Scalar functions carry an optional *vectorized* implementation operating on
+numpy arrays (the Python stand-in for Presto's ASM code generation) and
+always carry a row-at-a-time fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import SemanticError
+from repro.core.types import (
+    ArrayType,
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    GEOMETRY,
+    INTEGER,
+    MapType,
+    PrestoType,
+    TIMESTAMP,
+    UNKNOWN,
+    VARCHAR,
+    common_super_type,
+    parse_type,
+)
+
+
+@dataclass(frozen=True)
+class FunctionHandle:
+    """Serializable identity of one resolved function."""
+
+    name: str
+    argument_types: tuple[str, ...]
+    return_type: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "argumentTypes": list(self.argument_types),
+            "returnType": self.return_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionHandle":
+        return cls(data["name"], tuple(data["argumentTypes"]), data["returnType"])
+
+    def resolved_return_type(self) -> PrestoType:
+        return parse_type(self.return_type)
+
+
+@dataclass
+class ScalarFunction:
+    """One resolvable scalar function overload family.
+
+    ``resolve`` maps concrete argument types to a return type (or ``None``
+    if this family does not apply).  ``vectorized`` operates on numpy value
+    arrays (nulls already masked out by the evaluator); ``row_fn`` is the
+    per-row fallback and the reference semantics.
+    """
+
+    name: str
+    resolve: Callable[[Sequence[PrestoType]], Optional[PrestoType]]
+    row_fn: Callable[..., Any]
+    vectorized: Optional[Callable[..., np.ndarray]] = None
+    deterministic: bool = True
+
+
+@dataclass
+class AggregateFunction:
+    """One aggregate function: create/add/merge/finalize state machine."""
+
+    name: str
+    resolve: Callable[[Sequence[PrestoType]], Optional[PrestoType]]
+    create_state: Callable[[], Any]
+    add_input: Callable[[Any, tuple], Any]
+    merge: Callable[[Any, Any], Any]
+    finalize: Callable[[Any], Any]
+
+
+class FunctionRegistry:
+    """Registry resolving (name, argument types) to implementations."""
+
+    def __init__(self) -> None:
+        self._scalars: dict[str, list[ScalarFunction]] = {}
+        self._aggregates: dict[str, list[AggregateFunction]] = {}
+        _register_builtin_scalars(self)
+        _register_builtin_aggregates(self)
+
+    # -- registration -----------------------------------------------------
+
+    def register_scalar(self, function: ScalarFunction) -> None:
+        self._scalars.setdefault(function.name.lower(), []).append(function)
+
+    def register_aggregate(self, function: AggregateFunction) -> None:
+        self._aggregates.setdefault(function.name.lower(), []).append(function)
+
+    # -- resolution --------------------------------------------------------
+
+    def is_aggregate(self, name: str) -> bool:
+        return name.lower() in self._aggregates
+
+    def resolve_scalar(
+        self, name: str, argument_types: Sequence[PrestoType]
+    ) -> tuple[FunctionHandle, ScalarFunction]:
+        """Resolve a scalar call, returning its handle and implementation."""
+        overloads = self._scalars.get(name.lower())
+        if not overloads:
+            raise SemanticError(f"unknown function: {name}")
+        for fn in overloads:
+            return_type = fn.resolve(argument_types)
+            if return_type is not None:
+                handle = FunctionHandle(
+                    name.lower(),
+                    tuple(t.display() for t in argument_types),
+                    return_type.display(),
+                )
+                return handle, fn
+        rendered = ", ".join(t.display() for t in argument_types)
+        raise SemanticError(f"no overload of {name}({rendered})")
+
+    def resolve_aggregate(
+        self, name: str, argument_types: Sequence[PrestoType]
+    ) -> tuple[FunctionHandle, AggregateFunction]:
+        overloads = self._aggregates.get(name.lower())
+        if not overloads:
+            raise SemanticError(f"unknown aggregate function: {name}")
+        for fn in overloads:
+            return_type = fn.resolve(argument_types)
+            if return_type is not None:
+                handle = FunctionHandle(
+                    name.lower(),
+                    tuple(t.display() for t in argument_types),
+                    return_type.display(),
+                )
+                return handle, fn
+        rendered = ", ".join(t.display() for t in argument_types)
+        raise SemanticError(f"no overload of aggregate {name}({rendered})")
+
+    def implementation_for(self, handle: FunctionHandle) -> ScalarFunction:
+        """Re-resolve a handle (e.g. one deserialized inside a connector)."""
+        types = [parse_type(t) for t in handle.argument_types]
+        _, fn = self.resolve_scalar(handle.name, types)
+        return fn
+
+    def aggregate_for(self, handle: FunctionHandle) -> AggregateFunction:
+        types = [parse_type(t) for t in handle.argument_types]
+        _, fn = self.resolve_aggregate(handle.name, types)
+        return fn
+
+
+# ---------------------------------------------------------------------------
+# Built-in scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _numeric_pair(arg_types: Sequence[PrestoType]) -> Optional[PrestoType]:
+    if len(arg_types) != 2:
+        return None
+    out = common_super_type(arg_types[0], arg_types[1])
+    if out is not None and out.is_numeric():
+        return out
+    return None
+
+
+def _comparable_pair(arg_types: Sequence[PrestoType]) -> Optional[PrestoType]:
+    if len(arg_types) != 2:
+        return None
+    a, b = arg_types
+    if common_super_type(a, b) is None:
+        return None
+    return BOOLEAN
+
+
+def _fixed(signature: Sequence[PrestoType], return_type: PrestoType):
+    expected = tuple(signature)
+
+    def resolve(arg_types: Sequence[PrestoType]) -> Optional[PrestoType]:
+        if len(arg_types) != len(expected):
+            return None
+        for got, want in zip(arg_types, expected):
+            if got is UNKNOWN:
+                continue
+            if common_super_type(got, want) != want:
+                return None
+        return return_type
+
+    return resolve
+
+
+def _div(a: Any, b: Any) -> Any:
+    if b == 0:
+        raise ZeroDivisionError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        # Presto integer division truncates toward zero.
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def _vec_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by zero")
+    if a.dtype.kind in "iu" and b.dtype.kind in "iu":
+        q = np.abs(a) // np.abs(b)
+        return np.where((a >= 0) == (b >= 0), q, -q)
+    return a / b
+
+
+def _mod(a: Any, b: Any) -> Any:
+    if b == 0:
+        raise ZeroDivisionError("modulo by zero")
+    return int(np.fmod(a, b)) if isinstance(a, int) and isinstance(b, int) else float(np.fmod(a, b))
+
+
+def _register_builtin_scalars(registry: FunctionRegistry) -> None:
+    def scalar(name, resolve, row_fn, vectorized=None):
+        registry.register_scalar(ScalarFunction(name, resolve, row_fn, vectorized))
+
+    # Arithmetic
+    scalar("add", _numeric_pair, lambda a, b: a + b, lambda a, b: a + b)
+    scalar("subtract", _numeric_pair, lambda a, b: a - b, lambda a, b: a - b)
+    scalar("multiply", _numeric_pair, lambda a, b: a * b, lambda a, b: a * b)
+    scalar("divide", _numeric_pair, _div, _vec_div)
+    scalar("modulus", _numeric_pair, _mod, lambda a, b: np.fmod(a, b))
+    scalar(
+        "negate",
+        lambda ts: ts[0] if len(ts) == 1 and ts[0].is_numeric() else None,
+        lambda a: -a,
+        lambda a: -a,
+    )
+
+    # Comparison (equals works on any comparable pair, including varchar)
+    scalar("equal", _comparable_pair, lambda a, b: a == b, lambda a, b: a == b)
+    scalar("not_equal", _comparable_pair, lambda a, b: a != b, lambda a, b: a != b)
+    scalar("less_than", _comparable_pair, lambda a, b: a < b, lambda a, b: a < b)
+    scalar("less_than_or_equal", _comparable_pair, lambda a, b: a <= b, lambda a, b: a <= b)
+    scalar("greater_than", _comparable_pair, lambda a, b: a > b, lambda a, b: a > b)
+    scalar("greater_than_or_equal", _comparable_pair, lambda a, b: a >= b, lambda a, b: a >= b)
+
+    # Boolean
+    scalar("not", _fixed([BOOLEAN], BOOLEAN), lambda a: not a, lambda a: ~a)
+
+    # String functions
+    scalar("lower", _fixed([VARCHAR], VARCHAR), lambda s: s.lower())
+    scalar("upper", _fixed([VARCHAR], VARCHAR), lambda s: s.upper())
+    scalar("length", _fixed([VARCHAR], BIGINT), lambda s: len(s))
+    scalar("concat", _fixed([VARCHAR, VARCHAR], VARCHAR), lambda a, b: a + b)
+    scalar(
+        "substr",
+        _fixed([VARCHAR, BIGINT, BIGINT], VARCHAR),
+        lambda s, start, length: s[int(start) - 1 : int(start) - 1 + int(length)],
+    )
+    scalar(
+        "substr",
+        _fixed([VARCHAR, BIGINT], VARCHAR),
+        lambda s, start: s[int(start) - 1 :],
+    )
+    scalar("strpos", _fixed([VARCHAR, VARCHAR], BIGINT), lambda s, sub: s.find(sub) + 1)
+    scalar(
+        "like",
+        _fixed([VARCHAR, VARCHAR], BOOLEAN),
+        _like_match,
+    )
+
+    # Math
+    scalar("abs", lambda ts: ts[0] if len(ts) == 1 and ts[0].is_numeric() else None, abs, np.abs)
+    scalar("sqrt", _fixed([DOUBLE], DOUBLE), lambda a: float(np.sqrt(a)), np.sqrt)
+    scalar("floor", _fixed([DOUBLE], DOUBLE), lambda a: float(np.floor(a)), np.floor)
+    scalar("ceil", _fixed([DOUBLE], DOUBLE), lambda a: float(np.ceil(a)), np.ceil)
+    scalar("round", _fixed([DOUBLE], DOUBLE), lambda a: float(np.round(a)), np.round)
+    scalar("power", _fixed([DOUBLE, DOUBLE], DOUBLE), lambda a, b: float(a) ** float(b))
+    scalar("ln", _fixed([DOUBLE], DOUBLE), lambda a: float(np.log(a)), np.log)
+
+    # Casts — strict engine, but explicit CAST is allowed.
+    def resolve_cast_to(target: PrestoType):
+        def resolve(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+            return target if len(ts) == 1 else None
+
+        return resolve
+
+    scalar("cast_bigint", resolve_cast_to(BIGINT), lambda v: int(v))
+    scalar("cast_integer", resolve_cast_to(INTEGER), lambda v: int(v))
+    scalar("cast_double", resolve_cast_to(DOUBLE), lambda v: float(v))
+    scalar("cast_varchar", resolve_cast_to(VARCHAR), _cast_varchar)
+    scalar("cast_boolean", resolve_cast_to(BOOLEAN), _cast_boolean)
+    scalar("cast_date", resolve_cast_to(DATE), lambda v: str(v))
+    scalar("cast_timestamp", resolve_cast_to(TIMESTAMP), lambda v: str(v))
+
+    # Collection functions
+    scalar(
+        "cardinality",
+        lambda ts: BIGINT if len(ts) == 1 and isinstance(ts[0], (ArrayType, MapType)) else None,
+        lambda c: len(c),
+    )
+    scalar(
+        "element_at",
+        _resolve_element_at,
+        _element_at,
+    )
+    scalar(
+        "contains",
+        lambda ts: BOOLEAN if len(ts) == 2 and isinstance(ts[0], ArrayType) else None,
+        lambda arr, v: v in arr,
+    )
+    scalar(
+        "array_max",
+        lambda ts: ts[0].element_type if len(ts) == 1 and isinstance(ts[0], ArrayType) else None,
+        lambda arr: max(arr) if arr else None,
+    )
+    scalar(
+        "map_keys",
+        lambda ts: ArrayType(ts[0].key_type) if len(ts) == 1 and isinstance(ts[0], MapType) else None,
+        lambda m: list(m.keys()),
+    )
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE: % matches any run, _ matches one character."""
+    import re
+
+    regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
+    return re.match(regex, value, flags=re.DOTALL) is not None
+
+
+def _cast_varchar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value == int(value):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _cast_boolean(value: Any) -> bool:
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered in ("true", "t", "1"):
+            return True
+        if lowered in ("false", "f", "0"):
+            return False
+        raise ValueError(f"cannot cast {value!r} to boolean")
+    return bool(value)
+
+
+def _resolve_element_at(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+    if len(ts) != 2:
+        return None
+    if isinstance(ts[0], ArrayType):
+        return ts[0].element_type
+    if isinstance(ts[0], MapType):
+        return ts[0].value_type
+    return None
+
+
+def _element_at(collection: Any, key: Any) -> Any:
+    if isinstance(collection, list):
+        index = int(key)
+        if index < 1 or index > len(collection):
+            return None
+        return collection[index - 1]
+    return collection.get(key)
+
+
+# ---------------------------------------------------------------------------
+# Built-in aggregate functions
+# ---------------------------------------------------------------------------
+
+
+def _register_builtin_aggregates(registry: FunctionRegistry) -> None:
+    def aggregate(name, resolve, create, add, merge, finalize):
+        registry.register_aggregate(
+            AggregateFunction(name, resolve, create, add, merge, finalize)
+        )
+
+    def resolve_count(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+        return BIGINT if len(ts) <= 1 else None
+
+    aggregate(
+        "count",
+        resolve_count,
+        lambda: 0,
+        lambda state, args: state + (1 if not args or args[0] is not None else 0),
+        lambda a, b: a + b,
+        lambda state: state,
+    )
+
+    def resolve_numeric_agg(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+        if len(ts) == 1 and ts[0].is_numeric():
+            return ts[0]
+        return None
+
+    aggregate(
+        "sum",
+        resolve_numeric_agg,
+        lambda: None,
+        lambda state, args: state if args[0] is None else (args[0] if state is None else state + args[0]),
+        lambda a, b: b if a is None else (a if b is None else a + b),
+        lambda state: state,
+    )
+
+    def resolve_minmax(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+        if len(ts) == 1 and ts[0].is_orderable():
+            return ts[0]
+        return None
+
+    aggregate(
+        "min",
+        resolve_minmax,
+        lambda: None,
+        lambda state, args: state
+        if args[0] is None
+        else (args[0] if state is None or args[0] < state else state),
+        lambda a, b: b if a is None else (a if b is None else min(a, b)),
+        lambda state: state,
+    )
+    aggregate(
+        "max",
+        resolve_minmax,
+        lambda: None,
+        lambda state, args: state
+        if args[0] is None
+        else (args[0] if state is None or args[0] > state else state),
+        lambda a, b: b if a is None else (a if b is None else max(a, b)),
+        lambda state: state,
+    )
+
+    def resolve_avg(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+        if len(ts) == 1 and ts[0].is_numeric():
+            return DOUBLE
+        return None
+
+    aggregate(
+        "avg",
+        resolve_avg,
+        lambda: (0.0, 0),
+        lambda state, args: state if args[0] is None else (state[0] + args[0], state[1] + 1),
+        lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        lambda state: state[0] / state[1] if state[1] else None,
+    )
+
+    def resolve_any_to_bigint(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+        return BIGINT if len(ts) == 1 else None
+
+    # approx_distinct modeled with an exact set: correctness over memory.
+    aggregate(
+        "approx_distinct",
+        resolve_any_to_bigint,
+        lambda: set(),
+        lambda state, args: state if args[0] is None else (state.add(args[0]) or state),
+        lambda a, b: a | b,
+        lambda state: len(state),
+    )
+
+    def resolve_array_agg(ts: Sequence[PrestoType]) -> Optional[PrestoType]:
+        return ArrayType(ts[0]) if len(ts) == 1 else None
+
+    aggregate(
+        "array_agg",
+        resolve_array_agg,
+        lambda: [],
+        lambda state, args: state + [args[0]] if args[0] is not None else state,
+        lambda a, b: a + b,
+        lambda state: state,
+    )
+
+
+_DEFAULT_REGISTRY: Optional[FunctionRegistry] = None
+
+
+def default_registry() -> FunctionRegistry:
+    """Process-wide registry; geo plugin functions register here on import."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = FunctionRegistry()
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,107 @@
+"""Pages: the unit of data flow between operators.
+
+A :class:`Page` is a batch of rows represented as parallel columnar blocks.
+Operators consume and produce pages; connectors stream pages into the
+engine ("Hadoop data and MySQL data are streamed in Presto pages into the
+Presto engine", section IV.A).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.blocks import Block, block_from_values
+from repro.core.types import PrestoType
+
+
+class Page:
+    """An immutable batch of columnar blocks with equal position counts."""
+
+    def __init__(self, blocks: list[Block], position_count: int | None = None) -> None:
+        if position_count is None:
+            if not blocks:
+                raise ValueError("empty page needs an explicit position count")
+            position_count = blocks[0].position_count
+        for block in blocks:
+            if block.position_count != position_count:
+                raise ValueError(
+                    f"block has {block.position_count} positions, page has {position_count}"
+                )
+        self.blocks = blocks
+        self.position_count = position_count
+
+    @classmethod
+    def from_columns(
+        cls, types: Sequence[PrestoType], columns: Sequence[Sequence[Any]]
+    ) -> "Page":
+        """Build a page from per-column Python value lists."""
+        if len(types) != len(columns):
+            raise ValueError("types/columns length mismatch")
+        n = len(columns[0]) if columns else 0
+        blocks = [block_from_values(t, c) for t, c in zip(types, columns)]
+        return cls(blocks, n)
+
+    @classmethod
+    def from_rows(cls, types: Sequence[PrestoType], rows: Sequence[Sequence[Any]]) -> "Page":
+        """Build a page from row tuples (convenience for tests/workloads)."""
+        columns = [[row[i] for row in rows] for i in range(len(types))]
+        if not rows:
+            columns = [[] for _ in types]
+        return cls.from_columns(types, columns)
+
+    @property
+    def channel_count(self) -> int:
+        return len(self.blocks)
+
+    def block(self, channel: int) -> Block:
+        return self.blocks[channel]
+
+    def take(self, positions: np.ndarray) -> "Page":
+        """Select a subset of positions (filter result) across all blocks."""
+        return Page([b.take(positions) for b in self.blocks], len(positions))
+
+    def select_channels(self, channels: Sequence[int]) -> "Page":
+        """Project to a subset/reordering of channels."""
+        return Page([self.blocks[c] for c in channels], self.position_count)
+
+    def append_block(self, block: Block) -> "Page":
+        if block.position_count != self.position_count:
+            raise ValueError("appended block position count mismatch")
+        return Page(self.blocks + [block], self.position_count)
+
+    def loaded(self) -> "Page":
+        """Force all lazy blocks."""
+        return Page([b.loaded() for b in self.blocks], self.position_count)
+
+    def row(self, position: int) -> tuple:
+        return tuple(b.get(position) for b in self.blocks)
+
+    def rows(self) -> Iterator[tuple]:
+        for i in range(self.position_count):
+            yield self.row(i)
+
+    def to_rows(self) -> list[tuple]:
+        return list(self.rows())
+
+    def size_in_bytes(self) -> int:
+        return sum(b.size_in_bytes() for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"Page(channels={self.channel_count}, positions={self.position_count})"
+
+
+def concat_pages(types: Sequence[PrestoType], pages: Sequence[Page]) -> Page:
+    """Concatenate pages row-wise into a single page.
+
+    Used by final operators (Output, aggregation build) and tests.  Goes
+    through Python values for simplicity; hot paths keep pages separate.
+    """
+    if not pages:
+        return Page.from_columns(types, [[] for _ in types])
+    columns: list[list[Any]] = [[] for _ in types]
+    for page in pages:
+        for channel in range(len(types)):
+            columns[channel].extend(page.block(channel).loaded().to_list())
+    return Page.from_columns(types, columns)

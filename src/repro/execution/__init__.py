@@ -1,0 +1,23 @@
+"""Query execution: operators, driver, coordinator/worker control plane.
+
+Section III: a plan is divided into fragments; "each running plan fragment
+is called a stage ... Stage consists of tasks, which are processing one or
+many splits of input data."  In this single-process reproduction the data
+plane executes as a pull-based pipeline of vectorized operators
+(:mod:`repro.execution.driver`), while the control plane — coordinator,
+workers, task scheduling, graceful shutdown — is modeled explicitly in
+:mod:`repro.execution.cluster` for the federation and elasticity
+experiments.
+"""
+
+from repro.execution.context import ExecutionContext, QueryStats
+from repro.execution.driver import execute_plan
+from repro.execution.engine import PrestoEngine, QueryResult
+
+__all__ = [
+    "ExecutionContext",
+    "QueryStats",
+    "execute_plan",
+    "PrestoEngine",
+    "QueryResult",
+]

@@ -1,0 +1,309 @@
+"""Cluster control plane: coordinator, workers, scheduling, elasticity.
+
+A discrete-event simulation of one Presto cluster's control plane:
+
+- the **coordinator** admits queries, plans them (cost grows with worker
+  count and concurrency — it "could become the bottleneck ... bigger than
+  1000 machines, or more than 500 complex queries running concurrently",
+  section VIII), and assigns splits to worker execution slots;
+- **workers** process split work in parallel slots and support the
+  graceful shutdown protocol of section IX: SHUTTING_DOWN → sleep grace
+  period → coordinator stops sending tasks → drain active tasks → sleep
+  grace period again → shut down;
+- **expansion** is a registration: "New workers are automatically added to
+  the existing cluster."
+
+Time is fully simulated; `run_until_idle` drives the event loop.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ExecutionError
+
+
+class WorkerState(enum.Enum):
+    ACTIVE = "active"
+    SHUTTING_DOWN = "shutting_down"
+    SHUT_DOWN = "shut_down"
+
+
+DEFAULT_GRACE_PERIOD_MS = 120_000.0  # shutdown.grace-period: 2 minutes
+
+
+@dataclass
+class SplitWork:
+    """One unit of work: occupies one slot for ``duration_ms``.
+
+    ``data_key`` identifies the underlying data (e.g. a file path); with
+    affinity scheduling, splits with the same key prefer the same worker,
+    whose local data cache then serves repeat reads faster.
+    """
+
+    query_id: str
+    duration_ms: float
+    data_key: Optional[str] = None
+
+
+@dataclass
+class Worker:
+    worker_id: str
+    slots: int
+    state: WorkerState = WorkerState.ACTIVE
+    running: int = 0
+    completed_splits: int = 0
+    shutdown_requested_at: Optional[float] = None
+    shutdown_visible_at: Optional[float] = None  # coordinator aware
+    shut_down_at: Optional[float] = None
+    # Local data cache (affinity scheduling): keys of split data this
+    # worker has read before.
+    cached_keys: set = field(default_factory=set)
+    cache_hits: int = 0
+
+    def has_capacity(self) -> bool:
+        return self.state is WorkerState.ACTIVE and self.running < self.slots
+
+    def schedulable(self, now_ms: float) -> bool:
+        """Whether the coordinator will send new tasks to this worker.
+
+        During the first grace period the coordinator has not yet observed
+        the shutdown and may still assign tasks.
+        """
+        if self.state is WorkerState.ACTIVE:
+            return self.running < self.slots
+        if self.state is WorkerState.SHUTTING_DOWN:
+            visible = self.shutdown_visible_at is not None and now_ms >= self.shutdown_visible_at
+            return not visible and self.running < self.slots
+        return False
+
+
+@dataclass
+class QueryExecution:
+    query_id: str
+    splits_total: int
+    splits_done: int = 0
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+    pending: list[SplitWork] = field(default_factory=list)
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class CoordinatorModel:
+    """The coordinator's capacity model.
+
+    Planning and tracking costs grow superlinearly with cluster size and
+    query concurrency, reproducing the section VIII bottleneck.
+    """
+
+    planning_base_ms: float = 50.0
+    worker_tracking_factor: float = 1000.0  # degradation knee (machines)
+    concurrency_factor: float = 500.0  # degradation knee (queries)
+
+    def planning_cost_ms(self, workers: int, concurrent_queries: int) -> float:
+        worker_load = (workers / self.worker_tracking_factor) ** 2
+        concurrency_load = (concurrent_queries / self.concurrency_factor) ** 2
+        return self.planning_base_ms * (1.0 + 4.0 * worker_load + 8.0 * concurrency_load)
+
+
+class PrestoClusterSim:
+    """One simulated Presto cluster (one coordinator, many workers)."""
+
+    def __init__(
+        self,
+        workers: int = 10,
+        slots_per_worker: int = 4,
+        clock: Optional[SimulatedClock] = None,
+        coordinator: Optional[CoordinatorModel] = None,
+        name: str = "cluster",
+        affinity_scheduling: bool = False,
+        cache_hit_speedup: float = 0.3,
+    ) -> None:
+        self.name = name
+        self.clock = clock or SimulatedClock()
+        self.coordinator = coordinator or CoordinatorModel()
+        self.slots_per_worker = slots_per_worker
+        # Affinity scheduling (section VII, RaptorX): route splits for the
+        # same data to the same worker so its local cache gets hits.
+        self.affinity_scheduling = affinity_scheduling
+        self.cache_hit_speedup = cache_hit_speedup
+        self.workers: dict[str, Worker] = {}
+        self._worker_ids = itertools.count()
+        self._query_ids = itertools.count()
+        self.queries: dict[str, QueryExecution] = {}
+        # Event heap: (time_ms, sequence, callback)
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._event_sequence = itertools.count()
+        for _ in range(workers):
+            self.add_worker()
+
+    # -- elasticity -----------------------------------------------------------
+
+    def add_worker(self, slots: Optional[int] = None) -> Worker:
+        """Expansion: a new worker registers and immediately takes tasks."""
+        worker = Worker(f"{self.name}-worker-{next(self._worker_ids)}", slots or self.slots_per_worker)
+        self.workers[worker.worker_id] = worker
+        self._schedule_pending()
+        return worker
+
+    def request_graceful_shutdown(
+        self, worker_id: str, grace_period_ms: float = DEFAULT_GRACE_PERIOD_MS
+    ) -> None:
+        """Section IX: worker enters SHUTTING_DOWN and drains."""
+        worker = self.workers[worker_id]
+        if worker.state is not WorkerState.ACTIVE:
+            return
+        now = self.clock.now_ms()
+        worker.state = WorkerState.SHUTTING_DOWN
+        worker.shutdown_requested_at = now
+        # After sleeping the grace period the coordinator is aware and
+        # stops sending tasks to the worker.
+        worker.shutdown_visible_at = now + grace_period_ms
+        self._at(now + grace_period_ms, lambda: self._try_finish_shutdown(worker, grace_period_ms))
+
+    def _try_finish_shutdown(self, worker: Worker, grace_period_ms: float) -> None:
+        if worker.state is not WorkerState.SHUTTING_DOWN:
+            return
+        if worker.running > 0:
+            # Still draining; check again when a split completes (events
+            # re-invoke this via _on_split_done).
+            return
+        # All tasks complete: sleep the grace period again so the
+        # coordinator sees completion, then shut down.
+        shutdown_time = self.clock.now_ms() + grace_period_ms
+
+        def finish() -> None:
+            worker.state = WorkerState.SHUT_DOWN
+            worker.shut_down_at = self.clock.now_ms()
+
+        self._at(shutdown_time, finish)
+
+    def active_worker_count(self) -> int:
+        return sum(1 for w in self.workers.values() if w.state is WorkerState.ACTIVE)
+
+    # -- query admission ----------------------------------------------------------
+
+    def submit_query(
+        self,
+        split_durations_ms: list[float],
+        query_id: Optional[str] = None,
+        split_keys: Optional[list[str]] = None,
+    ) -> QueryExecution:
+        """Admit a query whose work is the given split durations.
+
+        ``split_keys`` (optional, parallel to the durations) name the data
+        each split reads, enabling affinity scheduling and cache hits.
+        """
+        if not split_durations_ms:
+            raise ExecutionError("query needs at least one split")
+        if split_keys is not None and len(split_keys) != len(split_durations_ms):
+            raise ExecutionError("split_keys length must match split durations")
+        query_id = query_id or f"{self.name}-q{next(self._query_ids)}"
+        now = self.clock.now_ms()
+        execution = QueryExecution(
+            query_id, splits_total=len(split_durations_ms), submitted_at=now
+        )
+        self.queries[query_id] = execution
+        planning = self.coordinator.planning_cost_ms(
+            len([w for w in self.workers.values() if w.state is not WorkerState.SHUT_DOWN]),
+            self.running_query_count() + 1,
+        )
+        execution.started_at = now + planning
+        execution.pending = [
+            SplitWork(query_id, d, split_keys[i] if split_keys else None)
+            for i, d in enumerate(split_durations_ms)
+        ]
+        self._at(execution.started_at, self._schedule_pending)
+        return execution
+
+    def running_query_count(self) -> int:
+        return sum(1 for q in self.queries.values() if q.finished_at is None)
+
+    # -- event loop -----------------------------------------------------------------
+
+    def _at(self, time_ms: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (time_ms, next(self._event_sequence), callback))
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Process events until no work remains."""
+        processed = 0
+        while self._events:
+            time_ms, _, callback = heapq.heappop(self._events)
+            if time_ms > self.clock.now_ms():
+                self.clock.advance(time_ms - self.clock.now_ms())
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise ExecutionError("cluster simulation did not converge")
+
+    def _schedule_pending(self) -> None:
+        now = self.clock.now_ms()
+        for execution in self.queries.values():
+            if execution.finished_at is not None or now < execution.started_at:
+                continue
+            while execution.pending:
+                split = execution.pending[-1]
+                worker = self._pick_worker(now, split)
+                if worker is None:
+                    return  # no capacity; a completion event will reschedule
+                execution.pending.pop()
+                worker.running += 1
+                duration = split.duration_ms
+                if split.data_key is not None:
+                    if split.data_key in worker.cached_keys:
+                        worker.cache_hits += 1
+                        duration *= self.cache_hit_speedup
+                    else:
+                        worker.cached_keys.add(split.data_key)
+                self._at(
+                    now + duration,
+                    lambda w=worker, e=execution: self._on_split_done(w, e),
+                )
+
+    def _pick_worker(self, now_ms: float, split: Optional[SplitWork] = None) -> Optional[Worker]:
+        candidates = [w for w in self.workers.values() if w.schedulable(now_ms)]
+        if not candidates:
+            return None
+        if (
+            self.affinity_scheduling
+            and split is not None
+            and split.data_key is not None
+        ):
+            # Soft affinity: deterministic preferred worker by key hash;
+            # fall through to least-loaded when it has no free slot.
+            ordered = sorted(self.workers)
+            preferred_id = ordered[hash(split.data_key) % len(ordered)]
+            preferred = self.workers.get(preferred_id)
+            if preferred is not None and preferred.schedulable(now_ms):
+                return preferred
+        return min(candidates, key=lambda w: w.running / w.slots)
+
+    def _on_split_done(self, worker: Worker, execution: QueryExecution) -> None:
+        worker.running -= 1
+        worker.completed_splits += 1
+        execution.splits_done += 1
+        if execution.splits_done == execution.splits_total and not execution.pending:
+            execution.finished_at = self.clock.now_ms()
+        if worker.state is WorkerState.SHUTTING_DOWN and worker.running == 0:
+            visible = (
+                worker.shutdown_visible_at is not None
+                and self.clock.now_ms() >= worker.shutdown_visible_at
+            )
+            if visible:
+                self._try_finish_shutdown(
+                    worker,
+                    worker.shutdown_visible_at - worker.shutdown_requested_at,  # type: ignore[operator]
+                )
+        self._schedule_pending()

@@ -1,0 +1,62 @@
+"""Execution context shared by all operators of one query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.clock import SimulatedClock
+from repro.connectors.spi import Catalog
+from repro.core.evaluator import Evaluator
+from repro.core.functions import FunctionRegistry, default_registry
+from repro.planner.analyzer import Session
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated while a query runs."""
+
+    splits_scanned: int = 0
+    rows_scanned: int = 0
+    pages_produced: int = 0
+    rows_output: int = 0
+    peak_build_rows: int = 0
+    fragment_cache_hits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "splits_scanned": self.splits_scanned,
+            "rows_scanned": self.rows_scanned,
+            "pages_produced": self.pages_produced,
+            "rows_output": self.rows_output,
+            "peak_build_rows": self.peak_build_rows,
+            "fragment_cache_hits": self.fragment_cache_hits,
+        }
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs: catalog, evaluator, session, limits.
+
+    ``max_build_rows`` models cluster memory for join build sides; exceeding
+    it raises ``InsufficientResourcesError``, reproducing the
+    "Insufficient Resource" failures of section XII.C.
+    """
+
+    catalog: Catalog
+    session: Session = field(default_factory=Session)
+    registry: FunctionRegistry = field(default_factory=default_registry)
+    clock: Optional[SimulatedClock] = None
+    max_build_rows: int = 10_000_000
+    stats: QueryStats = field(default_factory=QueryStats)
+    # Fragment result cache (section VII): caches per-(leaf fragment,
+    # split) pages, keyed additionally by the split's data version.
+    fragment_cache: Optional[object] = None
+
+    _evaluator: Optional[Evaluator] = None
+
+    @property
+    def evaluator(self) -> Evaluator:
+        if self._evaluator is None:
+            self._evaluator = Evaluator(self.registry)
+        return self._evaluator

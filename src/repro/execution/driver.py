@@ -1,0 +1,86 @@
+"""Plan driver: compiles a plan tree into a pull-based page pipeline."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import ExecutionError
+from repro.core.page import Page
+from repro.execution.context import ExecutionContext
+from repro.execution.operators import (
+    execute_aggregation,
+    execute_filter,
+    execute_join,
+    execute_limit,
+    execute_project,
+    execute_sort,
+    execute_spatial_join,
+    execute_table_scan,
+    execute_topn,
+    execute_values,
+)
+from repro.planner.plan import (
+    AggregationNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    SpatialJoinNode,
+    TableScanNode,
+    TopNNode,
+    UnionNode,
+    ValuesNode,
+)
+
+
+def execute_plan(node: PlanNode, ctx: ExecutionContext) -> Iterator[Page]:
+    """Execute ``node``, yielding result pages."""
+    if isinstance(node, TableScanNode):
+        return execute_table_scan(node, ctx)
+    if isinstance(node, ValuesNode):
+        return execute_values(node, ctx)
+    if isinstance(node, FilterNode):
+        return execute_filter(node, ctx, execute_plan(node.source, ctx))
+    if isinstance(node, ProjectNode):
+        return execute_project(node, ctx, execute_plan(node.source, ctx))
+    if isinstance(node, AggregationNode):
+        return execute_aggregation(node, ctx, execute_plan(node.source, ctx))
+    if isinstance(node, JoinNode):
+        return execute_join(
+            node, ctx, execute_plan(node.left, ctx), execute_plan(node.right, ctx)
+        )
+    if isinstance(node, SpatialJoinNode):
+        return execute_spatial_join(
+            node, ctx, execute_plan(node.left, ctx), execute_plan(node.right, ctx)
+        )
+    if isinstance(node, SortNode):
+        return execute_sort(node, ctx, execute_plan(node.source, ctx))
+    if isinstance(node, TopNNode):
+        return execute_topn(node, ctx, execute_plan(node.source, ctx))
+    if isinstance(node, LimitNode):
+        return execute_limit(node, ctx, execute_plan(node.source, ctx))
+    if isinstance(node, UnionNode):
+        return _execute_union(node, ctx)
+    if isinstance(node, OutputNode):
+        return _execute_output(node, ctx)
+    raise ExecutionError(f"no operator for plan node {type(node).__name__}")
+
+
+def _execute_union(node: UnionNode, ctx: ExecutionContext) -> Iterator[Page]:
+    # UNION ALL: branches stream in order; every branch was projected onto
+    # the same output variables, so pages pass through positionally.
+    for source in node.union_sources:
+        yield from execute_plan(source, ctx)
+
+
+def _execute_output(node: OutputNode, ctx: ExecutionContext) -> Iterator[Page]:
+    visible = len(node.column_names)
+    for page in execute_plan(node.source, ctx):
+        page = page.loaded()
+        if page.channel_count > visible:
+            page = page.select_channels(list(range(visible)))
+        ctx.stats.rows_output += page.position_count
+        yield page

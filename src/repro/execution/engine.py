@@ -1,0 +1,224 @@
+"""The engine facade: SQL string in, rows out.
+
+Mirrors figure 1 end to end: parse → analyze → optimize → execute.  This
+is the object examples and benchmarks interact with; distributed concerns
+(clusters, gateways, elasticity) wrap around it in
+:mod:`repro.execution.cluster` and :mod:`repro.federation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.common.clock import SimulatedClock
+from repro.connectors.spi import Catalog
+from repro.core.functions import FunctionRegistry, default_registry
+from repro.core.page import Page
+from repro.execution.context import ExecutionContext, QueryStats
+from repro.execution.driver import execute_plan
+from repro.planner.analyzer import Analyzer, Session
+from repro.planner.optimizer import Optimizer
+from repro.planner.plan import OutputNode
+from repro.sql import parse_sql
+
+
+@dataclass
+class QueryResult:
+    """Materialized query result."""
+
+    column_names: list[str]
+    rows: list[tuple]
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        index = self.column_names.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict]:
+        return [dict(zip(self.column_names, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"QueryResult(columns={self.column_names}, rows={len(self.rows)})"
+
+
+class PrestoEngine:
+    """A single-coordinator query engine over a catalog of connectors."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        session: Optional[Session] = None,
+        registry: Optional[FunctionRegistry] = None,
+        clock: Optional[SimulatedClock] = None,
+        max_build_rows: int = 10_000_000,
+        enable_optimizer: bool = True,
+        fragment_result_cache=None,
+    ) -> None:
+        # The geospatial plugin registers its functions on import
+        # (section VI.E: "Using the Presto plugin framework").
+        import repro.geo.functions  # noqa: F401
+
+        self.catalog = catalog or Catalog()
+        self.session = session or Session()
+        self.registry = registry or default_registry()
+        self.clock = clock
+        self.max_build_rows = max_build_rows
+        self.fragment_result_cache = fragment_result_cache
+        # Simulated control-plane costs charged per query when a clock is
+        # attached: coordinator parse/plan/schedule plus result streaming.
+        self.coordinator_overhead_ms = 15.0
+        self._optimizer = Optimizer(self.catalog, self.registry) if enable_optimizer else None
+
+    # -- public API ----------------------------------------------------------
+
+    def register_connector(self, catalog_name: str, connector) -> None:
+        self.catalog.register(catalog_name, connector)
+
+    def plan(self, sql: str) -> OutputNode:
+        """Parse, analyze and optimize ``sql``, returning the final plan."""
+        query = parse_sql(sql)
+        analyzer = Analyzer(self.catalog, self.session, self.registry)
+        plan = analyzer.analyze(query)
+        if self._optimizer is not None:
+            plan = self._optimizer.optimize(plan, self.session)
+        return plan
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN-style rendering of the optimized plan."""
+        return self.plan(sql).pretty()
+
+    def explain_distributed(self, sql: str) -> str:
+        """EXPLAIN (TYPE DISTRIBUTED): the plan divided into fragments.
+
+        Shows the stages of section III — where partial aggregations run,
+        where the build side of a join is exchanged, where results gather.
+        """
+        from repro.planner.fragmenter import Fragmenter
+
+        return Fragmenter().fragment(self.plan(sql)).describe()
+
+    def execute(self, sql: str) -> QueryResult:
+        """Run ``sql`` to completion and materialize the result.
+
+        Besides SELECT queries, the metadata statements are supported:
+        ``EXPLAIN [(TYPE DISTRIBUTED)] <query>``, ``SHOW CATALOGS``,
+        ``SHOW SCHEMAS [FROM catalog]``, ``SHOW TABLES [FROM
+        catalog.schema]``, and ``DESCRIBE <table>``.
+        """
+        statement = _match_metadata_statement(sql)
+        if statement is not None:
+            return statement(self)
+        plan = self.plan(sql)
+        if self.clock is not None:
+            self.clock.advance(self.coordinator_overhead_ms)
+        ctx = ExecutionContext(
+            catalog=self.catalog,
+            session=self.session,
+            registry=self.registry,
+            clock=self.clock,
+            max_build_rows=self.max_build_rows,
+            fragment_cache=self.fragment_result_cache,
+        )
+        rows: list[tuple] = []
+        for page in execute_plan(plan, ctx):
+            rows.extend(page.rows())
+        return QueryResult(list(plan.column_names), rows, ctx.stats)
+
+
+def _match_metadata_statement(sql: str):
+    """Recognize EXPLAIN / SHOW / DESCRIBE; returns a handler or None."""
+    import re
+
+    stripped = sql.strip().rstrip(";")
+    lowered = stripped.lower()
+
+    explain = re.match(
+        r"explain\s*(\(\s*type\s+distributed\s*\))?\s+(.*)", stripped, re.IGNORECASE | re.DOTALL
+    )
+    if explain:
+        distributed = explain.group(1) is not None
+        inner = explain.group(2)
+
+        def run_explain(engine: "PrestoEngine") -> QueryResult:
+            text = (
+                engine.explain_distributed(inner) if distributed else engine.explain(inner)
+            )
+            return QueryResult(
+                ["Query Plan"], [(line,) for line in text.splitlines()], QueryStats()
+            )
+
+        return run_explain
+
+    if lowered == "show catalogs":
+        def run_show_catalogs(engine: "PrestoEngine") -> QueryResult:
+            rows = [(name,) for name in engine.catalog.catalog_names()]
+            return QueryResult(["Catalog"], rows, QueryStats())
+
+        return run_show_catalogs
+
+    schemas = re.match(r"show\s+schemas(?:\s+from\s+(\w+))?$", lowered)
+    if schemas:
+        def run_show_schemas(engine: "PrestoEngine") -> QueryResult:
+            catalog_name = schemas.group(1) or engine.session.catalog
+            if catalog_name is None:
+                from repro.common.errors import SemanticError
+
+                raise SemanticError("SHOW SCHEMAS requires a catalog")
+            metadata = engine.catalog.connector(catalog_name).metadata()
+            return QueryResult(
+                ["Schema"], [(s,) for s in metadata.list_schemas()], QueryStats()
+            )
+
+        return run_show_schemas
+
+    tables = re.match(r"show\s+tables(?:\s+from\s+(\w+)(?:\.(\w+))?)?$", lowered)
+    if tables:
+        def run_show_tables(engine: "PrestoEngine") -> QueryResult:
+            from repro.common.errors import SemanticError
+
+            if tables.group(2):
+                catalog_name, schema_name = tables.group(1), tables.group(2)
+            elif tables.group(1):
+                catalog_name, schema_name = engine.session.catalog, tables.group(1)
+            else:
+                catalog_name, schema_name = engine.session.catalog, engine.session.schema
+            if catalog_name is None or schema_name is None:
+                raise SemanticError("SHOW TABLES requires a catalog and schema")
+            metadata = engine.catalog.connector(catalog_name).metadata()
+            return QueryResult(
+                ["Table"],
+                [(t,) for t in metadata.list_tables(schema_name)],
+                QueryStats(),
+            )
+
+        return run_show_tables
+
+    describe = re.match(r"(?:describe|desc)\s+([\w.\"$=]+)$", stripped, re.IGNORECASE)
+    if describe:
+        def run_describe(engine: "PrestoEngine") -> QueryResult:
+            from repro.common.errors import SemanticError
+            from repro.planner.analyzer import Analyzer
+            from repro.sql import parse_sql as _parse
+
+            # Reuse SELECT name resolution by parsing a probe query.
+            probe = _parse(f"SELECT count(*) FROM {describe.group(1)}")
+            reference = probe.from_relation
+            analyzer = Analyzer(engine.catalog, engine.session, engine.registry)
+            catalog_name, schema_name, table_name = analyzer._qualify(reference.parts)
+            metadata = engine.catalog.connector(catalog_name).metadata()
+            handle = metadata.get_table_handle(schema_name, table_name)
+            if handle is None:
+                raise SemanticError(
+                    f"table {catalog_name}.{schema_name}.{table_name} does not exist"
+                )
+            table_metadata = metadata.get_table_metadata(handle)
+            rows = [(c.name, c.type.display()) for c in table_metadata.columns]
+            return QueryResult(["Column", "Type"], rows, QueryStats())
+
+        return run_describe
+
+    return None

@@ -1,0 +1,79 @@
+"""Hash aggregation operator.
+
+Supports grouped and global aggregation, DISTINCT aggregates, and the
+"merge" evaluation mode used after aggregation pushdown: when a connector
+returns pre-aggregated rows (figure 2), the engine's final aggregation
+combines them with merge semantics rather than re-accumulating raw rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.page import Page
+from repro.execution.context import ExecutionContext
+from repro.execution.operators.filter_project import bindings_for
+from repro.planner.plan import AggregationNode
+
+
+def execute_aggregation(
+    node: AggregationNode, ctx: ExecutionContext, source: Iterator[Page]
+) -> Iterator[Page]:
+    implementations = [
+        ctx.registry.aggregate_for(a.function_handle) for a in node.aggregations
+    ]
+    source_outputs = node.source.outputs
+    key_names = [k.name for k in node.group_keys]
+    agg_argument_names = [[a.name for a in agg.arguments] for agg in node.aggregations]
+    distinct_flags = [agg.distinct for agg in node.aggregations]
+    merge_mode = node.step == "FINAL"
+
+    groups: dict[tuple, list[Any]] = {}
+    distinct_seen: dict[tuple, list[set]] = {}
+    group_order: list[tuple] = []
+
+    def new_states() -> list[Any]:
+        return [impl.create_state() for impl in implementations]
+
+    for page in source:
+        if page.position_count == 0:
+            continue
+        bindings = bindings_for(page, source_outputs)
+        key_blocks = [bindings[name].loaded() for name in key_names]
+        argument_blocks = [
+            [bindings[name].loaded() for name in names] for names in agg_argument_names
+        ]
+        for position in range(page.position_count):
+            key = tuple(block.get(position) for block in key_blocks)
+            states = groups.get(key)
+            if states is None:
+                states = new_states()
+                groups[key] = states
+                group_order.append(key)
+                if any(distinct_flags):
+                    distinct_seen[key] = [set() for _ in implementations]
+            for index, impl in enumerate(implementations):
+                arguments = tuple(
+                    block.get(position) for block in argument_blocks[index]
+                )
+                if distinct_flags[index]:
+                    if arguments in distinct_seen[key][index]:
+                        continue
+                    distinct_seen[key][index].add(arguments)
+                if merge_mode:
+                    states[index] = impl.merge(states[index], arguments[0])
+                else:
+                    states[index] = impl.add_input(states[index], arguments)
+
+    if not groups and not node.group_keys:
+        # Global aggregation over empty input still yields one row.
+        groups[()] = new_states()
+        group_order.append(())
+
+    output_types = [v.type for v in node.outputs]
+    rows = []
+    for key in group_order:
+        states = groups[key]
+        finals = [impl.finalize(state) for impl, state in zip(implementations, states)]
+        rows.append(tuple(key) + tuple(finals))
+    yield Page.from_rows(output_types, rows)

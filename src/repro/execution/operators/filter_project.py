@@ -1,0 +1,54 @@
+"""Filter and project operators."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.blocks import Block
+from repro.core.expressions import VariableReferenceExpression
+from repro.core.page import Page
+from repro.execution.context import ExecutionContext
+from repro.planner.plan import FilterNode, ProjectNode
+
+
+def bindings_for(page: Page, outputs) -> dict[str, Block]:
+    """Map plan variable names to the page's blocks by position."""
+    return {variable.name: page.block(i) for i, variable in enumerate(outputs)}
+
+
+def execute_filter(
+    node: FilterNode, ctx: ExecutionContext, source: Iterator[Page]
+) -> Iterator[Page]:
+    outputs = node.source.outputs
+    for page in source:
+        if page.position_count == 0:
+            yield page
+            continue
+        bindings = bindings_for(page, outputs)
+        mask = ctx.evaluator.filter_mask(node.predicate, bindings, page.position_count)
+        selected = np.nonzero(mask)[0]
+        if len(selected) == page.position_count:
+            yield page
+        else:
+            yield page.take(selected)
+
+
+def execute_project(
+    node: ProjectNode, ctx: ExecutionContext, source: Iterator[Page]
+) -> Iterator[Page]:
+    outputs = node.source.outputs
+    for page in source:
+        bindings = bindings_for(page, outputs)
+        blocks: list[Block] = []
+        for variable, expression in node.assignments:
+            if isinstance(expression, VariableReferenceExpression):
+                # Identity projection: forward the block untouched so lazy
+                # blocks stay unloaded (section V.H).
+                blocks.append(bindings[expression.name])
+            else:
+                blocks.append(
+                    ctx.evaluator.evaluate(expression, bindings, page.position_count)
+                )
+        yield Page(blocks, page.position_count)

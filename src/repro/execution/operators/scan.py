@@ -1,0 +1,69 @@
+"""Table scan and values operators.
+
+The scan asks the connector's split manager for splits and streams every
+split's pages through the record-set provider, renaming connector columns
+to plan variables.  Splits are the unit of parallelism (section III); the
+cluster simulation layer accounts their costs across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.page import Page
+from repro.execution.context import ExecutionContext
+from repro.planner.plan import TableScanNode, ValuesNode
+
+
+def execute_table_scan(node: TableScanNode, ctx: ExecutionContext) -> Iterator[Page]:
+    connector = ctx.catalog.connector(node.catalog)
+    split_manager = connector.split_manager()
+    provider = connector.record_set_provider()
+    columns = [column for _, column in node.assignments]
+
+    produced_any = False
+    for split in split_manager.get_splits(node.handle):
+        ctx.stats.splits_scanned += 1
+        if ctx.clock is not None:
+            # Task creation/assignment RPC overhead per split.
+            ctx.clock.advance(0.2)
+        for page in _split_pages(node, ctx, provider, split, columns):
+            ctx.stats.rows_scanned += page.position_count
+            ctx.stats.pages_produced += 1
+            if page.position_count or not produced_any:
+                produced_any = True
+                yield page
+
+
+def _split_pages(node, ctx, provider, split, columns):
+    """One split's pages, optionally served from the fragment result cache.
+
+    The cache key is the scan fragment's canonical description plus the
+    split id plus the split's data version; a version change (file rewrite,
+    new rows) makes the old entry unreachable, so stale results are never
+    served (section VII).
+    """
+    cache = ctx.fragment_cache
+    data_version = split.info_dict().get("data_version")
+    if cache is None or data_version is None:
+        return provider.pages(node.handle, split, columns)
+    key = cache.fragment_key(
+        node.describe() + "|" + ",".join(columns), split.split_id, data_version
+    )
+    hits_before = cache.stats.hits
+    pages = cache.get_or_compute(
+        key, lambda: provider.pages(node.handle, split, columns)
+    )
+    if cache.stats.hits > hits_before:
+        ctx.stats.fragment_cache_hits += 1
+    return iter(pages)
+
+
+def execute_values(node: ValuesNode, ctx: ExecutionContext) -> Iterator[Page]:
+    types = [v.type for v in node.output_variables]
+    if not node.output_variables:
+        # Zero-column values (e.g. SELECT without FROM): emit one empty-width
+        # page per row so downstream projections produce one output row each.
+        yield Page([], position_count=len(node.rows))
+        return
+    yield Page.from_rows(types, list(node.rows))

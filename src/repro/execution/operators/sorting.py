@@ -1,0 +1,93 @@
+"""Sort, TopN, and Limit operators."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.core.page import Page
+from repro.execution.context import ExecutionContext
+from repro.planner.plan import LimitNode, SortNode, TopNNode
+
+
+class _SortKey:
+    """Total order over possibly-null values: nulls sort last ascending."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.ascending
+        if b is None:
+            return self.ascending
+        return a < b if self.ascending else b < a
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def _sorted_rows(node, source: Iterator[Page]) -> list[tuple]:
+    key_indexes = [
+        ([v.name for v in node.source.outputs].index(variable.name), ascending)
+        for variable, ascending in node.order_by
+    ]
+    rows: list[tuple] = []
+    for page in source:
+        rows.extend(page.loaded().rows())
+    rows.sort(key=lambda row: tuple(_SortKey(row[i], asc) for i, asc in key_indexes))
+    return rows
+
+
+def execute_sort(
+    node: SortNode, ctx: ExecutionContext, source: Iterator[Page]
+) -> Iterator[Page]:
+    rows = _sorted_rows(node, source)
+    yield Page.from_rows([v.type for v in node.outputs], rows)
+
+
+def execute_topn(
+    node: TopNNode, ctx: ExecutionContext, source: Iterator[Page]
+) -> Iterator[Page]:
+    # TopN keeps only ``count`` rows resident (vs a full sort).
+    key_indexes = [
+        ([v.name for v in node.source.outputs].index(variable.name), ascending)
+        for variable, ascending in node.order_by
+    ]
+
+    def sort_key(row: tuple):
+        return tuple(_SortKey(row[i], asc) for i, asc in key_indexes)
+
+    best: list[tuple] = []
+    for page in source:
+        for row in page.loaded().rows():
+            best.append(row)
+            if len(best) > 4 * node.count:
+                best.sort(key=sort_key)
+                del best[node.count :]
+    best.sort(key=sort_key)
+    yield Page.from_rows([v.type for v in node.outputs], best[: node.count])
+
+
+def execute_limit(
+    node: LimitNode, ctx: ExecutionContext, source: Iterator[Page]
+) -> Iterator[Page]:
+    remaining = node.count
+    for page in source:
+        if remaining <= 0:
+            break
+        page = page.loaded()
+        if page.position_count <= remaining:
+            remaining -= page.position_count
+            yield page
+        else:
+            import numpy as np
+
+            yield page.take(np.arange(remaining))
+            remaining = 0

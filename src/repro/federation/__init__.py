@@ -1,0 +1,6 @@
+"""Cluster federation: the Presto gateway (section VIII)."""
+
+from repro.federation.routing import RoutingTable
+from repro.federation.gateway import PrestoGateway, Redirect
+
+__all__ = ["RoutingTable", "PrestoGateway", "Redirect"]

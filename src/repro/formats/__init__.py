@@ -1,0 +1,1 @@
+"""File formats.  Currently: the Parquet-like columnar format of section V."""

@@ -1,0 +1,38 @@
+"""Compression codecs for column chunks.
+
+The writer benchmarks (figures 18-20) sweep Snappy, Gzip, and no
+compression.  Real Snappy is unavailable offline, so it is modeled with
+zlib at its fastest level — preserving Snappy's defining trade-off versus
+gzip (much faster, lower ratio), which is what shapes the figures.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+SNAPPY = "snappy"
+GZIP = "gzip"
+UNCOMPRESSED = "none"
+
+CODECS = (UNCOMPRESSED, SNAPPY, GZIP)
+
+
+def compress(data: bytes, codec: str) -> bytes:
+    if codec == UNCOMPRESSED:
+        return data
+    if codec == SNAPPY:
+        # Z_RLE restricts matching to run-lengths: an order of magnitude
+        # faster than full deflate at a worse ratio — Snappy's trade-off.
+        compressor = zlib.compressobj(1, zlib.DEFLATED, zlib.MAX_WBITS, 8, zlib.Z_RLE)
+        return compressor.compress(data) + compressor.flush()
+    if codec == GZIP:
+        return zlib.compress(data, level=6)
+    raise ValueError(f"unknown codec {codec!r}")
+
+
+def decompress(data: bytes, codec: str) -> bytes:
+    if codec == UNCOMPRESSED:
+        return data
+    if codec in (SNAPPY, GZIP):
+        return zlib.decompress(data)
+    raise ValueError(f"unknown codec {codec!r}")

@@ -1,0 +1,259 @@
+"""Column encodings: PLAIN, DICTIONARY, and RLE for levels.
+
+The decoder has two code paths per encoding:
+
+- **vectorized** — numpy bulk decode ("a vectorized parquet reader batch
+  reads 1000 triplets ... decoder state is kept in registers", section V.I);
+- **scalar** — a value-at-a-time ``struct.unpack`` loop, the pre-vectorized
+  behaviour the new reader's benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.types import BIGINT, BOOLEAN, DOUBLE, INTEGER, PrestoType
+
+
+PLAIN = "plain"
+DICTIONARY = "dictionary"
+
+
+# ---------------------------------------------------------------------------
+# Level encoding: RLE of small ints as (varint value, varint run-length)
+# ---------------------------------------------------------------------------
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_levels(levels: Sequence[int]) -> bytes:
+    """RLE-encode a level stream (runs found vectorized)."""
+    array = np.asarray(levels, dtype=np.int32)
+    out = bytearray()
+    if len(array) == 0:
+        return bytes(out)
+    boundaries = np.flatnonzero(np.diff(array)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(array)]))
+    for start, end in zip(starts, ends):
+        _write_varint(out, int(array[start]))
+        _write_varint(out, int(end - start))
+    return bytes(out)
+
+
+def encode_levels_value_at_a_time(levels: Sequence[int]) -> bytes:
+    """RLE-encode a level stream one value at a time (legacy writer path).
+
+    Produces byte-identical output to :func:`encode_levels`; the difference
+    is purely the per-value Python loop the legacy writer paid.
+    """
+    out = bytearray()
+    i = 0
+    n = len(levels)
+    while i < n:
+        value = int(levels[i])
+        run = 1
+        while i + run < n and levels[i + run] == value:
+            run += 1
+        _write_varint(out, value)
+        _write_varint(out, run)
+        i += run
+    return bytes(out)
+
+
+def decode_levels(data: bytes, count: int) -> np.ndarray:
+    """Decode an RLE level stream into an int32 array of ``count`` levels."""
+    result = np.empty(count, dtype=np.int32)
+    pos = 0
+    filled = 0
+    while filled < count:
+        value, pos = _read_varint(data, pos)
+        run, pos = _read_varint(data, pos)
+        result[filled : filled + run] = value
+        filled += run
+    return result
+
+
+# ---------------------------------------------------------------------------
+# PLAIN encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_plain(values: Sequence[Any], presto_type: PrestoType) -> bytes:
+    """PLAIN-encode non-null values."""
+    if presto_type in (BIGINT, INTEGER):
+        return np.asarray(values, dtype=np.int64).tobytes()
+    if presto_type is DOUBLE:
+        return np.asarray(values, dtype=np.float64).tobytes()
+    if presto_type is BOOLEAN:
+        return np.asarray(values, dtype=np.uint8).tobytes()
+    # varchar / date / timestamp: 4-byte length prefix + UTF-8 bytes.
+    out = bytearray()
+    for value in values:
+        encoded = str(value).encode("utf-8")
+        out.extend(struct.pack("<I", len(encoded)))
+        out.extend(encoded)
+    return bytes(out)
+
+
+def encode_plain_array(array: np.ndarray, presto_type: PrestoType) -> bytes:
+    """PLAIN-encode a numpy array without Python-level boxing.
+
+    This is the native writer's fast path for flat numeric columns.
+    """
+    if presto_type in (BIGINT, INTEGER):
+        return np.ascontiguousarray(array, dtype=np.int64).tobytes()
+    if presto_type is DOUBLE:
+        return np.ascontiguousarray(array, dtype=np.float64).tobytes()
+    if presto_type is BOOLEAN:
+        return np.ascontiguousarray(array, dtype=np.uint8).tobytes()
+    return encode_plain(list(array), presto_type)
+
+
+def encode_plain_value_at_a_time(values: Sequence[Any], presto_type: PrestoType) -> bytes:
+    """PLAIN-encode one value at a time (legacy writer path).
+
+    Byte-identical to :func:`encode_plain`, but each value goes through its
+    own ``struct.pack`` call — the "consumes each individual record and
+    writes value bytes" behaviour of the old writer (section V.J).
+    """
+    out = bytearray()
+    if presto_type in (BIGINT, INTEGER):
+        for value in values:
+            out.extend(struct.pack("<q", int(value)))
+        return bytes(out)
+    if presto_type is DOUBLE:
+        for value in values:
+            out.extend(struct.pack("<d", float(value)))
+        return bytes(out)
+    if presto_type is BOOLEAN:
+        for value in values:
+            out.append(1 if value else 0)
+        return bytes(out)
+    for value in values:
+        encoded = str(value).encode("utf-8")
+        out.extend(struct.pack("<I", len(encoded)))
+        out.extend(encoded)
+    return bytes(out)
+
+
+def encode_dictionary_indices_value_at_a_time(indices: Sequence[int]) -> bytes:
+    out = bytearray()
+    for index in indices:
+        out.extend(struct.pack("<i", int(index)))
+    return bytes(out)
+
+
+def decode_plain_vectorized(
+    data: bytes, presto_type: PrestoType, count: int
+) -> np.ndarray:
+    """Bulk numpy decode (the vectorized reader path)."""
+    if presto_type in (BIGINT, INTEGER):
+        return np.frombuffer(data, dtype=np.int64, count=count)
+    if presto_type is DOUBLE:
+        return np.frombuffer(data, dtype=np.float64, count=count)
+    if presto_type is BOOLEAN:
+        return np.frombuffer(data, dtype=np.uint8, count=count).astype(bool)
+    result = np.empty(count, dtype=object)
+    pos = 0
+    for i in range(count):
+        (length,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        result[i] = data[pos : pos + length].decode("utf-8")
+        pos += length
+    return result
+
+
+def decode_plain_scalar(data: bytes, presto_type: PrestoType, count: int) -> list[Any]:
+    """Value-at-a-time decode (the pre-vectorized reader path)."""
+    values: list[Any] = []
+    pos = 0
+    if presto_type in (BIGINT, INTEGER):
+        for _ in range(count):
+            (value,) = struct.unpack_from("<q", data, pos)
+            pos += 8
+            values.append(value)
+        return values
+    if presto_type is DOUBLE:
+        for _ in range(count):
+            (value,) = struct.unpack_from("<d", data, pos)
+            pos += 8
+            values.append(value)
+        return values
+    if presto_type is BOOLEAN:
+        for _ in range(count):
+            values.append(bool(data[pos]))
+            pos += 1
+        return values
+    for _ in range(count):
+        (length,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        values.append(data[pos : pos + length].decode("utf-8"))
+        pos += length
+    return values
+
+
+# ---------------------------------------------------------------------------
+# DICTIONARY encoding
+# ---------------------------------------------------------------------------
+
+
+def build_dictionary(values: Sequence[Any]) -> Optional[tuple[list[Any], np.ndarray]]:
+    """Dictionary-encode if beneficial; returns (dictionary, indices).
+
+    Follows the usual writer heuristic: only when the distinct count is
+    small relative to the value count.
+    """
+    if not len(values):
+        return None
+    index_of: dict[Any, int] = {}
+    indices = np.empty(len(values), dtype=np.int32)
+    for i, value in enumerate(values):
+        slot = index_of.get(value)
+        if slot is None:
+            slot = len(index_of)
+            index_of[value] = slot
+            if slot >= 65536:
+                return None  # dictionary too large to pay off
+        indices[i] = slot
+    if len(index_of) > max(16, len(values) // 2):
+        return None
+    return list(index_of), indices
+
+
+def encode_dictionary_indices(indices: np.ndarray) -> bytes:
+    return np.ascontiguousarray(indices, dtype=np.int32).tobytes()
+
+
+def decode_dictionary_indices_vectorized(data: bytes, count: int) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.int32, count=count)
+
+
+def decode_dictionary_indices_scalar(data: bytes, count: int) -> list[int]:
+    values = []
+    pos = 0
+    for _ in range(count):
+        (value,) = struct.unpack_from("<i", data, pos)
+        pos += 4
+        values.append(value)
+    return values

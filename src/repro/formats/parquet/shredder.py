@@ -1,0 +1,258 @@
+"""Dremel record shredding and assembly.
+
+Shredding converts one top-level column's values into per-leaf triplet
+streams (repetition level, definition level, value); assembly reconstructs
+the original values.  This is the machinery underneath both writers and
+both readers; the *old* reader assembles full records for every column,
+the *new* reader avoids assembly wherever it can (columnar reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.types import ArrayType, MapType, PrestoType, RowType
+from repro.formats.parquet.schema import LeafColumn, ParquetSchema, _enumerate_leaves
+
+
+@dataclass
+class ColumnLevels:
+    """Triplet stream for one leaf column.
+
+    ``values[i]`` is ``None`` whenever ``definition[i]`` is below the
+    leaf's max definition level.
+    """
+
+    repetition: list[int] = field(default_factory=list)
+    definition: list[int] = field(default_factory=list)
+    values: list[Any] = field(default_factory=list)
+
+    def append(self, rep: int, definition: int, value: Any) -> None:
+        self.repetition.append(rep)
+        self.definition.append(definition)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.repetition)
+
+
+def shred_column(
+    name: str, presto_type: PrestoType, values: list[Any]
+) -> dict[str, ColumnLevels]:
+    """Shred one top-level column's values into per-leaf triplet streams."""
+    leaves = list(_enumerate_leaves(name, presto_type, 0, 0))
+    out: dict[str, ColumnLevels] = {leaf.path: ColumnLevels() for leaf in leaves}
+    leaf_paths_under: dict[str, list[str]] = {}
+
+    def paths_under(path: str) -> list[str]:
+        cached = leaf_paths_under.get(path)
+        if cached is None:
+            dotted = path + "."
+            cached = [p for p in out if p == path or p.startswith(dotted)]
+            leaf_paths_under[path] = cached
+        return cached
+
+    def emit_all(path: str, rep: int, definition: int) -> None:
+        for leaf_path in paths_under(path):
+            out[leaf_path].append(rep, definition, None)
+
+    def shred(
+        presto_type: PrestoType,
+        value: Any,
+        path: str,
+        rep: int,
+        definition: int,
+        rep_depth: int,
+    ) -> None:
+        if isinstance(presto_type, RowType):
+            if value is None:
+                emit_all(path, rep, definition)
+                return
+            for f in presto_type.fields:
+                shred(
+                    f.type,
+                    value.get(f.name) if isinstance(value, dict) else None,
+                    f"{path}.{f.name}",
+                    rep,
+                    definition + 1,
+                    rep_depth,
+                )
+            return
+        if isinstance(presto_type, ArrayType):
+            if value is None:
+                emit_all(path, rep, definition)
+                return
+            if not value:
+                emit_all(path, rep, definition + 1)
+                return
+            own_rep = rep_depth + 1
+            for i, element in enumerate(value):
+                shred(
+                    presto_type.element_type,
+                    element,
+                    f"{path}.element",
+                    rep if i == 0 else own_rep,
+                    definition + 2,
+                    own_rep,
+                )
+            return
+        if isinstance(presto_type, MapType):
+            if value is None:
+                emit_all(path, rep, definition)
+                return
+            if not value:
+                emit_all(path, rep, definition + 1)
+                return
+            own_rep = rep_depth + 1
+            for i, (key, entry_value) in enumerate(value.items()):
+                entry_rep = rep if i == 0 else own_rep
+                shred(
+                    presto_type.key_type,
+                    key,
+                    f"{path}.key",
+                    entry_rep,
+                    definition + 2,
+                    own_rep,
+                )
+                shred(
+                    presto_type.value_type,
+                    entry_value,
+                    f"{path}.value",
+                    entry_rep,
+                    definition + 2,
+                    own_rep,
+                )
+            return
+        # Scalar leaf.
+        if value is None:
+            out[path].append(rep, definition, None)
+        else:
+            out[path].append(rep, definition + 1, value)
+
+    for value in values:
+        shred(presto_type, value, name, 0, 0, 0)
+    return out
+
+
+class _Cursor:
+    __slots__ = ("levels", "position")
+
+    def __init__(self, levels: ColumnLevels) -> None:
+        self.levels = levels
+        self.position = 0
+
+    def exhausted(self) -> bool:
+        return self.position >= len(self.levels)
+
+    def peek_definition(self) -> int:
+        return self.levels.definition[self.position]
+
+    def peek_repetition(self) -> int:
+        return self.levels.repetition[self.position]
+
+    def take(self) -> tuple[int, int, Any]:
+        i = self.position
+        self.position += 1
+        return (
+            self.levels.repetition[i],
+            self.levels.definition[i],
+            self.levels.values[i],
+        )
+
+
+def assemble_column(
+    name: str,
+    presto_type: PrestoType,
+    chunks: dict[str, ColumnLevels],
+    num_records: int,
+) -> list[Any]:
+    """Reassemble one top-level column's values from leaf triplet streams."""
+    cursors = {path: _Cursor(levels) for path, levels in chunks.items()}
+    paths_under_cache: dict[str, list[str]] = {}
+
+    def paths_under(path: str) -> list[str]:
+        cached = paths_under_cache.get(path)
+        if cached is None:
+            dotted = path + "."
+            cached = [p for p in cursors if p == path or p.startswith(dotted)]
+            if not cached:
+                raise KeyError(f"no leaf columns under {path!r}")
+            paths_under_cache[path] = cached
+        return cached
+
+    def consume_all(path: str) -> None:
+        for leaf_path in paths_under(path):
+            cursors[leaf_path].take()
+
+    def representative(path: str) -> _Cursor:
+        return cursors[paths_under(path)[0]]
+
+    def read(
+        presto_type: PrestoType, path: str, definition: int, rep_depth: int
+    ) -> Any:
+        if isinstance(presto_type, RowType):
+            if representative(path).peek_definition() <= definition:
+                consume_all(path)
+                return None
+            return {
+                f.name: read(f.type, f"{path}.{f.name}", definition + 1, rep_depth)
+                for f in presto_type.fields
+            }
+        if isinstance(presto_type, ArrayType):
+            head = representative(path).peek_definition()
+            if head <= definition:
+                consume_all(path)
+                return None
+            if head == definition + 1:
+                consume_all(path)
+                return []
+            own_rep = rep_depth + 1
+            elements = [
+                read(presto_type.element_type, f"{path}.element", definition + 2, own_rep)
+            ]
+            while (
+                not representative(path).exhausted()
+                and representative(path).peek_repetition() == own_rep
+            ):
+                elements.append(
+                    read(
+                        presto_type.element_type,
+                        f"{path}.element",
+                        definition + 2,
+                        own_rep,
+                    )
+                )
+            return elements
+        if isinstance(presto_type, MapType):
+            head = representative(path).peek_definition()
+            if head <= definition:
+                consume_all(path)
+                return None
+            if head == definition + 1:
+                consume_all(path)
+                return {}
+            own_rep = rep_depth + 1
+            result: dict = {}
+
+            def read_entry() -> None:
+                key = read(presto_type.key_type, f"{path}.key", definition + 2, own_rep)
+                entry_value = read(
+                    presto_type.value_type, f"{path}.value", definition + 2, own_rep
+                )
+                result[key] = entry_value
+
+            read_entry()
+            while (
+                not representative(path).exhausted()
+                and representative(path).peek_repetition() == own_rep
+            ):
+                read_entry()
+            return result
+        # Scalar leaf.
+        _, leaf_definition, value = cursors[path].take()
+        if leaf_definition >= definition + 1:
+            return value
+        return None
+
+    return [read(presto_type, name, 0, 0) for _ in range(num_records)]

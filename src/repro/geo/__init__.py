@@ -1,0 +1,24 @@
+"""Geospatial plugin (section VI).
+
+Well-Known Text geometries (:mod:`repro.geo.wkt`), point-in-polygon tests
+with cost proportional to polygon vertex count (:mod:`repro.geo.geometry`),
+a QuadTree spatial index built on the fly (:mod:`repro.geo.quadtree`), and
+the Presto function surface — ``st_point``, ``st_contains``,
+``build_geo_index``, ``geo_contains`` (:mod:`repro.geo.functions`).
+"""
+
+from repro.geo.geometry import BoundingBox, Geometry, MultiPolygon, Point, Polygon
+from repro.geo.quadtree import GeoIndex, QuadTree
+from repro.geo.wkt import format_wkt, parse_wkt
+
+__all__ = [
+    "BoundingBox",
+    "Geometry",
+    "MultiPolygon",
+    "Point",
+    "Polygon",
+    "GeoIndex",
+    "QuadTree",
+    "format_wkt",
+    "parse_wkt",
+]

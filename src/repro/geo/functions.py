@@ -1,0 +1,108 @@
+"""Presto Geospatial plugin functions (section VI.E).
+
+Registers the geo function surface on the default registry at import time,
+"Using the Presto plugin framework":
+
+- ``st_point(lng, lat)`` — construct a point.
+- ``st_contains(shape, point)`` — exact containment test.
+- ``st_geometry_from_text(wkt)`` / ``st_as_text(geom)`` — WKT conversion.
+- ``st_x`` / ``st_y`` / ``st_distance`` — accessors.
+- ``build_geo_index(shape)`` — *aggregation* serializing polygons into a
+  QuadTree (figure 13).
+- ``geo_contains(index, point)`` — QuadTree-accelerated containment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.functions import (
+    AggregateFunction,
+    FunctionRegistry,
+    ScalarFunction,
+    default_registry,
+)
+from repro.core.types import (
+    BOOLEAN,
+    DOUBLE,
+    GEOMETRY,
+    PrestoType,
+    VARCHAR,
+)
+from repro.geo.geometry import Geometry, Point
+from repro.geo.quadtree import GeoIndex
+from repro.geo.wkt import format_wkt, parse_wkt
+
+
+def _fixed(signature: Sequence[PrestoType], return_type: PrestoType):
+    expected = tuple(signature)
+
+    def resolve(arg_types: Sequence[PrestoType]) -> Optional[PrestoType]:
+        from repro.core.types import UNKNOWN, common_super_type
+
+        if len(arg_types) != len(expected):
+            return None
+        for got, want in zip(arg_types, expected):
+            if got is UNKNOWN:
+                continue
+            if common_super_type(got, want) != want:
+                return None
+        return return_type
+
+    return resolve
+
+
+def _st_contains(shape: Geometry, point: Geometry) -> bool:
+    if not isinstance(point, Point):
+        raise ValueError("st_contains second argument must be a point")
+    return shape.contains_point(point)
+
+
+def _geo_contains(index: GeoIndex, point: Geometry) -> bool:
+    if not isinstance(point, Point):
+        raise ValueError("geo_contains second argument must be a point")
+    return bool(index.containing(point))
+
+
+def register_geo_functions(registry: FunctionRegistry) -> None:
+    """Install the plugin's scalar and aggregate functions."""
+
+    def scalar(name, signature, return_type, fn):
+        registry.register_scalar(
+            ScalarFunction(name, _fixed(signature, return_type), fn)
+        )
+
+    scalar("st_point", [DOUBLE, DOUBLE], GEOMETRY, lambda x, y: Point(float(x), float(y)))
+    scalar("st_contains", [GEOMETRY, GEOMETRY], BOOLEAN, _st_contains)
+    scalar("st_within", [GEOMETRY, GEOMETRY], BOOLEAN, lambda a, b: _st_contains(b, a))
+    scalar("st_geometry_from_text", [VARCHAR], GEOMETRY, parse_wkt)
+    scalar("st_as_text", [GEOMETRY], VARCHAR, format_wkt)
+    scalar("st_x", [GEOMETRY], DOUBLE, lambda p: p.x)
+    scalar("st_y", [GEOMETRY], DOUBLE, lambda p: p.y)
+    scalar(
+        "st_distance",
+        [GEOMETRY, GEOMETRY],
+        DOUBLE,
+        lambda a, b: a.distance(b),
+    )
+    scalar("geo_contains", [GEOMETRY, GEOMETRY], BOOLEAN, _geo_contains)
+
+    def resolve_build_geo_index(arg_types: Sequence[PrestoType]) -> Optional[PrestoType]:
+        if len(arg_types) == 1 and arg_types[0] is GEOMETRY:
+            return GEOMETRY
+        return None
+
+    registry.register_aggregate(
+        AggregateFunction(
+            "build_geo_index",
+            resolve_build_geo_index,
+            create_state=list,
+            add_input=lambda state, args: state + [args[0]] if args[0] is not None else state,
+            merge=lambda a, b: a + b,
+            finalize=lambda state: GeoIndex.build(list(enumerate(state))),
+        )
+    )
+
+
+# Plugin installation happens at import time (module bodies run once).
+register_geo_functions(default_registry())

@@ -1,0 +1,184 @@
+"""QuadTree spatial index (section VI.D, figure 11).
+
+"Quadtrees represent a partition of space in two dimensions by decomposing
+the region into four quadrants, sub-quadrants, and so on until the contents
+of the cells meet some criterion of data occupancy."
+
+We index geofence *bounding rectangles*: a geometry is stored in the
+deepest node whose quadrant fully contains its bounding box.  A point probe
+walks one root-to-leaf path and collects the geometries stored along it,
+so "the majority of bounded rectangles that do not contain target point
+could be filtered out" and ``st_contains`` runs only on the survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.geo.geometry import BoundingBox, Geometry, Point
+
+
+class QuadTree:
+    """A region quadtree over axis-aligned bounding boxes."""
+
+    DEFAULT_CAPACITY = 8
+    DEFAULT_MAX_DEPTH = 16
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        capacity: int = DEFAULT_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        self.bounds = bounds
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _Node(bounds, 0)
+        self._size = 0
+
+    def insert(self, item_id: int, box: BoundingBox) -> None:
+        """Insert an item identified by ``item_id`` with bounding box ``box``."""
+        self._root.insert(item_id, box, self.capacity, self.max_depth)
+        self._size += 1
+
+    def query_point(self, x: float, y: float) -> list[int]:
+        """Ids of all items whose bounding box contains (x, y)."""
+        result: list[int] = []
+        self._root.collect_point(x, y, result)
+        return result
+
+    def query_box(self, box: BoundingBox) -> list[int]:
+        """Ids of all items whose bounding box intersects ``box``."""
+        result: list[int] = []
+        self._root.collect_box(box, result)
+        return result
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self) -> int:
+        return self._root.max_subtree_depth()
+
+
+class _Node:
+    __slots__ = ("bounds", "depth", "items", "children")
+
+    def __init__(self, bounds: BoundingBox, depth: int) -> None:
+        self.bounds = bounds
+        self.depth = depth
+        self.items: list[tuple[int, BoundingBox]] = []
+        self.children: Optional[list["_Node"]] = None
+
+    def insert(self, item_id: int, box: BoundingBox, capacity: int, max_depth: int) -> None:
+        if self.children is None:
+            self.items.append((item_id, box))
+            if len(self.items) > capacity and self.depth < max_depth:
+                self._split(capacity, max_depth)
+            return
+        child = self._child_containing(box)
+        if child is None:
+            self.items.append((item_id, box))
+        else:
+            child.insert(item_id, box, capacity, max_depth)
+
+    def _split(self, capacity: int, max_depth: int) -> None:
+        b = self.bounds
+        mid_x = (b.min_x + b.max_x) / 2
+        mid_y = (b.min_y + b.max_y) / 2
+        self.children = [
+            _Node(BoundingBox(b.min_x, b.min_y, mid_x, mid_y), self.depth + 1),
+            _Node(BoundingBox(mid_x, b.min_y, b.max_x, mid_y), self.depth + 1),
+            _Node(BoundingBox(b.min_x, mid_y, mid_x, b.max_y), self.depth + 1),
+            _Node(BoundingBox(mid_x, mid_y, b.max_x, b.max_y), self.depth + 1),
+        ]
+        staying: list[tuple[int, BoundingBox]] = []
+        for item_id, box in self.items:
+            child = self._child_containing(box)
+            if child is None:
+                staying.append((item_id, box))
+            else:
+                child.insert(item_id, box, capacity, max_depth)
+        self.items = staying
+
+    def _child_containing(self, box: BoundingBox) -> Optional["_Node"]:
+        assert self.children is not None
+        for child in self.children:
+            cb = child.bounds
+            if (
+                cb.min_x <= box.min_x
+                and box.max_x <= cb.max_x
+                and cb.min_y <= box.min_y
+                and box.max_y <= cb.max_y
+            ):
+                return child
+        return None
+
+    def collect_point(self, x: float, y: float, result: list[int]) -> None:
+        for item_id, box in self.items:
+            if box.contains(x, y):
+                result.append(item_id)
+        if self.children is not None:
+            for child in self.children:
+                if child.bounds.contains(x, y):
+                    child.collect_point(x, y, result)
+
+    def collect_box(self, box: BoundingBox, result: list[int]) -> None:
+        for item_id, item_box in self.items:
+            if item_box.intersects(box):
+                result.append(item_id)
+        if self.children is not None:
+            for child in self.children:
+                if child.bounds.intersects(box):
+                    child.collect_box(box, result)
+
+    def max_subtree_depth(self) -> int:
+        if self.children is None:
+            return self.depth
+        return max(child.max_subtree_depth() for child in self.children)
+
+
+class GeoIndex:
+    """The product of ``build_geo_index``: a QuadTree over geofences.
+
+    Serializes/deserializes geospatial polygons into a QuadTree (section
+    VI.E).  ``candidates(point)`` filters out geofences whose bounding
+    rectangle cannot contain the point; callers then run the exact
+    ``st_contains`` only on survivors.
+    """
+
+    def __init__(self, tree: QuadTree, geometries: dict[int, Geometry]) -> None:
+        self._tree = tree
+        self._geometries = geometries
+
+    @classmethod
+    def build(cls, items: Iterable[tuple[int, Geometry]]) -> "GeoIndex":
+        items = [(i, g) for i, g in items if g is not None]
+        if not items:
+            return cls(QuadTree(BoundingBox(0, 0, 1, 1)), {})
+        bounds = items[0][1].bounding_box()
+        for _, geometry in items[1:]:
+            bounds = bounds.union(geometry.bounding_box())
+        tree = QuadTree(bounds)
+        geometries: dict[int, Geometry] = {}
+        for item_id, geometry in items:
+            tree.insert(item_id, geometry.bounding_box())
+            geometries[item_id] = geometry
+        return cls(tree, geometries)
+
+    def candidates(self, point: Point) -> list[int]:
+        """Ids of geofences whose bounding box contains ``point``."""
+        return self._tree.query_point(point.x, point.y)
+
+    def containing(self, point: Point) -> list[int]:
+        """Exact: ids of geofences that truly contain ``point``."""
+        return [
+            item_id
+            for item_id in self.candidates(point)
+            if self._geometries[item_id].contains_point(point)
+        ]
+
+    def geometry(self, item_id: int) -> Geometry:
+        return self._geometries[item_id]
+
+    def __len__(self) -> int:
+        return len(self._geometries)

@@ -1,0 +1,125 @@
+"""Well-Known Text parsing and formatting (section VI.A).
+
+Supports the geometry kinds the paper's workloads use::
+
+    POINT (77.3548351 28.6973627)
+    POLYGON ((x1 y1, x2 y2, ..., x1 y1))
+    MULTIPOLYGON (((...)), ((...)))
+"""
+
+from __future__ import annotations
+
+from repro.geo.geometry import Geometry, MultiPolygon, Point, Polygon
+
+
+def parse_wkt(text: str) -> Geometry:
+    """Parse a WKT string into a geometry."""
+    parser = _WktParser(text)
+    geometry = parser.parse()
+    parser.expect_end()
+    return geometry
+
+
+def format_wkt(geometry: Geometry) -> str:
+    """Serialize a geometry back to WKT."""
+    if isinstance(geometry, Point):
+        return f"POINT ({_num(geometry.x)} {_num(geometry.y)})"
+    if isinstance(geometry, Polygon):
+        return f"POLYGON ({_ring(geometry.ring)})"
+    if isinstance(geometry, MultiPolygon):
+        inner = ", ".join(f"({_ring(p.ring)})" for p in geometry.polygons)
+        return f"MULTIPOLYGON ({inner})"
+    raise ValueError(f"cannot format {type(geometry).__name__} as WKT")
+
+
+def _num(value: float) -> str:
+    return repr(value) if not float(value).is_integer() else str(int(value))
+
+
+def _ring(ring: list[tuple[float, float]]) -> str:
+    return "(" + ", ".join(f"{_num(x)} {_num(y)}" for x, y in ring) + ")"
+
+
+class _WktParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> Geometry:
+        keyword = self._keyword()
+        if keyword == "point":
+            self._expect("(")
+            x, y = self._coordinate()
+            self._expect(")")
+            return Point(x, y)
+        if keyword == "polygon":
+            self._expect("(")
+            ring = self._parse_ring()
+            # Interior rings (holes) are parsed but not supported.
+            while self._peek() == ",":
+                raise ValueError("polygons with interior rings are not supported")
+            self._expect(")")
+            return Polygon(ring)
+        if keyword == "multipolygon":
+            self._expect("(")
+            polygons = [self._parse_polygon_body()]
+            while self._peek() == ",":
+                self._pos += 1
+                polygons.append(self._parse_polygon_body())
+            self._expect(")")
+            return MultiPolygon(polygons)
+        raise ValueError(f"unsupported WKT geometry {keyword!r}")
+
+    def _parse_polygon_body(self) -> Polygon:
+        self._expect("(")
+        ring = self._parse_ring()
+        self._expect(")")
+        return Polygon(ring)
+
+    def _parse_ring(self) -> list[tuple[float, float]]:
+        self._expect("(")
+        points = [self._coordinate()]
+        while self._peek() == ",":
+            self._pos += 1
+            points.append(self._coordinate())
+        self._expect(")")
+        return points
+
+    def _coordinate(self) -> tuple[float, float]:
+        return self._number(), self._number()
+
+    def _number(self) -> float:
+        self._skip_ws()
+        start = self._pos
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isdigit() or self._text[self._pos] in "+-.eE"
+        ):
+            self._pos += 1
+        if start == self._pos:
+            raise ValueError(f"expected number at {self._pos} in {self._text!r}")
+        return float(self._text[start : self._pos])
+
+    def _keyword(self) -> str:
+        self._skip_ws()
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos].isalpha():
+            self._pos += 1
+        return self._text[start : self._pos].lower()
+
+    def _peek(self) -> str | None:
+        self._skip_ws()
+        return self._text[self._pos] if self._pos < len(self._text) else None
+
+    def _expect(self, ch: str) -> None:
+        if self._peek() != ch:
+            raise ValueError(f"expected {ch!r} at {self._pos} in {self._text!r}")
+        self._pos += 1
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+    def expect_end(self) -> None:
+        self._skip_ws()
+        if self._pos != len(self._text):
+            raise ValueError(f"trailing input at {self._pos} in {self._text!r}")

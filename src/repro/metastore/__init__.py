@@ -1,0 +1,23 @@
+"""Metastore and the schema service.
+
+"Schemas are managed as a service outside of Presto, which tracks
+different versions of schemas, enforces schema evolution rules, and
+guarantees schema matching between Parquet file schema and metastore
+schema" (section V.A).
+"""
+
+from repro.metastore.metastore import HiveMetastore, PartitionInfo, TableInfo
+from repro.metastore.evolution import (
+    SchemaEvolutionValidator,
+    resolve_read_schema,
+)
+from repro.metastore.schema_service import SchemaService
+
+__all__ = [
+    "HiveMetastore",
+    "PartitionInfo",
+    "TableInfo",
+    "SchemaEvolutionValidator",
+    "SchemaService",
+    "resolve_read_schema",
+]

@@ -1,0 +1,64 @@
+"""The schema service: versioned schemas with enforced evolution rules.
+
+Lives outside the query engine ("Schemas are managed as a service outside
+of Presto"), owns the history of every table's schema, and gatekeeps
+changes through :class:`SchemaEvolutionValidator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import SchemaEvolutionError
+from repro.core.types import PrestoType
+from repro.metastore.evolution import SchemaEvolutionValidator
+
+
+@dataclass(frozen=True)
+class SchemaVersion:
+    version: int
+    columns: tuple[tuple[str, PrestoType], ...]
+
+
+class SchemaService:
+    """Tracks schema versions per table and enforces evolution rules."""
+
+    def __init__(self) -> None:
+        self._history: dict[str, list[SchemaVersion]] = {}
+        self._validator = SchemaEvolutionValidator()
+
+    def register(self, table: str, columns: list[tuple[str, PrestoType]]) -> SchemaVersion:
+        """Register a table's initial schema (version 1)."""
+        if table in self._history:
+            raise SchemaEvolutionError(f"schema for {table!r} already registered")
+        version = SchemaVersion(1, tuple(columns))
+        self._history[table] = [version]
+        return version
+
+    def evolve(self, table: str, columns: list[tuple[str, PrestoType]]) -> SchemaVersion:
+        """Propose a new schema; raises on forbidden changes."""
+        history = self._require(table)
+        current = history[-1]
+        self._validator.validate(list(current.columns), columns)
+        version = SchemaVersion(current.version + 1, tuple(columns))
+        history.append(version)
+        return version
+
+    def current(self, table: str) -> SchemaVersion:
+        return self._require(table)[-1]
+
+    def version(self, table: str, number: int) -> SchemaVersion:
+        for version in self._require(table):
+            if version.version == number:
+                return version
+        raise SchemaEvolutionError(f"{table!r} has no schema version {number}")
+
+    def history(self, table: str) -> list[SchemaVersion]:
+        return list(self._require(table))
+
+    def _require(self, table: str) -> list[SchemaVersion]:
+        history = self._history.get(table)
+        if history is None:
+            raise SchemaEvolutionError(f"no schema registered for {table!r}")
+        return history

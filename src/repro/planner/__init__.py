@@ -1,0 +1,43 @@
+"""Query planning: analyzer, logical plan, optimizer, fragmenter.
+
+The coordinator pipeline of figure 1: SQL text → AST (``repro.sql``) →
+logical plan (:mod:`repro.planner.analyzer`) → optimized physical plan
+(:mod:`repro.planner.optimizer`) → fragments (:mod:`repro.planner.fragmenter`).
+"""
+
+from repro.planner.plan import (
+    AggregationNode,
+    Aggregation,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    SpatialJoinNode,
+    TableScanNode,
+    TopNNode,
+    ValuesNode,
+)
+from repro.planner.analyzer import Analyzer, Session
+from repro.planner.optimizer import Optimizer
+
+__all__ = [
+    "AggregationNode",
+    "Aggregation",
+    "Analyzer",
+    "FilterNode",
+    "JoinNode",
+    "LimitNode",
+    "OutputNode",
+    "Optimizer",
+    "PlanNode",
+    "ProjectNode",
+    "Session",
+    "SortNode",
+    "SpatialJoinNode",
+    "TableScanNode",
+    "TopNNode",
+    "ValuesNode",
+]

@@ -1,0 +1,224 @@
+"""Plan fragmentation: dividing a plan into distributed stages.
+
+Section III: "The fragmenter divides the plan into fragments.  Each
+running plan fragment is called a stage, which could be executed in
+parallel.  Stage consists of tasks, which are processing one or many
+splits of input data."
+
+The fragmenter inserts exchange boundaries where data must move between
+machines and groups the operators between boundaries into
+:class:`PlanFragment` objects:
+
+- below each aggregation over distributed input: a *partial* fragment per
+  split side and a REPARTITION exchange on the grouping keys;
+- at each join: the build side ends in a REPARTITION (partitioned
+  distribution) or REPLICATE (broadcast) exchange;
+- at the top: a GATHER exchange into the single-node output fragment.
+
+The in-process executor does not need fragments to run a query (its
+pipeline is already correct); fragments drive the distributed EXPLAIN,
+the cluster simulation's task counting, and the federation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.planner.plan import (
+    AggregationNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    SpatialJoinNode,
+    TableScanNode,
+    TopNNode,
+    ValuesNode,
+)
+
+
+class ExchangeKind:
+    GATHER = "GATHER"  # all data to one node
+    REPARTITION = "REPARTITION"  # hash-partition on keys
+    REPLICATE = "REPLICATE"  # broadcast to every node
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """A data movement edge between two fragments."""
+
+    kind: str
+    source_fragment: int
+    partition_keys: tuple[str, ...] = ()
+
+
+@dataclass
+class PlanFragment:
+    """One stage: a connected operator subtree executed by parallel tasks."""
+
+    fragment_id: int
+    root: PlanNode
+    # Exchanges feeding this fragment, in source order.
+    inputs: list[Exchange] = field(default_factory=list)
+    # Distribution: 'source' (driven by connector splits), 'hash'
+    # (repartitioned intermediate), or 'single' (coordinator-side).
+    distribution: str = "source"
+
+    def describe(self) -> str:
+        lines = [f"Fragment {self.fragment_id} [{self.distribution}]"]
+        for exchange in self.inputs:
+            keys = f" keys={list(exchange.partition_keys)}" if exchange.partition_keys else ""
+            lines.append(
+                f"  input: {exchange.kind} from fragment {exchange.source_fragment}{keys}"
+            )
+        lines.extend("  " + line for line in self.root.pretty().splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
+class FragmentedPlan:
+    fragments: list[PlanFragment]
+
+    @property
+    def root_fragment(self) -> PlanFragment:
+        return self.fragments[-1]
+
+    def stage_count(self) -> int:
+        return len(self.fragments)
+
+    def describe(self) -> str:
+        return "\n\n".join(f.describe() for f in reversed(self.fragments))
+
+
+@dataclass(frozen=True)
+class RemoteSourceNode(PlanNode):
+    """Placeholder leaf standing for an exchange input inside a fragment."""
+
+    exchange: Exchange
+    output_variables: tuple = ()
+    id: str = field(default_factory=lambda: f"remote_{next(_remote_ids)}")
+
+    @property
+    def outputs(self):
+        return self.output_variables
+
+    def sources(self):
+        return ()
+
+    def replace_sources(self, new_sources):
+        assert not new_sources
+        return self
+
+    def describe(self) -> str:
+        keys = (
+            f" keys={list(self.exchange.partition_keys)}"
+            if self.exchange.partition_keys
+            else ""
+        )
+        return (
+            f"RemoteSource[{self.exchange.kind} <- fragment "
+            f"{self.exchange.source_fragment}]{keys}"
+        )
+
+
+_remote_ids = itertools.count()
+
+
+class Fragmenter:
+    """Splits an optimized plan into distributed fragments."""
+
+    def fragment(self, plan: OutputNode) -> FragmentedPlan:
+        self._fragments: list[PlanFragment] = []
+        body = plan.source
+        root_body, inputs, distribution = self._visit(body)
+        final_inputs = list(inputs)
+        if distribution != "single":
+            # Results gather onto the coordinator for output.
+            source_fragment = self._add_fragment(root_body, final_inputs, distribution)
+            gather = Exchange(ExchangeKind.GATHER, source_fragment.fragment_id)
+            root_body = RemoteSourceNode(gather, body.outputs)
+            final_inputs = [gather]
+        output = OutputNode(source=root_body, column_names=plan.column_names)
+        self._add_fragment(output, final_inputs, "single")
+        return FragmentedPlan(self._fragments)
+
+    def _add_fragment(
+        self, root: PlanNode, inputs: list[Exchange], distribution: str
+    ) -> PlanFragment:
+        fragment = PlanFragment(len(self._fragments), root, inputs, distribution)
+        self._fragments.append(fragment)
+        return fragment
+
+    def _visit(self, node: PlanNode) -> tuple[PlanNode, list[Exchange], str]:
+        """Returns (node within current fragment, exchange inputs, distribution)."""
+        if isinstance(node, (TableScanNode, ValuesNode)):
+            return node, [], "source"
+
+        if isinstance(node, (FilterNode, ProjectNode, LimitNode)):
+            child, inputs, distribution = self._visit(node.source)
+            return node.replace_sources([child]), inputs, distribution
+
+        if isinstance(node, AggregationNode):
+            child, inputs, distribution = self._visit(node.source)
+            if distribution == "single":
+                return node.replace_sources([child]), inputs, "single"
+            # Partial aggregation runs in the child's fragment; the final
+            # aggregation runs after a repartition on the grouping keys.
+            partial = node.replace_sources([child])
+            source_fragment = self._add_fragment(partial, inputs, distribution)
+            keys = tuple(k.name for k in node.group_keys)
+            kind = ExchangeKind.REPARTITION if keys else ExchangeKind.GATHER
+            exchange = Exchange(kind, source_fragment.fragment_id, keys)
+            remote = RemoteSourceNode(exchange, node.outputs)
+            final = AggregationNode(
+                source=remote,
+                group_keys=node.group_keys,
+                aggregations=node.aggregations,
+                step="FINAL",
+            )
+            return final, [exchange], "hash" if keys else "single"
+
+        if isinstance(node, (JoinNode, SpatialJoinNode)):
+            left, left_inputs, left_distribution = self._visit(node.sources()[0])
+            right, right_inputs, _ = self._visit(node.sources()[1])
+            # The build side always crosses an exchange to reach the probe
+            # side's tasks: replicate for broadcast, repartition otherwise.
+            build_fragment = self._add_fragment(right, right_inputs, "source")
+            broadcast = (
+                isinstance(node, SpatialJoinNode)
+                or getattr(node, "distribution", "partitioned") == "broadcast"
+            )
+            if broadcast:
+                exchange = Exchange(ExchangeKind.REPLICATE, build_fragment.fragment_id)
+            else:
+                keys = tuple(r.name for _, r in node.criteria) if isinstance(node, JoinNode) else ()
+                exchange = Exchange(
+                    ExchangeKind.REPARTITION, build_fragment.fragment_id, keys
+                )
+            remote = RemoteSourceNode(exchange, node.sources()[1].outputs)
+            rebuilt = node.replace_sources([left, remote])
+            return rebuilt, left_inputs + [exchange], left_distribution
+
+        if isinstance(node, (SortNode, TopNNode)):
+            child, inputs, distribution = self._visit(node.source)
+            if distribution == "single":
+                return node.replace_sources([child]), inputs, "single"
+            # Global ordering requires gathering to one node.
+            source_fragment = self._add_fragment(child, inputs, distribution)
+            exchange = Exchange(ExchangeKind.GATHER, source_fragment.fragment_id)
+            remote = RemoteSourceNode(exchange, node.source.outputs)
+            return node.replace_sources([remote]), [exchange], "single"
+
+        if isinstance(node, RemoteSourceNode):
+            return node, [node.exchange], "hash"
+
+        # Unknown node kinds stay in the current fragment.
+        children = [self._visit(s) for s in node.sources()]
+        inputs = [e for _, es, _ in children for e in es]
+        rebuilt = node.replace_sources([c for c, _, _ in children])
+        return rebuilt, inputs, "source"

@@ -1,0 +1,8 @@
+"""Optimizer rules, one module per rule family.
+
+Each rule is a function ``(plan, context) -> plan`` applied by the
+:class:`~repro.planner.optimizer.Optimizer`.  Pushdown rules negotiate with
+connectors through the SPI, which is how "pushdown optimizations could be
+implemented for each connector as a connector specific optimizer rule"
+(section IV.B).
+"""

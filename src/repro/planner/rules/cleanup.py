@@ -1,0 +1,33 @@
+"""Cleanup rules: merge adjacent filters, drop identity projections."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.expressions import and_
+from repro.planner.plan import FilterNode, PlanNode, ProjectNode, rewrite_plan
+
+
+def merge_filters(plan: PlanNode, _ctx) -> PlanNode:
+    """Filter(Filter(x)) → Filter(x) with ANDed predicates."""
+
+    def rewriter(node: PlanNode) -> Optional[PlanNode]:
+        if isinstance(node, FilterNode) and isinstance(node.source, FilterNode):
+            return FilterNode(
+                source=node.source.source,
+                predicate=and_(node.source.predicate, node.predicate),
+            )
+        return None
+
+    return rewrite_plan(plan, rewriter)
+
+
+def remove_identity_projections(plan: PlanNode, _ctx) -> PlanNode:
+    """Drop projections that forward their input unchanged."""
+
+    def rewriter(node: PlanNode) -> Optional[PlanNode]:
+        if isinstance(node, ProjectNode) and node.is_identity():
+            return node.source
+        return None
+
+    return rewrite_plan(plan, rewriter)

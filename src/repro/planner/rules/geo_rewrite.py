@@ -1,0 +1,132 @@
+"""Geospatial query rewrite (section VI.E, figure 13).
+
+A join whose condition is ``st_contains(polygons.geo_shape,
+st_point(points.lng, points.lat))`` would execute as a nested loop testing
+every (point, geofence) pair — the brute force the paper says "could take
+days".  This rule rewrites it into a :class:`SpatialJoinNode`, whose
+execution builds a QuadTree over the polygon side on the fly
+(``build_geo_index``) and probes it per point (``geo_contains``), filtering
+out "the majority of bounded rectangles that do not contain target point".
+
+Session property ``geo_index_enabled=False`` keeps the SpatialJoinNode but
+forces the brute-force strategy, enabling the >50× comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.expressions import (
+    CallExpression,
+    VariableReferenceExpression,
+    combine_conjuncts,
+    conjuncts,
+)
+from repro.planner.plan import (
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    SpatialJoinNode,
+    rewrite_plan,
+)
+
+
+def rewrite_geospatial_joins(plan: PlanNode, ctx) -> PlanNode:
+    use_index = ctx.session.properties.get("geo_index_enabled", True)
+
+    def rewriter(node: PlanNode) -> Optional[PlanNode]:
+        # Normalize Filter(Join) so WHERE-clause st_contains also matches.
+        if (
+            isinstance(node, FilterNode)
+            and isinstance(node.source, JoinNode)
+            and not node.source.criteria
+            and node.source.join_type in ("inner", "cross")
+            and node.source.filter is None
+        ):
+            join = node.source
+            merged = JoinNode(
+                join_type="inner",
+                left=join.left,
+                right=join.right,
+                criteria=(),
+                filter=node.predicate,
+                distribution=join.distribution,
+            )
+            replacement = _rewrite_join(merged, use_index)
+            return replacement
+
+        if isinstance(node, JoinNode):
+            return _rewrite_join(node, use_index)
+        return None
+
+    return rewrite_plan(plan, rewriter)
+
+
+def _rewrite_join(join: JoinNode, use_index: bool) -> Optional[PlanNode]:
+    if join.criteria or join.join_type not in ("inner", "cross") or join.filter is None:
+        return None
+    left_names = {v.name for v in join.left.outputs}
+    right_names = {v.name for v in join.right.outputs}
+
+    spatial_conjunct = None
+    remaining = []
+    polygon_on_left = False
+    for conjunct in conjuncts(join.filter):
+        match = _match_st_contains(conjunct, left_names, right_names)
+        if match is not None and spatial_conjunct is None:
+            spatial_conjunct = match
+            polygon_on_left = match[2]
+        else:
+            remaining.append(conjunct)
+    if spatial_conjunct is None:
+        return None
+
+    polygon_variable, point_expression, polygon_left = spatial_conjunct
+    if polygon_left:
+        points_side, polygons_side = join.right, join.left
+    else:
+        points_side, polygons_side = join.left, join.right
+
+    spatial = SpatialJoinNode(
+        left=points_side,
+        right=polygons_side,
+        point_expression=point_expression,
+        polygon_variable=polygon_variable,
+        use_index=use_index,
+    )
+    result: PlanNode = spatial
+    if polygon_left:
+        # SpatialJoin outputs (points + polygons); restore (left + right).
+        reorder = tuple(
+            (v, v) for v in (join.left.outputs + join.right.outputs)
+        )
+        result = ProjectNode(source=result, assignments=reorder)
+    residual = combine_conjuncts(remaining)
+    if residual is not None:
+        result = FilterNode(source=result, predicate=residual)
+    return result
+
+
+def _match_st_contains(
+    conjunct, left_names: set[str], right_names: set[str]
+) -> Optional[tuple[VariableReferenceExpression, object, bool]]:
+    """Match st_contains(polygon_var, point_expr) split across the join.
+
+    Returns (polygon variable, point expression, polygon_is_on_left).
+    """
+    if not (
+        isinstance(conjunct, CallExpression)
+        and conjunct.function_handle.name == "st_contains"
+        and len(conjunct.arguments) == 2
+    ):
+        return None
+    shape, point = conjunct.arguments
+    if not isinstance(shape, VariableReferenceExpression):
+        return None
+    point_names = {v.name for v in point.variables()}
+    if shape.name in right_names and point_names <= left_names:
+        return shape, point, False
+    if shape.name in left_names and point_names <= right_names:
+        return shape, point, True
+    return None

@@ -1,0 +1,20 @@
+"""Presto-on-Spark: automatic query translation and batch fallback.
+
+Section XII.C: "Presto has limitations for big joins ... Presto will
+return an error, with message 'Insufficient Resource'.  ...  We need to
+resolve the problem either via: adding fault tolerance to Presto, or
+automatically translate failed Presto queries to other systems.  Presto on
+Spark is a good option, which enables users writing the same Presto SQL,
+with automatic translation."
+"""
+
+from repro.spark.batch_engine import BatchSqlEngine
+from repro.spark.translator import QueryTranslator
+from repro.spark.fallback import FallbackQueryRunner, RoutedResult
+
+__all__ = [
+    "BatchSqlEngine",
+    "QueryTranslator",
+    "FallbackQueryRunner",
+    "RoutedResult",
+]

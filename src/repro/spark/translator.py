@@ -1,0 +1,25 @@
+"""Presto SQL → SparkSQL translation.
+
+The user keeps writing Presto SQL; the translator parses it with the
+Presto frontend and re-renders it in the Spark dialect — function name
+differences included (``approx_distinct`` → ``approx_count_distinct``).
+"""
+
+from __future__ import annotations
+
+from repro.sql import parse_sql
+from repro.sql.formatter import SPARK, Dialect, format_query
+
+
+class QueryTranslator:
+    """Translates Presto SQL text into another dialect's SQL text."""
+
+    def __init__(self, target: Dialect = SPARK) -> None:
+        self.target = target
+        self.translated = 0
+
+    def translate(self, presto_sql: str) -> str:
+        """Parse with the Presto grammar, render in the target dialect."""
+        query = parse_sql(presto_sql)
+        self.translated += 1
+        return format_query(query, self.target)

@@ -1,0 +1,185 @@
+"""AST → SQL text rendering.
+
+Used by the Presto-on-Spark translator (section XII.C): a parsed query is
+re-rendered in the target dialect.  ``Dialect`` hooks cover the places
+Presto and SparkSQL disagree for our dialect subset (function names,
+identifier quoting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sql import ast
+
+
+@dataclass
+class Dialect:
+    """Rendering rules for one SQL dialect."""
+
+    name: str = "presto"
+    quote_char: str = '"'
+    # Function name translations applied at render time.
+    function_names: dict[str, str] = field(default_factory=dict)
+
+    def function(self, name: str) -> str:
+        return self.function_names.get(name.lower(), name)
+
+
+PRESTO = Dialect(name="presto")
+SPARK = Dialect(
+    name="spark",
+    quote_char="`",
+    function_names={
+        "approx_distinct": "approx_count_distinct",
+        "strpos": "instr",
+    },
+)
+
+
+def format_query(query: ast.Query, dialect: Dialect = PRESTO) -> str:
+    """Render a parsed query as SQL text in the given dialect."""
+    return _Formatter(dialect).query(query)
+
+
+class _Formatter:
+    def __init__(self, dialect: Dialect) -> None:
+        self._dialect = dialect
+
+    def identifier(self, name: str) -> str:
+        """Quote identifiers that are not plain names (or are keywords)."""
+        from repro.sql.lexer import KEYWORDS
+
+        plain = (
+            name
+            and (name[0].isalpha() or name[0] == "_")
+            and all(ch.isalnum() or ch == "_" for ch in name)
+            and name.lower() not in KEYWORDS
+            and name == name.lower()
+        )
+        if plain:
+            return name
+        quote = self._dialect.quote_char
+        return f"{quote}{name}{quote}"
+
+    def query(self, query: ast.Query) -> str:
+        parts = ["SELECT"]
+        if query.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self.select_item(i) for i in query.select_items))
+        if query.from_relation is not None:
+            parts.append("FROM " + self.relation(query.from_relation))
+        if query.where is not None:
+            parts.append("WHERE " + self.expression(query.where))
+        if query.group_by:
+            parts.append("GROUP BY " + ", ".join(self.expression(e) for e in query.group_by))
+        if query.having is not None:
+            parts.append("HAVING " + self.expression(query.having))
+        if query.order_by:
+            rendered = ", ".join(
+                self.expression(item.expression) + ("" if item.ascending else " DESC")
+                for item in query.order_by
+            )
+            parts.append("ORDER BY " + rendered)
+        if query.limit is not None:
+            parts.append(f"LIMIT {query.limit}")
+        for branch, branch_distinct in query.unions:
+            keyword = "UNION" if branch_distinct else "UNION ALL"
+            parts.append(f"{keyword} {self.query(branch)}")
+        return " ".join(parts)
+
+    def select_item(self, item: ast.SelectItem) -> str:
+        rendered = self.expression(item.expression)
+        if item.alias:
+            return f"{rendered} AS {self.identifier(item.alias)}"
+        return rendered
+
+    def relation(self, relation: ast.Relation) -> str:
+        if isinstance(relation, ast.TableReference):
+            name = ".".join(self.identifier(p) for p in relation.parts)
+            if relation.alias:
+                return f"{name} {self.identifier(relation.alias)}"
+            return name
+        if isinstance(relation, ast.SubqueryRelation):
+            inner = self.query(relation.query)
+            alias = f" {self.identifier(relation.alias)}" if relation.alias else ""
+            return f"({inner}){alias}"
+        if isinstance(relation, ast.Join):
+            left = self.relation(relation.left)
+            right = self.relation(relation.right)
+            if relation.join_type == "cross":
+                return f"{left} CROSS JOIN {right}"
+            keyword = {"inner": "JOIN", "left": "LEFT JOIN", "right": "RIGHT JOIN", "full": "FULL JOIN"}[
+                relation.join_type
+            ]
+            condition = self.expression(relation.condition)
+            return f"{left} {keyword} {right} ON {condition}"
+        raise ValueError(f"cannot format relation {type(relation).__name__}")
+
+    def expression(self, expression: ast.Expression) -> str:
+        if isinstance(expression, ast.Literal):
+            return self.literal(expression.value)
+        if isinstance(expression, ast.Identifier):
+            return ".".join(self.identifier(p) for p in expression.parts)
+        if isinstance(expression, ast.Star):
+            return f"{expression.qualifier}.*" if expression.qualifier else "*"
+        if isinstance(expression, ast.BinaryOp):
+            op = expression.operator.upper() if expression.operator in ("and", "or") else expression.operator
+            return f"({self.expression(expression.left)} {op} {self.expression(expression.right)})"
+        if isinstance(expression, ast.UnaryOp):
+            if expression.operator == "not":
+                return f"(NOT {self.expression(expression.operand)})"
+            return f"(-{self.expression(expression.operand)})"
+        if isinstance(expression, ast.FunctionCall):
+            name = self._dialect.function(expression.name)
+            if not expression.arguments and name.lower() == "count":
+                return "count(*)"
+            inner = ", ".join(self.expression(a) for a in expression.arguments)
+            distinct = "DISTINCT " if expression.distinct else ""
+            return f"{name}({distinct}{inner})"
+        if isinstance(expression, ast.InPredicate):
+            values = ", ".join(self.expression(c) for c in expression.candidates)
+            keyword = "NOT IN" if expression.negated else "IN"
+            return f"({self.expression(expression.value)} {keyword} ({values}))"
+        if isinstance(expression, ast.BetweenPredicate):
+            keyword = "NOT BETWEEN" if expression.negated else "BETWEEN"
+            return (
+                f"({self.expression(expression.value)} {keyword} "
+                f"{self.expression(expression.low)} AND {self.expression(expression.high)})"
+            )
+        if isinstance(expression, ast.LikePredicate):
+            keyword = "NOT LIKE" if expression.negated else "LIKE"
+            return f"({self.expression(expression.value)} {keyword} {self.expression(expression.pattern)})"
+        if isinstance(expression, ast.IsNullPredicate):
+            keyword = "IS NOT NULL" if expression.negated else "IS NULL"
+            return f"({self.expression(expression.value)} {keyword})"
+        if isinstance(expression, ast.Cast):
+            return f"CAST({self.expression(expression.expression)} AS {expression.target_type})"
+        if isinstance(expression, ast.CaseExpression):
+            clauses = " ".join(
+                f"WHEN {self.expression(c)} THEN {self.expression(v)}"
+                for c, v in expression.when_clauses
+            )
+            default = (
+                f" ELSE {self.expression(expression.default)}"
+                if expression.default is not None
+                else ""
+            )
+            return f"CASE {clauses}{default} END"
+        if isinstance(expression, ast.SubscriptExpression):
+            return f"{self.expression(expression.base)}[{self.expression(expression.index)}]"
+        if isinstance(expression, ast.LambdaExpression):
+            params = ", ".join(expression.parameters)
+            return f"({params}) -> {self.expression(expression.body)}"
+        raise ValueError(f"cannot format expression {type(expression).__name__}")
+
+    def literal(self, value: object) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(value)

@@ -1,0 +1,23 @@
+"""Simulated storage substrates: filesystem interface, HDFS, S3.
+
+These stand in for the remote storage systems of the paper's deployments.
+They hold real data (in memory) and charge modeled latencies to the
+simulated clock, so cache/IO experiments measure genuine calls avoided.
+"""
+
+from repro.storage.filesystem import FileStatus, FileSystem
+from repro.storage.hdfs import HdfsFileSystem, NameNode
+from repro.storage.s3 import S3Client, S3Object, S3ServerError
+from repro.storage.s3_filesystem import PrestoS3FileSystem, S3FileSystemStats
+
+__all__ = [
+    "FileStatus",
+    "FileSystem",
+    "HdfsFileSystem",
+    "NameNode",
+    "S3Client",
+    "S3Object",
+    "S3ServerError",
+    "PrestoS3FileSystem",
+    "S3FileSystemStats",
+]

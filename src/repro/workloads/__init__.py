@@ -1,0 +1,25 @@
+"""Synthetic workload generators standing in for production data.
+
+The paper evaluates on proprietary traffic (Uber trips tables, Twitter
+Druid queries, TPC-H LINEITEM for the writer benchmark).  These generators
+produce deterministic synthetic equivalents with the same shape: deep
+nesting, realistic selectivities, the stated query mixes.
+"""
+
+from repro.workloads.tpch import generate_lineitem, LINEITEM_COLUMNS, writer_benchmark_datasets
+from repro.workloads.trips import TRIPS_COLUMNS, generate_trips_rows, load_trips_table
+from repro.workloads.geofences import generate_cities, generate_trip_points
+from repro.workloads.druid_queries import DruidWorkload, build_druid_workload
+
+__all__ = [
+    "generate_lineitem",
+    "LINEITEM_COLUMNS",
+    "writer_benchmark_datasets",
+    "TRIPS_COLUMNS",
+    "generate_trips_rows",
+    "load_trips_table",
+    "generate_cities",
+    "generate_trip_points",
+    "DruidWorkload",
+    "build_druid_workload",
+]

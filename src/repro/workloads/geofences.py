@@ -1,0 +1,103 @@
+"""Synthetic geofences and trip points (section VI).
+
+"For a real city, it is not uncommon to see its geofence composed of
+hundreds or thousands of points."  Cities here are irregular polygons with
+a configurable vertex count laid out on a grid, and trip points are drawn
+so a controlled fraction lands inside some city.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.geo.geometry import Point, Polygon
+
+
+def _irregular_polygon(
+    center_x: float,
+    center_y: float,
+    mean_radius: float,
+    vertices: int,
+    rng: np.random.Generator,
+) -> Polygon:
+    """A closed, star-convex polygon with ``vertices`` distinct points."""
+    angles = np.sort(rng.uniform(0, 2 * math.pi, vertices))
+    radii = rng.uniform(0.6 * mean_radius, 1.4 * mean_radius, vertices)
+    ring = [
+        (center_x + float(r) * math.cos(float(a)), center_y + float(r) * math.sin(float(a)))
+        for a, r in zip(angles, radii)
+    ]
+    ring.append(ring[0])
+    return Polygon(ring)
+
+
+def generate_cities(
+    count: int,
+    vertices_per_city: int = 300,
+    city_radius: float = 0.5,
+    grid_spacing: float = 2.0,
+    seed: int = 31,
+) -> list[tuple[int, Polygon]]:
+    """(city_id, geofence) pairs laid out on a sparse grid.
+
+    Grid spacing > 2×radius keeps cities disjoint, matching real geofences.
+    """
+    rng = np.random.default_rng(seed)
+    side = math.ceil(math.sqrt(count))
+    cities = []
+    for city_id in range(1, count + 1):
+        gx = (city_id - 1) % side
+        gy = (city_id - 1) // side
+        cities.append(
+            (
+                city_id,
+                _irregular_polygon(
+                    gx * grid_spacing,
+                    gy * grid_spacing,
+                    city_radius,
+                    vertices_per_city,
+                    rng,
+                ),
+            )
+        )
+    return cities
+
+
+def generate_trip_points(
+    count: int,
+    cities: list[tuple[int, Polygon]],
+    in_city_fraction: float = 0.7,
+    seed: int = 37,
+) -> list[Point]:
+    """Trip destination points; ~``in_city_fraction`` land inside a city."""
+    rng = np.random.default_rng(seed)
+    points: list[Point] = []
+    bounds = cities[0][1].bounding_box()
+    for _, polygon in cities[1:]:
+        bounds = bounds.union(polygon.bounding_box())
+    while len(points) < count:
+        if rng.uniform() < in_city_fraction:
+            _, polygon = cities[int(rng.integers(0, len(cities)))]
+            box = polygon.bounding_box()
+            # Rejection-sample inside the city's bounding box.
+            for _ in range(50):
+                candidate = Point(
+                    float(rng.uniform(box.min_x, box.max_x)),
+                    float(rng.uniform(box.min_y, box.max_y)),
+                )
+                if polygon.contains_point(candidate):
+                    points.append(candidate)
+                    break
+            else:
+                points.append(Point(box.min_x, box.min_y))
+        else:
+            points.append(
+                Point(
+                    float(rng.uniform(bounds.min_x - 5, bounds.max_x + 5)),
+                    float(rng.uniform(bounds.min_y - 5, bounds.max_y + 5)),
+                )
+            )
+    return points

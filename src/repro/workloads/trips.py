@@ -1,0 +1,176 @@
+"""Uber-style nested trips data (sections II.A, V).
+
+Production shape: "users define one high level column with struct type.
+The struct consists of 20 or sometimes up to 50 fields.  Each field could
+be another struct, which has subfields inside.  It is not uncommon to see
+more than 5 levels of nesting."  The ``base`` struct here has 20 fields
+with 5 levels of nesting, partitioned by ``datestr`` like
+``rawdata.schemaless_mezzanine_trips_rows``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.page import Page
+from repro.core.types import (
+    ArrayType,
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    PrestoType,
+    RowType,
+    VARCHAR,
+)
+from repro.connectors.hive.writer import write_hive_partition
+from repro.metastore.metastore import HiveMetastore
+from repro.storage.filesystem import FileSystem
+
+# Level 5: deep-nested geo accuracy detail.
+_GPS_META = RowType.of(("provider", VARCHAR), ("accuracy_m", DOUBLE))
+# Level 4: address detail.
+_ADDRESS = RowType.of(
+    ("street", VARCHAR), ("city", VARCHAR), ("zip", VARCHAR), ("gps", _GPS_META)
+)
+# Level 3: a location.
+_LOCATION = RowType.of(("lat", DOUBLE), ("lng", DOUBLE), ("address", _ADDRESS))
+# Level 3: fare breakdown.
+_FARE_BREAKDOWN = RowType.of(
+    ("base_amount", DOUBLE), ("surge", DOUBLE), ("tolls", DOUBLE), ("tip", DOUBLE)
+)
+# Level 2: fare.
+_FARE = RowType.of(
+    ("amount", DOUBLE), ("currency", VARCHAR), ("breakdown", _FARE_BREAKDOWN)
+)
+
+# The high-level struct: 20 top fields, ≥5 levels of nesting in places.
+TRIPS_BASE_TYPE = RowType.of(
+    ("driver_uuid", VARCHAR),
+    ("client_uuid", VARCHAR),
+    ("city_id", BIGINT),
+    ("vehicle_id", BIGINT),
+    ("status", VARCHAR),
+    ("product", VARCHAR),
+    ("fare", _FARE),
+    ("pickup", _LOCATION),
+    ("dropoff", _LOCATION),
+    ("rating", DOUBLE),
+    ("eta_seconds", BIGINT),
+    ("distance_km", DOUBLE),
+    ("duration_seconds", BIGINT),
+    ("is_pool", BOOLEAN),
+    ("surge_multiplier", DOUBLE),
+    ("payment_method", VARCHAR),
+    ("promo_code", VARCHAR),
+    ("tags", ArrayType(VARCHAR)),
+    ("request_uuid", VARCHAR),
+    ("session_uuid", VARCHAR),
+)
+
+TRIPS_COLUMNS: list[tuple[str, PrestoType]] = [
+    ("base", TRIPS_BASE_TYPE),
+    ("fare_usd", DOUBLE),
+    ("completed", BOOLEAN),
+]
+
+TRIPS_PARTITION_KEYS: list[tuple[str, PrestoType]] = [("datestr", VARCHAR)]
+
+_STATUSES = ["completed", "canceled", "driver_canceled", "fraud"]
+_PRODUCTS = ["uberx", "pool", "black", "eats"]
+_PAYMENTS = ["card", "cash", "wallet"]
+_CITIES = ["San Francisco", "New York", "Chicago", "Delhi", "Nairobi"]
+
+
+def _location(rng: np.random.Generator) -> dict:
+    return {
+        "lat": round(float(rng.uniform(-37, 51)), 6),
+        "lng": round(float(rng.uniform(-122, 77)), 6),
+        "address": {
+            "street": f"{int(rng.integers(1, 2000))} Market St",
+            "city": _CITIES[int(rng.integers(0, len(_CITIES)))],
+            "zip": f"{int(rng.integers(10000, 99999))}",
+            "gps": {
+                "provider": "fused" if rng.uniform() < 0.8 else "gps",
+                "accuracy_m": round(float(rng.uniform(1, 50)), 1),
+            },
+        },
+    }
+
+
+def generate_trips_rows(
+    rows: int,
+    num_cities: int = 200,
+    seed: int = 23,
+) -> list[tuple]:
+    """Trips rows: (base struct, fare_usd, completed)."""
+    rng = np.random.default_rng(seed)
+    result = []
+    for i in range(rows):
+        status = _STATUSES[int(rng.choice(len(_STATUSES), p=[0.85, 0.09, 0.05, 0.01]))]
+        fare_amount = round(float(rng.gamma(3.0, 7.0)), 2)
+        base = {
+            "driver_uuid": f"driver-{int(rng.integers(0, max(rows // 20, 1)))}",
+            "client_uuid": f"client-{int(rng.integers(0, max(rows // 5, 1)))}",
+            "city_id": int(rng.integers(1, num_cities + 1)),
+            "vehicle_id": int(rng.integers(1, 100_000)),
+            "status": status,
+            "product": _PRODUCTS[int(rng.integers(0, len(_PRODUCTS)))],
+            "fare": {
+                "amount": fare_amount,
+                "currency": "USD",
+                "breakdown": {
+                    "base_amount": round(fare_amount * 0.7, 2),
+                    "surge": round(fare_amount * 0.2, 2),
+                    "tolls": round(fare_amount * 0.05, 2),
+                    "tip": round(fare_amount * 0.05, 2),
+                },
+            },
+            "pickup": _location(rng),
+            "dropoff": _location(rng),
+            "rating": round(float(rng.uniform(1, 5)), 1) if rng.uniform() < 0.6 else None,
+            "eta_seconds": int(rng.integers(30, 1200)),
+            "distance_km": round(float(rng.gamma(2.0, 3.0)), 2),
+            "duration_seconds": int(rng.integers(120, 5400)),
+            "is_pool": bool(rng.uniform() < 0.2),
+            "surge_multiplier": round(float(rng.choice([1.0, 1.0, 1.0, 1.2, 1.5, 2.1])), 1),
+            "payment_method": _PAYMENTS[int(rng.integers(0, len(_PAYMENTS)))],
+            "promo_code": f"PROMO{int(rng.integers(0, 50))}" if rng.uniform() < 0.1 else None,
+            "tags": ["airport"] if rng.uniform() < 0.15 else [],
+            "request_uuid": f"req-{i}",
+            "session_uuid": f"sess-{int(rng.integers(0, max(rows // 3, 1)))}",
+        }
+        result.append((base, fare_amount, status == "completed"))
+    return result
+
+
+def load_trips_table(
+    metastore: HiveMetastore,
+    filesystem: FileSystem,
+    dates: Sequence[str],
+    rows_per_date: int = 1000,
+    files_per_partition: int = 2,
+    row_group_size: int = 1000,
+    database: str = "rawdata",
+    table: str = "schemaless_mezzanine_trips_rows",
+    num_cities: int = 200,
+    seed: int = 23,
+) -> None:
+    """Create and populate the trips table across partitions."""
+    metastore.create_table(
+        database, table, TRIPS_COLUMNS, partition_keys=TRIPS_PARTITION_KEYS
+    )
+    types = [t for _, t in TRIPS_COLUMNS]
+    for index, date in enumerate(dates):
+        rows = generate_trips_rows(rows_per_date, num_cities=num_cities, seed=seed + index)
+        write_hive_partition(
+            metastore,
+            filesystem,
+            database,
+            table,
+            [date],
+            [Page.from_rows(types, rows)],
+            files=files_per_partition,
+            row_group_size=row_group_size,
+        )

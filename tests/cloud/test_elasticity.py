@@ -1,0 +1,81 @@
+"""Tests for cloud elasticity / autoscaling (section IX)."""
+
+from repro.cloud.elasticity import Autoscaler, AutoscalerPolicy
+from repro.execution.cluster import PrestoClusterSim, WorkerState
+
+
+def make(workers=4, slots=2):
+    cluster = PrestoClusterSim(workers=workers, slots_per_worker=slots)
+    scaler = Autoscaler(
+        cluster,
+        AutoscalerPolicy(min_workers=2, max_workers=10),
+        grace_period_ms=10.0,
+    )
+    return cluster, scaler
+
+
+class TestUtilization:
+    def test_idle_cluster_zero(self):
+        cluster, scaler = make()
+        assert scaler.utilization() == 0.0
+
+    def test_busy_cluster_high(self):
+        cluster, scaler = make(workers=1, slots=2)
+        cluster.submit_query([10_000.0] * 2)
+        # Let scheduling happen (events at planning time).
+        import heapq
+
+        # Process just the scheduling event, not the completions.
+        time_ms, seq, callback = heapq.heappop(cluster._events)
+        cluster.clock.advance(time_ms - cluster.clock.now_ms())
+        callback()
+        assert scaler.utilization() == 1.0
+
+
+class TestScaling:
+    def test_scale_out_under_load(self):
+        cluster, scaler = make(workers=1, slots=1)
+        cluster.submit_query([10_000.0] * 4)
+        import heapq
+
+        time_ms, seq, callback = heapq.heappop(cluster._events)
+        cluster.clock.advance(time_ms - cluster.clock.now_ms())
+        callback()
+        decision = scaler.evaluate()
+        assert decision == "out"
+        assert cluster.active_worker_count() == 2
+
+    def test_scale_in_when_idle(self):
+        cluster, scaler = make(workers=4)
+        decision = scaler.evaluate()
+        assert decision == "in"
+        shutting = [
+            w for w in cluster.workers.values() if w.state is WorkerState.SHUTTING_DOWN
+        ]
+        assert len(shutting) == 1
+        cluster.run_until_idle()
+        assert cluster.active_worker_count() == 3
+
+    def test_never_below_min_workers(self):
+        cluster, scaler = make(workers=2)
+        assert scaler.evaluate() == "hold"
+        assert cluster.active_worker_count() == 2
+
+    def test_never_above_max_workers(self):
+        cluster, scaler = make(workers=4)
+        scaler.policy.max_workers = 4
+        cluster.submit_query([10_000.0] * 100)
+        import heapq
+
+        time_ms, seq, callback = heapq.heappop(cluster._events)
+        cluster.clock.advance(time_ms - cluster.clock.now_ms())
+        callback()
+        assert scaler.evaluate() == "hold"
+
+    def test_shrink_does_not_lose_work(self):
+        cluster, scaler = make(workers=4, slots=1)
+        execution = cluster.submit_query([500.0] * 4)
+        scaler.evaluate()  # idle at submit time → may start a shrink
+        cluster.run_until_idle()
+        assert execution.finished_at is not None
+        assert execution.splits_done == 4

@@ -1,0 +1,130 @@
+"""Tests for the MySQL and Elasticsearch connectors, incl. federation joins."""
+
+import pytest
+
+from repro.connectors.elasticsearch import ElasticsearchCluster, ElasticsearchConnector
+from repro.connectors.mysql import MySqlConnector, MySqlServer
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+from repro.planner.plan import FilterNode, TableScanNode
+
+
+def make_mysql():
+    server = MySqlServer()
+    server.create_table(
+        "shop",
+        "users",
+        [("id", BIGINT), ("name", VARCHAR), ("city", VARCHAR)],
+        [(1, "ann", "sf"), (2, "bob", "nyc"), (3, "cat", "sf")],
+    )
+    return server
+
+
+class TestMySqlConnector:
+    def setup_method(self):
+        self.server = make_mysql()
+        self.engine = PrestoEngine(session=Session(catalog="mysql", schema="shop"))
+        self.engine.register_connector("mysql", MySqlConnector(self.server))
+
+    def test_basic_query(self):
+        result = self.engine.execute("SELECT name FROM users ORDER BY name")
+        assert [r[0] for r in result.rows] == ["ann", "bob", "cat"]
+
+    def test_qualified_name(self):
+        result = self.engine.execute("SELECT count(*) FROM mysql.shop.users")
+        assert result.rows == [(3,)]
+
+    def test_filter_pushed_to_server(self):
+        result = self.engine.execute("SELECT name FROM users WHERE city = 'sf'")
+        assert sorted(r[0] for r in result.rows) == ["ann", "cat"]
+        # Server returned only matching rows; engine scanned 2, not 3.
+        assert result.stats.rows_scanned == 2
+        assert self.server.stats.rows_returned == 2
+
+    def test_no_engine_side_filter_remains(self):
+        plan = self.engine.plan("SELECT name FROM users WHERE city = 'sf'")
+        assert not [n for n in plan.walk() if isinstance(n, FilterNode)]
+
+    def test_limit_pushdown(self):
+        result = self.engine.execute("SELECT name FROM users LIMIT 1")
+        assert self.server.stats.rows_returned == 1
+
+    def test_insert_visible(self):
+        self.server.insert("shop", "users", [(4, "dee", "chi")])
+        assert self.engine.execute("SELECT count(*) FROM users").rows == [(4,)]
+
+
+class TestElasticsearchConnector:
+    def setup_method(self):
+        self.cluster = ElasticsearchCluster(shards_per_index=2)
+        self.cluster.create_index(
+            "logs", [("service", VARCHAR), ("level", VARCHAR), ("latency", DOUBLE)]
+        )
+        self.cluster.index_documents(
+            "logs",
+            [
+                {"service": "api", "level": "error", "latency": 120.0},
+                {"service": "api", "level": "info", "latency": 10.0},
+                {"service": "web", "level": "error", "latency": 300.0},
+                {"service": "web", "level": "info", "latency": 20.0},
+            ],
+        )
+        self.engine = PrestoEngine(session=Session(catalog="es", schema="default"))
+        self.engine.register_connector("es", ElasticsearchConnector(self.cluster))
+
+    def test_index_as_table(self):
+        result = self.engine.execute("SELECT count(*) FROM logs")
+        assert result.rows == [(4,)]
+
+    def test_term_query_pushdown(self):
+        result = self.engine.execute(
+            "SELECT service FROM logs WHERE level = 'error' ORDER BY service"
+        )
+        assert [r[0] for r in result.rows] == ["api", "web"]
+        assert result.stats.rows_scanned == 2  # only hits streamed
+
+    def test_range_pushdown_inclusive(self):
+        result = self.engine.execute(
+            "SELECT service FROM logs WHERE latency >= 120"
+        )
+        assert sorted(r[0] for r in result.rows) == ["api", "web"]
+
+    def test_strict_range_stays_in_engine(self):
+        plan = self.engine.plan("SELECT service FROM logs WHERE latency > 120")
+        filters = [n for n in plan.walk() if isinstance(n, FilterNode)]
+        assert filters  # strict bound evaluated by the engine
+        result = self.engine.execute("SELECT service FROM logs WHERE latency > 120")
+        assert [r[0] for r in result.rows] == ["web"]
+
+    def test_aggregation_over_documents(self):
+        result = self.engine.execute(
+            "SELECT level, count(*) FROM logs GROUP BY level ORDER BY level"
+        )
+        assert result.rows == [("error", 2), ("info", 2)]
+
+
+class TestUnifiedSqlWithoutDataCopy:
+    """Section IV: join data across systems with no copy pipelines."""
+
+    def test_join_mysql_with_elasticsearch(self):
+        server = make_mysql()
+        cluster = ElasticsearchCluster()
+        cluster.create_index("events", [("user_city", VARCHAR), ("clicks", BIGINT)])
+        cluster.index_documents(
+            "events",
+            [
+                {"user_city": "sf", "clicks": 10},
+                {"user_city": "sf", "clicks": 5},
+                {"user_city": "nyc", "clicks": 7},
+            ],
+        )
+        engine = PrestoEngine(session=Session(catalog="mysql", schema="shop"))
+        engine.register_connector("mysql", MySqlConnector(server))
+        engine.register_connector("es", ElasticsearchConnector(cluster))
+        result = engine.execute(
+            "SELECT u.name, sum(e.clicks) FROM mysql.shop.users u "
+            "JOIN es.default.events e ON u.city = e.user_city "
+            "GROUP BY u.name ORDER BY u.name"
+        )
+        assert result.rows == [("ann", 15), ("bob", 7), ("cat", 15)]

@@ -1,0 +1,218 @@
+"""Unit tests for columnar blocks and pages."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import (
+    ArrayBlock,
+    DictionaryBlock,
+    LazyBlock,
+    MapBlock,
+    PrimitiveBlock,
+    RowBlock,
+    block_from_values,
+)
+from repro.core.page import Page, concat_pages
+from repro.core.types import (
+    ArrayType,
+    BIGINT,
+    DOUBLE,
+    MapType,
+    RowType,
+    VARCHAR,
+)
+
+
+class TestPrimitiveBlock:
+    def test_from_values_and_get(self):
+        block = PrimitiveBlock.from_values(BIGINT, [1, 2, 3])
+        assert block.position_count == 3
+        assert block.to_list() == [1, 2, 3]
+        assert isinstance(block.get(0), int)
+
+    def test_nulls(self):
+        block = PrimitiveBlock.from_values(BIGINT, [1, None, 3])
+        assert block.get(1) is None
+        assert block.is_null(1)
+        assert not block.is_null(0)
+        assert list(block.null_mask()) == [False, True, False]
+
+    def test_take(self):
+        block = PrimitiveBlock.from_values(VARCHAR, ["a", "b", "c", None])
+        taken = block.take(np.array([3, 1]))
+        assert taken.to_list() == [None, "b"]
+
+    def test_size_in_bytes_positive(self):
+        assert PrimitiveBlock.from_values(BIGINT, [1, 2]).size_in_bytes() > 0
+        assert PrimitiveBlock.from_values(VARCHAR, ["hello"]).size_in_bytes() >= 5
+
+
+class TestDictionaryBlock:
+    def test_lookup_through_ids(self):
+        dictionary = PrimitiveBlock.from_values(VARCHAR, ["x", "y"])
+        block = DictionaryBlock(dictionary, np.array([0, 1, 1, 0]))
+        assert block.to_list() == ["x", "y", "y", "x"]
+
+    def test_negative_id_is_null(self):
+        dictionary = PrimitiveBlock.from_values(BIGINT, [10, 20])
+        block = DictionaryBlock(dictionary, np.array([0, -1, 1]))
+        assert block.to_list() == [10, None, 20]
+        assert list(block.null_mask()) == [False, True, False]
+
+    def test_decode_matches_get(self):
+        dictionary = PrimitiveBlock.from_values(BIGINT, [5, 7])
+        block = DictionaryBlock(dictionary, np.array([1, 0, -1]))
+        assert block.decode().to_list() == block.to_list()
+
+    def test_take_preserves_dictionary(self):
+        dictionary = PrimitiveBlock.from_values(BIGINT, [5, 7])
+        block = DictionaryBlock(dictionary, np.array([1, 0, 1]))
+        taken = block.take(np.array([2, 0]))
+        assert taken.to_list() == [7, 7]
+        assert taken.dictionary is dictionary
+
+
+class TestRowBlock:
+    def setup_method(self):
+        self.row_type = RowType.of(("city_id", BIGINT), ("status", VARCHAR))
+
+    def test_from_values(self):
+        block = RowBlock.from_values(
+            self.row_type,
+            [{"city_id": 1, "status": "ok"}, None, {"city_id": 2, "status": "bad"}],
+        )
+        assert block.get(0) == {"city_id": 1, "status": "ok"}
+        assert block.get(1) is None
+        assert block.field("city_id").to_list() == [1, None, 2]
+
+    def test_pruned_projection(self):
+        # A RowBlock may materialize only some fields (nested column pruning).
+        block = RowBlock(
+            self.row_type,
+            {"city_id": PrimitiveBlock.from_values(BIGINT, [5, 6])},
+        )
+        assert block.get(0) == {"city_id": 5}
+        assert block.has_field("city_id")
+        assert not block.has_field("status")
+
+    def test_take(self):
+        block = RowBlock.from_values(
+            self.row_type, [{"city_id": i, "status": str(i)} for i in range(5)]
+        )
+        taken = block.take(np.array([4, 0]))
+        assert taken.get(0) == {"city_id": 4, "status": "4"}
+        assert taken.position_count == 2
+
+    def test_mismatched_field_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RowBlock(
+                self.row_type,
+                {
+                    "city_id": PrimitiveBlock.from_values(BIGINT, [1]),
+                    "status": PrimitiveBlock.from_values(VARCHAR, ["a", "b"]),
+                },
+            )
+
+
+class TestCollectionBlocks:
+    def test_array_block(self):
+        t = ArrayType(BIGINT)
+        block = ArrayBlock.from_values(t, [[1, 2], [], None, [3]])
+        assert block.get(0) == [1, 2]
+        assert block.get(1) == []
+        assert block.get(2) is None
+        assert block.get(3) == [3]
+
+    def test_map_block(self):
+        t = MapType(VARCHAR, DOUBLE)
+        block = MapBlock.from_values(t, [{"a": 1.0}, None, {}])
+        assert block.get(0) == {"a": 1.0}
+        assert block.get(1) is None
+        assert block.get(2) == {}
+
+    def test_array_take(self):
+        t = ArrayType(VARCHAR)
+        block = ArrayBlock.from_values(t, [["a"], ["b", "c"], None])
+        taken = block.take(np.array([2, 1]))
+        assert taken.to_list() == [None, ["b", "c"]]
+
+
+class TestLazyBlock:
+    def test_defers_loading(self):
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return PrimitiveBlock.from_values(BIGINT, [1, 2, 3])
+
+        block = LazyBlock(BIGINT, 3, loader)
+        assert not block.is_loaded
+        assert not loads
+        assert block.get(1) == 2
+        assert block.is_loaded
+        assert len(loads) == 1
+        block.get(2)
+        assert len(loads) == 1  # loader ran exactly once
+
+    def test_take_stays_lazy(self):
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return PrimitiveBlock.from_values(BIGINT, list(range(10)))
+
+        block = LazyBlock(BIGINT, 10, loader)
+        taken = block.take(np.array([1, 2]))
+        assert not loads
+        assert taken.to_list() == [1, 2]
+        assert len(loads) == 1
+
+    def test_loader_length_validated(self):
+        block = LazyBlock(BIGINT, 5, lambda: PrimitiveBlock.from_values(BIGINT, [1]))
+        with pytest.raises(ValueError):
+            block.loaded()
+
+
+class TestPage:
+    def test_from_rows_round_trip(self):
+        page = Page.from_rows([BIGINT, VARCHAR], [(1, "a"), (2, "b")])
+        assert page.to_rows() == [(1, "a"), (2, "b")]
+        assert page.channel_count == 2
+        assert page.position_count == 2
+
+    def test_take_and_select(self):
+        page = Page.from_rows([BIGINT, VARCHAR], [(i, str(i)) for i in range(4)])
+        filtered = page.take(np.array([3, 1]))
+        assert filtered.to_rows() == [(3, "3"), (1, "1")]
+        projected = page.select_channels([1])
+        assert projected.to_rows() == [("0",), ("1",), ("2",), ("3",)]
+
+    def test_mismatched_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            Page(
+                [
+                    PrimitiveBlock.from_values(BIGINT, [1]),
+                    PrimitiveBlock.from_values(BIGINT, [1, 2]),
+                ]
+            )
+
+    def test_concat_pages(self):
+        a = Page.from_rows([BIGINT], [(1,), (2,)])
+        b = Page.from_rows([BIGINT], [(3,)])
+        merged = concat_pages([BIGINT], [a, b])
+        assert merged.to_rows() == [(1,), (2,), (3,)]
+
+    def test_empty_page(self):
+        page = Page.from_rows([BIGINT, VARCHAR], [])
+        assert page.position_count == 0
+        assert page.to_rows() == []
+
+
+class TestBlockFromValues:
+    def test_dispatches_by_type(self):
+        assert isinstance(block_from_values(BIGINT, [1]), PrimitiveBlock)
+        assert isinstance(block_from_values(ArrayType(BIGINT), [[1]]), ArrayBlock)
+        assert isinstance(block_from_values(MapType(VARCHAR, BIGINT), [{}]), MapBlock)
+        assert isinstance(
+            block_from_values(RowType.of(("a", BIGINT)), [{"a": 1}]), RowBlock
+        )

@@ -1,0 +1,118 @@
+"""Custom function registration: the plugin extension surface.
+
+The geospatial plugin (section VI.E) registers its functions through the
+same public registry API exercised here — scalar UDFs with optional
+vectorized implementations, and aggregate functions with full
+create/add/merge/finalize state machines — and they become usable from
+SQL immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.connectors.memory import MemoryConnector
+from repro.core.functions import (
+    AggregateFunction,
+    FunctionRegistry,
+    ScalarFunction,
+    default_registry,
+)
+from repro.core.types import BIGINT, DOUBLE, PrestoType, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+
+
+def fixed(signature, return_type):
+    expected = tuple(signature)
+
+    def resolve(arg_types):
+        if len(arg_types) != len(expected):
+            return None
+        if all(got == want for got, want in zip(arg_types, expected)):
+            return return_type
+        return None
+
+    return resolve
+
+
+@pytest.fixture
+def engine():
+    registry = FunctionRegistry()
+    # Re-install the geo plugin on the private registry.
+    from repro.geo.functions import register_geo_functions
+
+    register_geo_functions(registry)
+
+    registry.register_scalar(
+        ScalarFunction(
+            "fare_with_tip",
+            fixed([DOUBLE, DOUBLE], DOUBLE),
+            lambda fare, pct: fare * (1.0 + pct),
+            vectorized=lambda fare, pct: fare * (1.0 + pct),
+        )
+    )
+    registry.register_aggregate(
+        AggregateFunction(
+            "second_largest",
+            lambda ts: ts[0] if len(ts) == 1 and ts[0].is_numeric() else None,
+            create_state=list,
+            add_input=lambda state, args: sorted(state + [args[0]])[-2:]
+            if args[0] is not None
+            else state,
+            merge=lambda a, b: sorted(a + b)[-2:],
+            finalize=lambda state: state[0] if len(state) == 2 else None,
+        )
+    )
+
+    connector = MemoryConnector()
+    connector.create_table(
+        "db",
+        "rides",
+        [("fare", DOUBLE), ("tip_pct", DOUBLE)],
+        [(10.0, 0.2), (20.0, 0.1), (30.0, 0.0)],
+    )
+    engine = PrestoEngine(
+        session=Session(catalog="memory", schema="db"), registry=registry
+    )
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestCustomScalar:
+    def test_udf_usable_in_projection(self, engine):
+        result = engine.execute(
+            "SELECT fare_with_tip(fare, tip_pct) FROM rides ORDER BY 1"
+        )
+        assert result.rows == [(12.0,), (22.0,), (30.0,)]
+
+    def test_udf_usable_in_predicate(self, engine):
+        result = engine.execute(
+            "SELECT fare FROM rides WHERE fare_with_tip(fare, tip_pct) > 20"
+        )
+        assert sorted(r[0] for r in result.rows) == [20.0, 30.0]
+
+    def test_wrong_arity_rejected(self, engine):
+        from repro.common.errors import SemanticError
+
+        with pytest.raises(SemanticError):
+            engine.execute("SELECT fare_with_tip(fare) FROM rides")
+
+
+class TestCustomAggregate:
+    def test_aggregate_usable_in_group_by_query(self, engine):
+        result = engine.execute("SELECT second_largest(fare) FROM rides")
+        assert result.rows == [(20.0,)]
+
+    def test_single_row_yields_null(self, engine):
+        result = engine.execute(
+            "SELECT second_largest(fare) FROM rides WHERE fare > 25"
+        )
+        assert result.rows == [(None,)]
+
+
+class TestRegistryIsolation:
+    def test_custom_functions_do_not_leak_to_default_registry(self, engine):
+        from repro.common.errors import SemanticError
+
+        with pytest.raises(SemanticError):
+            default_registry().resolve_scalar("fare_with_tip", [DOUBLE, DOUBLE])

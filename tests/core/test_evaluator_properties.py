@@ -1,0 +1,103 @@
+"""Property tests: SQL three-valued logic laws in the evaluator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import PrimitiveBlock
+from repro.core.evaluator import Evaluator
+from repro.core.expressions import and_, not_, or_, variable
+from repro.core.types import BOOLEAN
+
+tristate = st.one_of(st.none(), st.booleans())
+tristate_lists = st.lists(tristate, min_size=1, max_size=20)
+
+EVALUATOR = Evaluator()
+
+
+def evaluate(expression, **columns):
+    n = len(next(iter(columns.values())))
+    bindings = {
+        name: PrimitiveBlock.from_values(BOOLEAN, values)
+        for name, values in columns.items()
+    }
+    return EVALUATOR.evaluate(expression, bindings, n).to_list()
+
+
+A = variable("a", BOOLEAN)
+B = variable("b", BOOLEAN)
+
+
+def kleene_and(x, y):
+    if x is False or y is False:
+        return False
+    if x is None or y is None:
+        return None
+    return True
+
+
+def kleene_or(x, y):
+    if x is True or y is True:
+        return True
+    if x is None or y is None:
+        return None
+    return False
+
+
+@given(tristate_lists, st.data())
+@settings(max_examples=200, deadline=None)
+def test_and_matches_kleene_truth_table(a_values, data):
+    b_values = data.draw(
+        st.lists(tristate, min_size=len(a_values), max_size=len(a_values))
+    )
+    result = evaluate(and_(A, B), a=a_values, b=b_values)
+    assert result == [kleene_and(x, y) for x, y in zip(a_values, b_values)]
+
+
+@given(tristate_lists, st.data())
+@settings(max_examples=200, deadline=None)
+def test_or_matches_kleene_truth_table(a_values, data):
+    b_values = data.draw(
+        st.lists(tristate, min_size=len(a_values), max_size=len(a_values))
+    )
+    result = evaluate(or_(A, B), a=a_values, b=b_values)
+    assert result == [kleene_or(x, y) for x, y in zip(a_values, b_values)]
+
+
+@given(tristate_lists)
+@settings(max_examples=100, deadline=None)
+def test_double_negation(a_values):
+    assert evaluate(not_(not_(A)), a=a_values) == a_values
+
+
+@given(tristate_lists, st.data())
+@settings(max_examples=150, deadline=None)
+def test_de_morgan(a_values, data):
+    b_values = data.draw(
+        st.lists(tristate, min_size=len(a_values), max_size=len(a_values))
+    )
+    left = evaluate(not_(and_(A, B)), a=a_values, b=b_values)
+    right = evaluate(or_(not_(A), not_(B)), a=a_values, b=b_values)
+    assert left == right
+
+
+@given(tristate_lists, st.data())
+@settings(max_examples=150, deadline=None)
+def test_commutativity(a_values, data):
+    b_values = data.draw(
+        st.lists(tristate, min_size=len(a_values), max_size=len(a_values))
+    )
+    assert evaluate(and_(A, B), a=a_values, b=b_values) == evaluate(
+        and_(B, A), a=a_values, b=b_values
+    )
+    assert evaluate(or_(A, B), a=a_values, b=b_values) == evaluate(
+        or_(B, A), a=a_values, b=b_values
+    )
+
+
+@given(tristate_lists)
+@settings(max_examples=100, deadline=None)
+def test_filter_mask_treats_null_as_false(a_values):
+    mask = EVALUATOR.filter_mask(
+        A, {"a": PrimitiveBlock.from_values(BOOLEAN, a_values)}, len(a_values)
+    )
+    assert list(mask) == [v is True for v in a_values]

@@ -1,0 +1,122 @@
+"""Unit tests for the strict Presto type system."""
+
+import pytest
+
+from repro.core.types import (
+    ArrayType,
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    GEOMETRY,
+    INTEGER,
+    MapType,
+    RowField,
+    RowType,
+    UNKNOWN,
+    VARCHAR,
+    common_super_type,
+    parse_type,
+)
+
+
+class TestScalarTypes:
+    def test_singletons_compare_by_identity(self):
+        assert BIGINT == BIGINT
+        assert BIGINT != DOUBLE
+        assert parse_type("bigint") is BIGINT
+
+    def test_numeric_flags(self):
+        assert BIGINT.is_numeric()
+        assert DOUBLE.is_numeric()
+        assert not VARCHAR.is_numeric()
+        assert not BOOLEAN.is_numeric()
+
+    def test_geometry_not_orderable(self):
+        assert not GEOMETRY.is_orderable()
+        assert VARCHAR.is_orderable()
+
+    def test_display(self):
+        assert BIGINT.display() == "bigint"
+        assert VARCHAR.display() == "varchar"
+
+
+class TestRowType:
+    def test_field_lookup(self):
+        row = RowType.of(("city_id", BIGINT), ("driver_uuid", VARCHAR))
+        assert row.field_type("city_id") is BIGINT
+        assert row.field_index("driver_uuid") == 1
+        assert row.has_field("city_id")
+        assert not row.has_field("missing")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            RowType.of(("a", BIGINT), ("a", VARCHAR))
+
+    def test_display_round_trip(self):
+        row = RowType.of(("a", BIGINT), ("b", ArrayType(VARCHAR)))
+        assert parse_type(row.display()) == row
+
+    def test_nested_walk_enumerates_leaf_paths(self):
+        inner = RowType.of(("city_id", BIGINT), ("status", VARCHAR))
+        outer = RowType.of(("base", inner), ("datestr", VARCHAR))
+        paths = dict(outer.walk())
+        assert paths["base.city_id"] is BIGINT
+        assert paths["base.status"] is VARCHAR
+        assert paths["datestr"] is VARCHAR
+        assert paths["base"] == inner
+
+    def test_deeply_nested_round_trip(self):
+        # The paper: "more than 5 levels of nesting" is common.
+        t = BIGINT
+        for level in range(6):
+            t = RowType.of((f"level{level}", t))
+        assert parse_type(t.display()) == t
+
+    def test_equality_is_structural(self):
+        a = RowType.of(("x", BIGINT))
+        b = RowType.of(("x", BIGINT))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestParametricTypes:
+    def test_array_round_trip(self):
+        t = ArrayType(ArrayType(DOUBLE))
+        assert parse_type("array(array(double))") == t
+
+    def test_map_round_trip(self):
+        t = MapType(VARCHAR, DOUBLE)
+        assert parse_type("map(varchar, double)") == t
+
+    def test_aliases(self):
+        assert parse_type("string") is VARCHAR
+        assert parse_type("long") is BIGINT
+        assert parse_type("int") is INTEGER
+
+    def test_varchar_length_parameter_tolerated(self):
+        assert parse_type("varchar(255)") is VARCHAR
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("rowboat(a bigint)")
+        with pytest.raises(ValueError):
+            parse_type("bigint extra")
+        with pytest.raises(ValueError):
+            parse_type("array(bigint")
+
+
+class TestCoercion:
+    def test_integer_widens_to_bigint(self):
+        assert common_super_type(INTEGER, BIGINT) is BIGINT
+
+    def test_bigint_widens_to_double(self):
+        assert common_super_type(BIGINT, DOUBLE) is DOUBLE
+
+    def test_no_cross_kind_coercion(self):
+        # Strict typing per section V.A.
+        assert common_super_type(VARCHAR, BIGINT) is None
+        assert common_super_type(BOOLEAN, BIGINT) is None
+
+    def test_unknown_coerces_to_anything(self):
+        assert common_super_type(UNKNOWN, VARCHAR) is VARCHAR
+        assert common_super_type(BIGINT, UNKNOWN) is BIGINT

@@ -1,0 +1,99 @@
+"""Tests for the SQL shell."""
+
+import io
+
+import pytest
+
+from repro.cli import build_demo_engine, main, render_result
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT, VARCHAR
+from repro.execution.engine import PrestoEngine, QueryResult
+from repro.execution.context import QueryStats
+from repro.planner.analyzer import Session
+
+
+def tiny_engine():
+    connector = MemoryConnector()
+    connector.create_table("db", "t", [("k", BIGINT), ("s", VARCHAR)], [(1, "a"), (2, None)])
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestExecuteFlag:
+    def test_single_statement(self):
+        out = io.StringIO()
+        code = main(["-e", "SELECT k FROM t ORDER BY k"], engine=tiny_engine(), stdout=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "k" in text and "(2 rows)" in text
+
+    def test_multiple_statements(self):
+        out = io.StringIO()
+        code = main(
+            ["-e", "SELECT count(*) FROM t", "-e", "SHOW CATALOGS"],
+            engine=tiny_engine(),
+            stdout=out,
+        )
+        assert code == 0
+        assert "memory" in out.getvalue()
+
+    def test_error_returns_nonzero(self):
+        out = io.StringIO()
+        code = main(["-e", "SELECT nope FROM t"], engine=tiny_engine(), stdout=out)
+        assert code == 1
+        assert "Query failed" in out.getvalue()
+
+    def test_null_rendering(self):
+        out = io.StringIO()
+        main(["-e", "SELECT s FROM t ORDER BY k"], engine=tiny_engine(), stdout=out)
+        assert "NULL" in out.getvalue()
+
+
+class TestInteractive:
+    def test_reads_until_semicolon_and_quits(self):
+        out = io.StringIO()
+        stdin = io.StringIO("SELECT\ncount(*) FROM t;\nquit;\n")
+        code = main([], engine=tiny_engine(), stdin=stdin, stdout=out)
+        assert code == 0
+        assert "(1 row)" in out.getvalue()
+
+    def test_eof_exits(self):
+        out = io.StringIO()
+        code = main([], engine=tiny_engine(), stdin=io.StringIO(""), stdout=out)
+        assert code == 0
+
+    def test_error_does_not_kill_shell(self):
+        out = io.StringIO()
+        stdin = io.StringIO("SELECT nope FROM t;\nSELECT count(*) FROM t;\n")
+        main([], engine=tiny_engine(), stdin=stdin, stdout=out)
+        text = out.getvalue()
+        assert "Query failed" in text
+        assert "(1 row)" in text
+
+
+class TestDemoEngine:
+    def test_demo_warehouse_queryable(self):
+        engine = build_demo_engine()
+        assert engine.execute("SELECT count(*) FROM trips").rows == [(1000,)]
+        result = engine.execute(
+            "SELECT c.region, count(*) FROM trips t "
+            "JOIN mysql.dim.cities c ON t.base.city_id = c.city_id GROUP BY c.region"
+        )
+        assert sum(r[1] for r in result.rows) == 1000
+
+
+class TestRenderResult:
+    def test_alignment(self):
+        out = io.StringIO()
+        render_result(
+            QueryResult(["name", "n"], [("a", 1), ("long-name", 22)], QueryStats()), out
+        )
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith("name")
+        assert "(2 rows)" in lines[-1]
+
+    def test_empty(self):
+        out = io.StringIO()
+        render_result(QueryResult(["x"], [], QueryStats()), out)
+        assert "(0 rows)" in out.getvalue()

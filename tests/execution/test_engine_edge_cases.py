@@ -1,0 +1,166 @@
+"""Engine edge cases: empty inputs, nulls everywhere, odd-but-legal SQL."""
+
+import pytest
+
+from repro.common.errors import SemanticError
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import ArrayType, BIGINT, BOOLEAN, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+
+
+def make_engine(rows, columns=None):
+    connector = MemoryConnector(split_size=4)
+    connector.create_table(
+        "db",
+        "t",
+        columns or [("k", BIGINT), ("v", DOUBLE), ("s", VARCHAR)],
+        rows,
+    )
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestEmptyTable:
+    def setup_method(self):
+        self.engine = make_engine([])
+
+    def test_scan(self):
+        assert self.engine.execute("SELECT * FROM t").rows == []
+
+    def test_global_aggregates(self):
+        result = self.engine.execute("SELECT count(*), sum(v), min(s) FROM t")
+        assert result.rows == [(0, None, None)]
+
+    def test_group_by_empty(self):
+        assert self.engine.execute("SELECT k, count(*) FROM t GROUP BY k").rows == []
+
+    def test_join_against_empty(self):
+        assert (
+            self.engine.execute(
+                "SELECT count(*) FROM t a JOIN t b ON a.k = b.k"
+            ).rows
+            == [(0,)]
+        )
+
+    def test_order_limit_empty(self):
+        assert self.engine.execute("SELECT v FROM t ORDER BY v LIMIT 5").rows == []
+
+
+class TestNullHeavyData:
+    def setup_method(self):
+        self.engine = make_engine(
+            [
+                (None, None, None),
+                (1, None, "a"),
+                (None, 2.0, None),
+                (1, 3.0, "a"),
+            ]
+        )
+
+    def test_group_by_null_key_forms_a_group(self):
+        result = self.engine.execute(
+            "SELECT k, count(*) FROM t GROUP BY k ORDER BY 2 DESC"
+        )
+        assert sorted(result.rows, key=repr) == sorted([(1, 2), (None, 2)], key=repr)
+
+    def test_null_join_keys_never_match(self):
+        result = self.engine.execute(
+            "SELECT count(*) FROM t a JOIN t b ON a.k = b.k"
+        )
+        assert result.rows == [(4,)]  # only the two k=1 rows join (2x2)
+
+    def test_aggregates_skip_nulls(self):
+        result = self.engine.execute("SELECT count(v), sum(v), avg(v) FROM t")
+        assert result.rows == [(2, 5.0, 2.5)]
+
+    def test_where_null_comparison_filters_out(self):
+        assert self.engine.execute("SELECT count(*) FROM t WHERE v > 0").rows == [(2,)]
+
+    def test_is_null_predicates(self):
+        assert self.engine.execute("SELECT count(*) FROM t WHERE k IS NULL").rows == [(2,)]
+        assert self.engine.execute("SELECT count(*) FROM t WHERE k IS NOT NULL").rows == [(2,)]
+
+    def test_order_by_places_nulls_last_ascending(self):
+        result = self.engine.execute("SELECT v FROM t ORDER BY v")
+        assert result.rows == [(2.0,), (3.0,), (None,), (None,)]
+
+    def test_distinct_includes_null(self):
+        result = self.engine.execute("SELECT DISTINCT k FROM t")
+        assert sorted(map(repr, result.rows)) == sorted(map(repr, [(1,), (None,)]))
+
+
+class TestOddButLegal:
+    def setup_method(self):
+        self.engine = make_engine([(i, float(i), str(i)) for i in range(10)])
+
+    def test_limit_zero(self):
+        assert self.engine.execute("SELECT k FROM t LIMIT 0").rows == []
+
+    def test_limit_larger_than_table(self):
+        assert len(self.engine.execute("SELECT k FROM t LIMIT 1000").rows) == 10
+
+    def test_constant_only_group(self):
+        result = self.engine.execute("SELECT count(*) FROM t GROUP BY k > 100")
+        assert result.rows == [(10,)]
+
+    def test_select_same_column_twice(self):
+        result = self.engine.execute("SELECT k, k FROM t WHERE k = 3")
+        assert result.rows == [(3, 3)]
+        assert result.column_names == ["k", "k"]
+
+    def test_expression_only_select(self):
+        assert self.engine.execute("SELECT 2 + 2").rows == [(4,)]
+
+    def test_where_false_literal(self):
+        assert self.engine.execute("SELECT k FROM t WHERE false").rows == []
+
+    def test_where_true_literal(self):
+        assert len(self.engine.execute("SELECT k FROM t WHERE true").rows) == 10
+
+    def test_nested_subqueries(self):
+        result = self.engine.execute(
+            "SELECT max(x) FROM (SELECT k AS x FROM (SELECT k FROM t WHERE k < 8) inner_q) outer_q"
+        )
+        assert result.rows == [(7,)]
+
+    def test_self_join_three_way(self):
+        result = self.engine.execute(
+            "SELECT count(*) FROM t a JOIN t b ON a.k = b.k JOIN t c ON b.k = c.k"
+        )
+        assert result.rows == [(10,)]
+
+    def test_having_without_matching_groups(self):
+        result = self.engine.execute(
+            "SELECT k, count(*) FROM t GROUP BY k HAVING count(*) > 99"
+        )
+        assert result.rows == []
+
+    def test_order_by_multiple_directions(self):
+        engine = make_engine(
+            [(1, 2.0, "b"), (1, 1.0, "a"), (2, 9.0, "c")],
+        )
+        result = engine.execute("SELECT k, v FROM t ORDER BY k DESC, v ASC")
+        assert result.rows == [(2, 9.0), (1, 1.0), (1, 2.0)]
+
+
+class TestSessionProperties:
+    def test_broadcast_join_property_reaches_plan(self):
+        engine = make_engine([(1, 1.0, "a")])
+        engine.session.properties["join_distribution_type"] = "broadcast"
+        plan = engine.plan("SELECT count(*) FROM t a JOIN t b ON a.k = b.k")
+        from repro.planner.plan import JoinNode
+
+        joins = [n for n in plan.walk() if isinstance(n, JoinNode)]
+        assert joins[0].distribution == "broadcast"
+
+    def test_default_is_partitioned(self):
+        # Section XII.A: "we configure distributed hash join as default to
+        # support larger joins."
+        engine = make_engine([(1, 1.0, "a")])
+        plan = engine.plan("SELECT count(*) FROM t a JOIN t b ON a.k = b.k")
+        from repro.planner.plan import JoinNode
+
+        joins = [n for n in plan.walk() if isinstance(n, JoinNode)]
+        assert joins[0].distribution == "partitioned"

@@ -1,0 +1,97 @@
+"""End-to-end tests for lambda (higher-order) functions in SQL.
+
+Table I lists LambdaDefinitionExpression as a first-class RowExpression;
+these tests exercise it through real queries: transform / filter /
+any_match over array columns, including outer-column capture.
+"""
+
+import pytest
+
+from repro.common.errors import SemanticError
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import ArrayType, BIGINT, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+
+
+@pytest.fixture
+def engine():
+    connector = MemoryConnector()
+    connector.create_table(
+        "db",
+        "t",
+        [("id", BIGINT), ("nums", ArrayType(BIGINT)), ("bonus", BIGINT)],
+        [
+            (1, [1, 2, 3], 10),
+            (2, [], 20),
+            (3, None, 30),
+            (4, [7], 40),
+        ],
+    )
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestTransform:
+    def test_basic(self, engine):
+        result = engine.execute("SELECT id, transform(nums, x -> x * 2) FROM t ORDER BY id")
+        assert result.rows == [
+            (1, [2, 4, 6]),
+            (2, []),
+            (3, None),
+            (4, [14]),
+        ]
+
+    def test_captures_outer_column(self, engine):
+        result = engine.execute(
+            "SELECT id, transform(nums, x -> x + bonus) FROM t ORDER BY id"
+        )
+        assert result.rows[0] == (1, [11, 12, 13])
+        assert result.rows[3] == (4, [47])
+
+    def test_type_change(self, engine):
+        result = engine.execute(
+            "SELECT transform(nums, x -> cast(x AS varchar)) FROM t WHERE id = 1"
+        )
+        assert result.rows == [(["1", "2", "3"],)]
+
+
+class TestFilter:
+    def test_basic(self, engine):
+        result = engine.execute(
+            "SELECT id, filter(nums, x -> x >= 2) FROM t ORDER BY id"
+        )
+        assert result.rows == [(1, [2, 3]), (2, []), (3, None), (4, [7])]
+
+    def test_non_boolean_lambda_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.execute("SELECT filter(nums, x -> x + 1) FROM t")
+
+
+class TestAnyMatch:
+    def test_in_where_clause(self, engine):
+        result = engine.execute(
+            "SELECT id FROM t WHERE any_match(nums, x -> x > 5) ORDER BY id"
+        )
+        assert result.rows == [(4,)]
+
+    def test_null_and_empty_arrays(self, engine):
+        result = engine.execute(
+            "SELECT id, any_match(nums, x -> x > 0) FROM t ORDER BY id"
+        )
+        assert result.rows == [(1, True), (2, False), (3, None), (4, True)]
+
+
+class TestErrors:
+    def test_lambda_outside_higher_order_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.execute("SELECT lower(nums, x -> x) FROM t")
+
+    def test_non_array_argument_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.execute("SELECT transform(id, x -> x) FROM t")
+
+    def test_multi_parameter_lambda_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.execute("SELECT transform(nums, (x, y) -> x + y) FROM t")

@@ -1,0 +1,90 @@
+"""EXPLAIN / SHOW / DESCRIBE statement tests."""
+
+import pytest
+
+from repro.common.errors import SemanticError
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT, RowType, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+
+
+@pytest.fixture
+def engine():
+    connector = MemoryConnector()
+    connector.create_table(
+        "db",
+        "trips",
+        [("base", RowType.of(("city_id", BIGINT))), ("datestr", VARCHAR)],
+        [({"city_id": 1}, "2020-01-01")],
+    )
+    connector.create_table("db", "cities", [("city_id", BIGINT)], [(1,)])
+    connector.create_table("other", "misc", [("x", BIGINT)], [])
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestExplain:
+    def test_explain_returns_plan_rows(self, engine):
+        result = engine.execute("EXPLAIN SELECT count(*) FROM trips")
+        assert result.column_names == ["Query Plan"]
+        text = "\n".join(r[0] for r in result.rows)
+        assert "TableScan" in text and "Aggregation" in text
+
+    def test_explain_distributed(self, engine):
+        result = engine.execute(
+            "EXPLAIN (TYPE DISTRIBUTED) SELECT datestr, count(*) FROM trips GROUP BY datestr"
+        )
+        text = "\n".join(r[0] for r in result.rows)
+        assert "Fragment 0" in text
+        assert "REPARTITION" in text
+
+    def test_explain_multiline_query(self, engine):
+        result = engine.execute("EXPLAIN\nSELECT *\nFROM trips")
+        assert result.rows
+
+
+class TestShow:
+    def test_show_catalogs(self, engine):
+        assert engine.execute("SHOW CATALOGS").rows == [("memory",)]
+
+    def test_show_schemas(self, engine):
+        result = engine.execute("SHOW SCHEMAS")
+        assert sorted(r[0] for r in result.rows) == ["db", "other"]
+
+    def test_show_schemas_from(self, engine):
+        result = engine.execute("SHOW SCHEMAS FROM memory")
+        assert ("db",) in result.rows
+
+    def test_show_tables_default_schema(self, engine):
+        result = engine.execute("SHOW TABLES")
+        assert sorted(r[0] for r in result.rows) == ["cities", "trips"]
+
+    def test_show_tables_qualified(self, engine):
+        result = engine.execute("SHOW TABLES FROM memory.other")
+        assert result.rows == [("misc",)]
+
+    def test_show_tables_without_session_defaults(self):
+        engine = PrestoEngine()
+        with pytest.raises(SemanticError):
+            engine.execute("SHOW TABLES")
+
+
+class TestDescribe:
+    def test_describe_table(self, engine):
+        result = engine.execute("DESCRIBE trips")
+        assert result.column_names == ["Column", "Type"]
+        assert ("base", "row(city_id bigint)") in result.rows
+        assert ("datestr", "varchar") in result.rows
+
+    def test_desc_shorthand_and_qualified_name(self, engine):
+        result = engine.execute("DESC memory.other.misc")
+        assert result.rows == [("x", "bigint")]
+
+    def test_describe_missing_table(self, engine):
+        with pytest.raises(SemanticError):
+            engine.execute("DESCRIBE nope")
+
+    def test_trailing_semicolon_tolerated(self, engine):
+        assert engine.execute("SHOW CATALOGS;").rows == [("memory",)]

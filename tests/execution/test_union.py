@@ -1,0 +1,105 @@
+"""UNION / UNION ALL end-to-end tests."""
+
+import pytest
+
+from repro.common.errors import SemanticError
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+
+
+@pytest.fixture
+def engine():
+    connector = MemoryConnector()
+    connector.create_table(
+        "db", "a", [("k", BIGINT), ("name", VARCHAR)], [(1, "x"), (2, "y")]
+    )
+    connector.create_table(
+        "db", "b", [("k", BIGINT), ("name", VARCHAR)], [(2, "y"), (3, "z")]
+    )
+    connector.create_table("db", "c", [("v", DOUBLE)], [(1.5,), (2.5,)])
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestUnionAll:
+    def test_concatenates(self, engine):
+        result = engine.execute("SELECT k FROM a UNION ALL SELECT k FROM b")
+        assert sorted(r[0] for r in result.rows) == [1, 2, 2, 3]
+
+    def test_keeps_duplicates(self, engine):
+        result = engine.execute(
+            "SELECT name FROM a UNION ALL SELECT name FROM b"
+        )
+        assert sorted(r[0] for r in result.rows) == ["x", "y", "y", "z"]
+
+    def test_three_way_chain(self, engine):
+        result = engine.execute(
+            "SELECT k FROM a UNION ALL SELECT k FROM b UNION ALL SELECT k FROM a"
+        )
+        assert len(result.rows) == 6
+
+    def test_column_names_from_first_branch(self, engine):
+        result = engine.execute(
+            "SELECT k AS key_col FROM a UNION ALL SELECT k FROM b"
+        )
+        assert result.column_names == ["key_col"]
+
+    def test_expressions_in_branches(self, engine):
+        result = engine.execute(
+            "SELECT k * 10 FROM a UNION ALL SELECT k + 100 FROM b"
+        )
+        assert sorted(r[0] for r in result.rows) == [10, 20, 102, 103]
+
+    def test_numeric_widening_across_branches(self, engine):
+        result = engine.execute("SELECT k FROM a UNION ALL SELECT v FROM c")
+        assert sorted(r[0] for r in result.rows) == [1, 1.5, 2, 2.5]
+
+    def test_union_feeds_aggregation_via_subquery(self, engine):
+        result = engine.execute(
+            "SELECT count(*) FROM "
+            "(SELECT k FROM a UNION ALL SELECT k FROM b) u"
+        )
+        assert result.rows == [(4,)]
+
+
+class TestUnionDistinct:
+    def test_deduplicates(self, engine):
+        result = engine.execute("SELECT k FROM a UNION SELECT k FROM b")
+        assert sorted(r[0] for r in result.rows) == [1, 2, 3]
+
+    def test_union_distinct_keyword(self, engine):
+        result = engine.execute("SELECT name FROM a UNION DISTINCT SELECT name FROM b")
+        assert sorted(r[0] for r in result.rows) == ["x", "y", "z"]
+
+    def test_mixed_chain_dedups(self, engine):
+        result = engine.execute(
+            "SELECT k FROM a UNION ALL SELECT k FROM a UNION SELECT k FROM b"
+        )
+        assert sorted(r[0] for r in result.rows) == [1, 2, 3]
+
+
+class TestUnionErrors:
+    def test_column_count_mismatch(self, engine):
+        with pytest.raises(SemanticError, match="columns"):
+            engine.execute("SELECT k, name FROM a UNION ALL SELECT k FROM b")
+
+    def test_incompatible_types(self, engine):
+        with pytest.raises(SemanticError, match="incompatible"):
+            engine.execute("SELECT k FROM a UNION ALL SELECT name FROM b")
+
+
+class TestUnionUnderOptimizer:
+    def test_optimizer_equivalence(self, engine):
+        sql = (
+            "SELECT name, count(*) FROM "
+            "(SELECT name FROM a UNION ALL SELECT name FROM b) u "
+            "GROUP BY name ORDER BY 1"
+        )
+        optimized = engine.execute(sql)
+        unopt = PrestoEngine(
+            catalog=engine.catalog, session=engine.session, enable_optimizer=False
+        )
+        assert optimized.rows == unopt.execute(sql).rows

@@ -1,0 +1,110 @@
+"""Tests for the federation gateway and routing table (section VIII)."""
+
+import pytest
+
+from repro.common.errors import GatewayError
+from repro.execution.cluster import PrestoClusterSim
+from repro.federation.gateway import PrestoGateway
+from repro.federation.routing import RoutingTable
+
+
+def make_gateway():
+    gateway = PrestoGateway()
+    for name in ("dedicated-a", "dedicated-b", "shared"):
+        gateway.register_cluster(PrestoClusterSim(workers=2, name=name))
+    gateway.routing.assign_user("alice", "dedicated-a")
+    gateway.routing.assign_group("analytics", "dedicated-b")
+    gateway.routing.set_default("shared")
+    return gateway
+
+
+class TestRoutingTable:
+    def test_user_mapping_wins(self):
+        routing = RoutingTable()
+        routing.assign_user("alice", "a")
+        routing.assign_group("team", "b")
+        routing.set_default("c")
+        assert routing.resolve("alice", ("team",)) == "a"
+
+    def test_group_mapping(self):
+        routing = RoutingTable()
+        routing.assign_group("team", "b")
+        routing.set_default("c")
+        assert routing.resolve("bob", ("team",)) == "b"
+
+    def test_default(self):
+        routing = RoutingTable()
+        routing.set_default("c")
+        assert routing.resolve("carol") == "c"
+
+    def test_no_route(self):
+        with pytest.raises(GatewayError):
+            RoutingTable().resolve("nobody")
+
+    def test_reassignment_is_dynamic(self):
+        # "Presto administrators could play with MySQL to dynamically
+        # redirect any traffic to any cluster."
+        routing = RoutingTable()
+        routing.assign_user("alice", "a")
+        assert routing.resolve("alice") == "a"
+        routing.assign_user("alice", "b")
+        assert routing.resolve("alice") == "b"
+
+    def test_mapping_stored_in_mysql(self):
+        routing = RoutingTable()
+        routing.assign_user("alice", "a")
+        rows = routing.mysql.execute(
+            "presto_gateway", "routing", ["principal", "cluster"]
+        )
+        assert ("alice", "a") in rows
+
+    def test_remove(self):
+        routing = RoutingTable()
+        routing.assign_user("alice", "a")
+        routing.set_default("shared")
+        routing.remove("alice")
+        assert routing.resolve("alice") == "shared"
+
+
+class TestGateway:
+    def test_redirect_not_proxy(self):
+        gateway = make_gateway()
+        redirect = gateway.redirect("alice")
+        assert redirect.cluster_name == "dedicated-a"
+        assert redirect.status_code == 307
+
+    def test_submit_follows_redirect(self):
+        gateway = make_gateway()
+        execution = gateway.submit("alice", [10.0])
+        gateway.clusters["dedicated-a"].run_until_idle()
+        assert execution.finished_at is not None
+        assert execution.query_id.startswith("dedicated-a")
+
+    def test_group_routing(self):
+        gateway = make_gateway()
+        assert gateway.redirect("bob", ("analytics",)).cluster_name == "dedicated-b"
+
+    def test_default_routing(self):
+        gateway = make_gateway()
+        assert gateway.redirect("random-user").cluster_name == "shared"
+
+    def test_drain_for_maintenance(self):
+        # "When we are doing cluster maintenance or software upgrade, we
+        # will redirect traffic ... to guarantee no downtime."
+        gateway = make_gateway()
+        gateway.drain_cluster("dedicated-a", fallback="shared")
+        assert gateway.redirect("alice").cluster_name == "shared"
+        gateway.undrain_cluster("dedicated-a")
+        assert gateway.redirect("alice").cluster_name == "dedicated-a"
+
+    def test_unknown_cluster_route_rejected(self):
+        gateway = make_gateway()
+        gateway.routing.assign_user("dave", "no-such-cluster")
+        with pytest.raises(GatewayError):
+            gateway.redirect("dave")
+
+    def test_gateway_is_stateless_per_query(self):
+        gateway = make_gateway()
+        for _ in range(10):
+            gateway.submit("random", [5.0])
+        assert gateway.redirects_served == 10

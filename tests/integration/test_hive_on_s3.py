@@ -1,0 +1,101 @@
+"""Integration: the Hive connector over PrestoS3FileSystem (section IX).
+
+"We could store data in Amazon S3 or Google GCS, and launch Presto to
+query it" — the connector is storage-agnostic through the FileSystem
+interface, so the same warehouse code runs on simulated S3, including
+caches and transient-failure recovery.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cache.file_list_cache import FileListCache
+from repro.cache.footer_cache import FileHandleAndFooterCache
+from repro.common.clock import SimulatedClock
+from repro.connectors.hive import HiveConnector, write_hive_partition
+from repro.core.page import Page
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.metastore.metastore import HiveMetastore
+from repro.planner.analyzer import Session
+from repro.storage.s3 import S3Client, S3ServerError
+from repro.storage.s3_filesystem import PrestoS3FileSystem
+
+
+def build(failure_injector=None, caches=False):
+    client = S3Client(clock=SimulatedClock(), failure_injector=failure_injector)
+    fs = PrestoS3FileSystem(client, "lakehouse", backoff_base_ms=10)
+    metastore = HiveMetastore()
+    metastore.create_table(
+        "web",
+        "clicks",
+        [("user_id", BIGINT), ("dwell", DOUBLE)],
+        partition_keys=[("ds", VARCHAR)],
+    )
+    for ds in ("2022-06-01", "2022-06-02"):
+        rows = [(i % 25, float(i % 7)) for i in range(300)]
+        write_hive_partition(
+            metastore, fs, "web", "clicks", [ds],
+            [Page.from_rows([BIGINT, DOUBLE], rows)], files=2,
+        )
+    connector = HiveConnector(
+        metastore,
+        fs,
+        file_list_cache=FileListCache(fs) if caches else None,
+        footer_cache=FileHandleAndFooterCache(fs) if caches else None,
+    )
+    engine = PrestoEngine(session=Session(catalog="hive", schema="web"))
+    engine.register_connector("hive", connector)
+    return engine, client, fs
+
+
+class TestHiveOnS3:
+    def test_full_query_over_s3(self):
+        engine, client, fs = build()
+        result = engine.execute("SELECT count(*), sum(dwell) FROM clicks")
+        assert result.rows == [(600, float(sum(i % 7 for i in range(300)) * 2))]
+
+    def test_partition_pruning_limits_s3_lists(self):
+        engine, client, fs = build()
+        client.stats.reset()
+        engine.execute("SELECT count(*) FROM clicks WHERE ds = '2022-06-01'")
+        assert client.stats.list_requests == 1  # one partition listed
+
+    def test_group_by_over_s3(self):
+        engine, client, fs = build()
+        result = engine.execute(
+            "SELECT user_id, count(*) FROM clicks GROUP BY user_id ORDER BY 1 LIMIT 3"
+        )
+        assert result.rows == [(0, 24), (1, 24), (2, 24)]
+
+    def test_transient_s3_failures_are_absorbed(self):
+        # Every 7th request fails; exponential backoff retries them all.
+        counter = itertools.count()
+        engine, client, fs = build(
+            failure_injector=lambda op: next(counter) % 7 == 6
+        )
+        result = engine.execute("SELECT count(*) FROM clicks")
+        assert result.rows == [(600,)]
+        assert fs.stats.retries > 0
+
+    def test_hard_outage_surfaces(self):
+        engine, client, fs = build()
+        # Outage begins after the warehouse is written.
+        client.failure_injector = lambda op: True
+        fs.max_retries = 2
+        with pytest.raises(S3ServerError):
+            engine.execute("SELECT count(*) FROM clicks")
+
+    def test_caches_cut_s3_requests(self):
+        cold_engine, cold_client, _ = build(caches=False)
+        warm_engine, warm_client, _ = build(caches=True)
+        sql = "SELECT sum(dwell) FROM clicks"
+        for engine in (cold_engine, warm_engine):
+            engine.execute(sql)  # first query warms the caches
+        cold_client.stats.reset()
+        warm_client.stats.reset()
+        for _ in range(3):
+            assert cold_engine.execute(sql).rows == warm_engine.execute(sql).rows
+        assert warm_client.stats.list_requests < cold_client.stats.list_requests
+        assert warm_client.stats.head_requests < cold_client.stats.head_requests

@@ -1,0 +1,149 @@
+"""Metastore and schema service tests."""
+
+import pytest
+
+from repro.common.errors import ConnectorError, SchemaEvolutionError
+from repro.core.types import BIGINT, DOUBLE, RowType, VARCHAR
+from repro.metastore.evolution import SchemaEvolutionValidator, resolve_read_schema
+from repro.metastore.metastore import HiveMetastore
+from repro.metastore.schema_service import SchemaService
+
+
+class TestMetastore:
+    def setup_method(self):
+        self.metastore = HiveMetastore()
+        self.metastore.create_table(
+            "rawdata",
+            "trips",
+            [("base", RowType.of(("city_id", BIGINT)))],
+            partition_keys=[("datestr", VARCHAR)],
+        )
+
+    def test_create_and_get(self):
+        table = self.metastore.get_table("rawdata", "trips")
+        assert table.partition_key_names() == ["datestr"]
+        assert table.location == "/warehouse/rawdata/trips"
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConnectorError):
+            self.metastore.create_table("rawdata", "trips", [("x", BIGINT)])
+
+    def test_partitions(self):
+        self.metastore.add_partition("rawdata", "trips", ["2017-03-02"])
+        partition = self.metastore.get_partition("rawdata", "trips", ["2017-03-02"])
+        assert partition.location == "/warehouse/rawdata/trips/datestr=2017-03-02"
+        assert partition.sealed
+
+    def test_open_partition_and_seal(self):
+        self.metastore.add_partition("rawdata", "trips", ["2017-03-03"], sealed=False)
+        assert not self.metastore.get_partition("rawdata", "trips", ["2017-03-03"]).sealed
+        self.metastore.seal_partition("rawdata", "trips", ["2017-03-03"])
+        assert self.metastore.get_partition("rawdata", "trips", ["2017-03-03"]).sealed
+
+    def test_wrong_partition_arity(self):
+        with pytest.raises(ConnectorError):
+            self.metastore.add_partition("rawdata", "trips", ["a", "b"])
+
+    def test_version_bumps_on_mutation(self):
+        version = self.metastore.version
+        self.metastore.add_partition("rawdata", "trips", ["2017-03-04"])
+        assert self.metastore.version > version
+
+    def test_listing(self):
+        assert self.metastore.list_databases() == ["rawdata"]
+        assert self.metastore.list_tables("rawdata") == ["trips"]
+
+
+class TestEvolutionRules:
+    def setup_method(self):
+        self.validator = SchemaEvolutionValidator()
+        self.base = RowType.of(("city_id", BIGINT), ("status", VARCHAR))
+
+    def test_adding_field_allowed(self):
+        new_base = RowType.of(
+            ("city_id", BIGINT), ("status", VARCHAR), ("surge", DOUBLE)
+        )
+        changes = self.validator.validate([("base", self.base)], [("base", new_base)])
+        assert [c.kind for c in changes] == ["add"]
+        assert changes[0].path == "base.surge"
+
+    def test_removing_field_allowed(self):
+        new_base = RowType.of(("city_id", BIGINT))
+        changes = self.validator.validate([("base", self.base)], [("base", new_base)])
+        assert [c.kind for c in changes] == ["remove"]
+
+    def test_type_change_rejected(self):
+        new_base = RowType.of(("city_id", VARCHAR), ("status", VARCHAR))
+        with pytest.raises(SchemaEvolutionError, match="type change"):
+            self.validator.validate([("base", self.base)], [("base", new_base)])
+
+    def test_rename_rejected(self):
+        new_base = RowType.of(("city_identifier", BIGINT), ("status", VARCHAR))
+        with pytest.raises(SchemaEvolutionError, match="rename"):
+            self.validator.validate([("base", self.base)], [("base", new_base)])
+
+    def test_deep_nested_add(self):
+        old = RowType.of(("inner", RowType.of(("a", BIGINT))))
+        new = RowType.of(("inner", RowType.of(("a", BIGINT), ("b", VARCHAR))))
+        changes = self.validator.validate([("base", old)], [("base", new)])
+        assert changes[0].path == "base.inner.b"
+
+    def test_top_level_column_add(self):
+        changes = self.validator.validate(
+            [("a", BIGINT)], [("a", BIGINT), ("b", VARCHAR)]
+        )
+        assert [c.kind for c in changes] == ["add"]
+
+
+class TestReadSchemaResolution:
+    def test_added_column_reads_null(self):
+        resolution = resolve_read_schema(
+            [("a", BIGINT)], [("a", BIGINT), ("b", VARCHAR)]
+        )
+        assert resolution == [("a", BIGINT, "read"), ("b", VARCHAR, "null")]
+
+    def test_removed_column_ignored(self):
+        resolution = resolve_read_schema(
+            [("a", BIGINT), ("zombie", VARCHAR)], [("a", BIGINT)]
+        )
+        assert resolution == [("a", BIGINT, "read")]
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(SchemaEvolutionError):
+            resolve_read_schema([("a", BIGINT)], [("a", VARCHAR)])
+
+
+class TestSchemaService:
+    def setup_method(self):
+        self.service = SchemaService()
+        self.service.register("trips", [("base", RowType.of(("city_id", BIGINT)))])
+
+    def test_register_and_current(self):
+        assert self.service.current("trips").version == 1
+
+    def test_evolve_valid(self):
+        new = RowType.of(("city_id", BIGINT), ("surge", DOUBLE))
+        version = self.service.evolve("trips", [("base", new)])
+        assert version.version == 2
+        assert self.service.current("trips").version == 2
+
+    def test_evolve_invalid_rejected(self):
+        bad = RowType.of(("city_id", VARCHAR))
+        with pytest.raises(SchemaEvolutionError):
+            self.service.evolve("trips", [("base", bad)])
+        assert self.service.current("trips").version == 1
+
+    def test_history_and_version_lookup(self):
+        self.service.evolve(
+            "trips", [("base", RowType.of(("city_id", BIGINT), ("x", BIGINT)))]
+        )
+        assert len(self.service.history("trips")) == 2
+        assert self.service.version("trips", 1).version == 1
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(SchemaEvolutionError):
+            self.service.register("trips", [])
+
+    def test_unknown_table(self):
+        with pytest.raises(SchemaEvolutionError):
+            self.service.current("nope")

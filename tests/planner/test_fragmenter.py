@@ -1,0 +1,94 @@
+"""Fragmenter tests: plans divide into the stages of section III."""
+
+import pytest
+
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+from repro.planner.fragmenter import ExchangeKind, Fragmenter
+
+
+@pytest.fixture
+def engine():
+    connector = MemoryConnector()
+    connector.create_table(
+        "db", "facts", [("k", BIGINT), ("v", DOUBLE)], [(1, 1.0), (2, 2.0)]
+    )
+    connector.create_table(
+        "db", "dim", [("k", BIGINT), ("name", VARCHAR)], [(1, "a"), (2, "b")]
+    )
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+    engine.register_connector("memory", connector)
+    return engine
+
+
+def fragment(engine, sql):
+    return Fragmenter().fragment(engine.plan(sql))
+
+
+class TestFragmentation:
+    def test_simple_scan_has_two_stages(self, engine):
+        # Source stage + coordinator output stage.
+        plan = fragment(engine, "SELECT v FROM facts WHERE v > 1")
+        assert plan.stage_count() == 2
+        assert plan.fragments[0].distribution == "source"
+        assert plan.root_fragment.distribution == "single"
+        assert plan.fragments[-1].inputs[0].kind == ExchangeKind.GATHER
+
+    def test_group_by_splits_partial_and_final(self, engine):
+        plan = fragment(engine, "SELECT k, sum(v) FROM facts GROUP BY k")
+        # source (partial agg) → hash (final agg) → single (output)
+        assert plan.stage_count() == 3
+        repartitions = [
+            e
+            for f in plan.fragments
+            for e in f.inputs
+            if e.kind == ExchangeKind.REPARTITION
+        ]
+        assert len(repartitions) == 1
+        assert len(repartitions[0].partition_keys) == 1
+
+    def test_global_aggregation_gathers(self, engine):
+        plan = fragment(engine, "SELECT count(*) FROM facts")
+        kinds = [e.kind for f in plan.fragments for e in f.inputs]
+        assert ExchangeKind.GATHER in kinds
+        assert ExchangeKind.REPARTITION not in kinds
+
+    def test_partitioned_join_repartitions_build_side(self, engine):
+        plan = fragment(
+            engine, "SELECT count(*) FROM facts f JOIN dim d ON f.k = d.k"
+        )
+        kinds = [e.kind for f in plan.fragments for e in f.inputs]
+        assert ExchangeKind.REPARTITION in kinds
+
+    def test_broadcast_join_replicates_build_side(self, engine):
+        engine.session.properties["join_distribution_type"] = "broadcast"
+        plan = fragment(
+            engine, "SELECT count(*) FROM facts f JOIN dim d ON f.k = d.k"
+        )
+        kinds = [e.kind for f in plan.fragments for e in f.inputs]
+        assert ExchangeKind.REPLICATE in kinds
+        assert ExchangeKind.REPARTITION not in kinds
+        engine.session.properties.clear()
+
+    def test_order_by_gathers_before_sort(self, engine):
+        plan = fragment(engine, "SELECT v FROM facts ORDER BY v")
+        gathers = [
+            e for f in plan.fragments for e in f.inputs if e.kind == ExchangeKind.GATHER
+        ]
+        assert gathers  # the sort runs single-node after a gather
+
+    def test_describe_renders_all_fragments(self, engine):
+        text = engine.explain_distributed(
+            "SELECT k, sum(v) FROM facts GROUP BY k ORDER BY 2 DESC LIMIT 3"
+        )
+        assert "Fragment 0" in text
+        assert "RemoteSource" in text
+        assert "Output" in text
+
+    def test_fragment_ids_unique_and_root_last(self, engine):
+        plan = fragment(engine, "SELECT k, count(*) FROM facts GROUP BY k")
+        ids = [f.fragment_id for f in plan.fragments]
+        assert ids == sorted(set(ids))
+        assert plan.root_fragment.fragment_id == max(ids)

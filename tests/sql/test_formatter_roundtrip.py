@@ -1,0 +1,83 @@
+"""Property: parse → format → parse is the identity on the AST."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import parse_sql
+from repro.sql.formatter import PRESTO, format_query
+
+identifiers = st.sampled_from(["a", "b", "c", "city_id", "base"])
+literals = st.one_of(
+    st.integers(-100, 100),
+    st.sampled_from(["'x'", "'it''s'", "TRUE", "FALSE", "NULL", "1.5"]),
+)
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        if draw(st.booleans()):
+            return draw(identifiers)
+        value = draw(literals)
+        return str(value)
+    kind = draw(st.integers(0, 7))
+    if kind == 0:
+        left = draw(expressions(depth=depth - 1))
+        right = draw(expressions(depth=depth - 1))
+        op = draw(st.sampled_from(["+", "-", "*", "=", "<", ">=", "AND", "OR"]))
+        return f"({left} {op} {right})"
+    if kind == 1:
+        inner = draw(expressions(depth=depth - 1))
+        return f"(NOT {inner})"
+    if kind == 2:
+        inner = draw(expressions(depth=depth - 1))
+        return f"({inner} IS NULL)"
+    if kind == 3:
+        inner = draw(identifiers)
+        values = draw(st.lists(st.integers(0, 9), min_size=1, max_size=3))
+        return f"({inner} IN ({', '.join(map(str, values))}))"
+    if kind == 4:
+        inner = draw(identifiers)
+        return f"({inner} BETWEEN 1 AND 10)"
+    if kind == 5:
+        inner = draw(expressions(depth=depth - 1))
+        return f"lower(cast({inner} AS varchar))"
+    if kind == 6:
+        cond = draw(expressions(depth=depth - 1))
+        return f"CASE WHEN {cond} THEN 1 ELSE 2 END"
+    inner = draw(identifiers)
+    return f"({inner} LIKE 'x%')"
+
+
+@st.composite
+def queries(draw):
+    select = ", ".join(
+        draw(st.lists(expressions(), min_size=1, max_size=3))
+    )
+    sql = f"SELECT {select} FROM t"
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(expressions())}"
+    if draw(st.booleans()):
+        sql += f" GROUP BY {draw(identifiers)}"
+    if draw(st.booleans()):
+        sql += f" ORDER BY 1 DESC"
+    if draw(st.booleans()):
+        sql += f" LIMIT {draw(st.integers(1, 100))}"
+    return sql
+
+
+@given(queries())
+@settings(max_examples=250, deadline=None)
+def test_parse_format_parse_identity(sql):
+    first = parse_sql(sql)
+    rendered = format_query(first, PRESTO)
+    second = parse_sql(rendered)
+    assert first == second
+
+
+@given(queries())
+@settings(max_examples=100, deadline=None)
+def test_format_is_idempotent(sql):
+    once = format_query(parse_sql(sql), PRESTO)
+    twice = format_query(parse_sql(once), PRESTO)
+    assert once == twice

@@ -1,0 +1,84 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.common.errors import SyntaxError_
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)][:-1]  # drop END
+
+
+def texts(sql):
+    return [t.value for t in tokenize(sql)][:-1]
+
+
+class TestTokenKinds:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+        assert [t.value for t in tokens[:-1]] == ["select"] * 3
+
+    def test_identifiers(self):
+        tokens = tokenize("city_id base$col Trips")
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+        assert tokens[2].value == "trips"  # normalized lowercase
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"MixedCase"')
+        assert tokens[0].type is TokenType.QUOTED_IDENTIFIER
+        assert tokens[0].value == "MixedCase"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e6 2.5E-3")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[1].type is TokenType.DECIMAL
+        assert tokens[2].type is TokenType.DECIMAL
+        assert tokens[3].type is TokenType.DECIMAL
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "it's"
+
+    def test_operators(self):
+        assert texts("a <> b <= c != d -> e") == ["a", "<>", "b", "<=", "c", "!=", "d", "->", "e"]
+
+    def test_comments_skipped(self):
+        sql = """
+        SELECT x -- line comment
+        /* block
+           comment */ FROM t
+        """
+        assert texts(sql) == ["select", "x", "from", "t"]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+
+class TestLexerErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("SELECT 'oops")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("SELECT /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("SELECT @")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SyntaxError_) as info:
+            tokenize("SELECT\n  @")
+        assert info.value.line == 2
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  x")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3

@@ -1,0 +1,243 @@
+"""Parser unit tests, including the paper's example queries."""
+
+import pytest
+
+from repro.common.errors import SyntaxError_
+from repro.sql import ast, parse_sql
+
+
+class TestBasicSelect:
+    def test_select_columns(self):
+        q = parse_sql("SELECT a, b FROM t")
+        assert len(q.select_items) == 2
+        assert q.select_items[0].expression == ast.Identifier(("a",))
+        assert q.from_relation == ast.TableReference(("t",))
+
+    def test_select_star(self):
+        q = parse_sql("SELECT * FROM t")
+        assert isinstance(q.select_items[0].expression, ast.Star)
+
+    def test_qualified_table_name(self):
+        q = parse_sql("SELECT x FROM mysql.mydb.users")
+        assert q.from_relation.parts == ("mysql", "mydb", "users")
+
+    def test_aliases(self):
+        q = parse_sql("SELECT a AS x, b y FROM t z")
+        assert q.select_items[0].alias == "x"
+        assert q.select_items[1].alias == "y"
+        assert q.from_relation.alias == "z"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_limit(self):
+        assert parse_sql("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_no_from(self):
+        q = parse_sql("SELECT 1 + 1")
+        assert q.from_relation is None
+
+
+class TestPaperQueries:
+    def test_uber_trips_query(self):
+        # Section V.C: the nested-data example query.
+        q = parse_sql(
+            "SELECT base.driver_uuid FROM rawdata.schemaless_mezzanine_trips_rows "
+            "WHERE datestr = '2017-03-02' AND base.city_id in (12)"
+        )
+        assert q.select_items[0].expression == ast.Identifier(("base", "driver_uuid"))
+        where = q.where
+        assert isinstance(where, ast.BinaryOp)
+        assert where.operator == "and"
+        assert isinstance(where.right, ast.InPredicate)
+
+    def test_geospatial_query(self):
+        # Section VI.C: the trips-per-city geospatial join.
+        q = parse_sql(
+            "SELECT c.city_id, count(*) FROM trips_table as t "
+            "JOIN city_table as c "
+            "ON st_contains(c.geo_shape, st_point(t.dest_lng, t.dest_lat)) "
+            "WHERE datestr = '2017-08-01' GROUP BY 1"
+        )
+        join = q.from_relation
+        assert isinstance(join, ast.Join)
+        assert join.join_type == "inner"
+        assert isinstance(join.condition, ast.FunctionCall)
+        assert join.condition.name == "st_contains"
+        assert q.group_by == (ast.Literal(1),)
+
+    def test_druid_style_aggregation(self):
+        # Figure 2: SELECT columnA, max(columnB) FROM T WHERE pred GROUP BY columnA
+        q = parse_sql(
+            "SELECT columnA, max(columnB) FROM T WHERE columnA > 5 GROUP BY columnA"
+        )
+        agg = q.select_items[1].expression
+        assert isinstance(agg, ast.FunctionCall)
+        assert agg.name == "max"
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_sql(f"SELECT {text}").select_items[0].expression
+
+    def test_precedence(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinaryOp) and e.operator == "+"
+        assert isinstance(e.right, ast.BinaryOp) and e.right.operator == "*"
+
+    def test_and_or_precedence(self):
+        e = self.expr("a or b and c")
+        assert e.operator == "or"
+        assert e.right.operator == "and"
+
+    def test_parentheses(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.operator == "*"
+        assert e.left.operator == "+"
+
+    def test_not(self):
+        e = self.expr("not a")
+        assert isinstance(e, ast.UnaryOp) and e.operator == "not"
+
+    def test_unary_minus(self):
+        e = self.expr("-x")
+        assert isinstance(e, ast.UnaryOp) and e.operator == "-"
+
+    def test_between(self):
+        e = self.expr("x between 1 and 10")
+        assert isinstance(e, ast.BetweenPredicate)
+        assert not e.negated
+
+    def test_not_between(self):
+        e = self.expr("x not between 1 and 10")
+        assert isinstance(e, ast.BetweenPredicate)
+        assert e.negated
+
+    def test_in_list(self):
+        e = self.expr("city_id in (1, 2, 3)")
+        assert isinstance(e, ast.InPredicate)
+        assert len(e.candidates) == 3
+
+    def test_not_in(self):
+        e = self.expr("x not in (1)")
+        assert e.negated
+
+    def test_like(self):
+        e = self.expr("name like 'SF%'")
+        assert isinstance(e, ast.LikePredicate)
+
+    def test_is_null_and_is_not_null(self):
+        assert not self.expr("x is null").negated
+        assert self.expr("x is not null").negated
+
+    def test_cast(self):
+        e = self.expr("cast(x as bigint)")
+        assert isinstance(e, ast.Cast)
+        assert e.target_type == "bigint"
+
+    def test_cast_parametric_type(self):
+        e = self.expr("cast(x as map(varchar, double))")
+        assert e.target_type == "map(varchar, double)"
+
+    def test_case(self):
+        e = self.expr("case when x > 1 then 'big' else 'small' end")
+        assert isinstance(e, ast.CaseExpression)
+        assert len(e.when_clauses) == 1
+        assert e.default == ast.Literal("small")
+
+    def test_lambda_single_param(self):
+        e = self.expr("transform(arr, x -> x + 1)")
+        lam = e.arguments[1]
+        assert isinstance(lam, ast.LambdaExpression)
+        assert lam.parameters == ("x",)
+
+    def test_lambda_multi_param(self):
+        e = self.expr("reduce(arr, 0, (s, x) -> s + x, s -> s)")
+        lam = e.arguments[2]
+        assert isinstance(lam, ast.LambdaExpression)
+        assert lam.parameters == ("s", "x")
+
+    def test_subscript(self):
+        e = self.expr("m['key']")
+        assert isinstance(e, ast.SubscriptExpression)
+
+    def test_nested_dereference_identifier(self):
+        e = self.expr("t.base.city_id")
+        assert e == ast.Identifier(("t", "base", "city_id"))
+
+    def test_count_star(self):
+        e = self.expr("count(*)")
+        assert isinstance(e, ast.FunctionCall)
+        assert e.arguments == ()
+
+    def test_count_distinct(self):
+        e = self.expr("count(distinct x)")
+        assert e.distinct
+
+    def test_string_concat_operator(self):
+        e = self.expr("a || b")
+        assert e.operator == "||"
+
+
+class TestJoins:
+    def test_left_join(self):
+        q = parse_sql("SELECT * FROM a LEFT JOIN b ON a.id = b.id")
+        assert q.from_relation.join_type == "left"
+
+    def test_left_outer_join(self):
+        q = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert q.from_relation.join_type == "left"
+
+    def test_cross_join(self):
+        q = parse_sql("SELECT * FROM a CROSS JOIN b")
+        assert q.from_relation.join_type == "cross"
+        assert q.from_relation.condition is None
+
+    def test_chained_joins(self):
+        q = parse_sql(
+            "SELECT * FROM a JOIN b ON a.id = b.id JOIN c ON b.id = c.id"
+        )
+        outer = q.from_relation
+        assert isinstance(outer.left, ast.Join)
+
+    def test_subquery_relation(self):
+        q = parse_sql("SELECT x FROM (SELECT y AS x FROM t) sub")
+        assert isinstance(q.from_relation, ast.SubqueryRelation)
+        assert q.from_relation.alias == "sub"
+
+
+class TestOrderGroupHaving:
+    def test_group_by_multiple(self):
+        q = parse_sql("SELECT a, b, count(*) FROM t GROUP BY a, b")
+        assert len(q.group_by) == 2
+
+    def test_having(self):
+        q = parse_sql("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 5")
+        assert isinstance(q.having, ast.BinaryOp)
+
+    def test_order_by_desc(self):
+        q = parse_sql("SELECT a FROM t ORDER BY a DESC, b")
+        assert not q.order_by[0].ascending
+        assert q.order_by[1].ascending
+
+
+class TestParserErrors:
+    def test_missing_from_table(self):
+        with pytest.raises(SyntaxError_):
+            parse_sql("SELECT a FROM")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SyntaxError_):
+            parse_sql("SELECT a FROM t extra garbage here")
+
+    def test_bad_limit(self):
+        with pytest.raises(SyntaxError_):
+            parse_sql("SELECT a FROM t LIMIT 'x'")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SyntaxError_):
+            parse_sql("SELECT (1 + 2 FROM t")
+
+    def test_empty_case(self):
+        with pytest.raises(SyntaxError_):
+            parse_sql("SELECT case else 1 end")
