@@ -70,7 +70,12 @@ class Block:
         return [self.get(i) for i in range(self.position_count)]
 
     def null_mask(self) -> np.ndarray:
-        """Boolean array, True where the value is null."""
+        """Boolean array, True where the value is null.
+
+        Subclasses override with O(1)/array-op versions; this per-row
+        fallback only serves block kinds without mask storage.  Callers
+        must not mutate the returned array.
+        """
         return np.array([self.is_null(i) for i in range(self.position_count)], dtype=bool)
 
     def size_in_bytes(self) -> int:
@@ -102,6 +107,7 @@ class PrimitiveBlock(Block):
         self.type = presto_type
         self.values = values
         self.nulls = nulls
+        self._zero_mask: Optional[np.ndarray] = None
         self.position_count = len(values)
         if nulls is not None and len(nulls) != len(values):
             raise ValueError("nulls mask length mismatch")
@@ -111,18 +117,24 @@ class PrimitiveBlock(Block):
         cls, presto_type: PrestoType, values: Sequence[Any]
     ) -> "PrimitiveBlock":
         """Build from Python values, inferring the null mask from ``None``s."""
-        nulls = np.array([v is None for v in values], dtype=bool)
+        count = len(values)
+        nulls = np.fromiter((v is None for v in values), dtype=bool, count=count)
+        has_nulls = bool(nulls.any())
         dtype = _numpy_dtype_for(presto_type)
         if dtype is object:
-            storage = np.empty(len(values), dtype=object)
-            for i, v in enumerate(values):
-                storage[i] = v
+            storage = np.empty(count, dtype=object)
+            try:
+                # Bulk object assignment; numpy rejects it when elements
+                # are equal-length sequences, hence the per-item fallback.
+                storage[:] = values if isinstance(values, (list, np.ndarray)) else list(values)
+            except ValueError:
+                for i, v in enumerate(values):
+                    storage[i] = v
+        elif has_nulls:
+            storage = np.array([0 if v is None else v for v in values], dtype=dtype)
         else:
-            fill: Any = 0
-            storage = np.array(
-                [fill if v is None else v for v in values], dtype=dtype
-            )
-        return cls(presto_type, storage, nulls if nulls.any() else None)
+            storage = np.array(values, dtype=dtype)
+        return cls(presto_type, storage, nulls if has_nulls else None)
 
     def get(self, position: int) -> Any:
         if self.is_null(position):
@@ -137,7 +149,9 @@ class PrimitiveBlock(Block):
 
     def null_mask(self) -> np.ndarray:
         if self.nulls is None:
-            return np.zeros(self.position_count, dtype=bool)
+            if self._zero_mask is None:
+                self._zero_mask = np.zeros(self.position_count, dtype=bool)
+            return self._zero_mask
         return self.nulls
 
     def take(self, positions: np.ndarray) -> "PrimitiveBlock":
@@ -305,6 +319,11 @@ class ArrayBlock(Block):
     def is_null(self, position: int) -> bool:
         return bool(self.nulls is not None and self.nulls[position])
 
+    def null_mask(self) -> np.ndarray:
+        if self.nulls is None:
+            return np.zeros(self.position_count, dtype=bool)
+        return self.nulls
+
     def take(self, positions: np.ndarray) -> "ArrayBlock":
         # Rebuild via Python values: arrays are small relative to scalars and
         # take() on collection columns is rare in the paper's workloads.
@@ -357,6 +376,11 @@ class MapBlock(Block):
 
     def is_null(self, position: int) -> bool:
         return bool(self.nulls is not None and self.nulls[position])
+
+    def null_mask(self) -> np.ndarray:
+        if self.nulls is None:
+            return np.zeros(self.position_count, dtype=bool)
+        return self.nulls
 
     def take(self, positions: np.ndarray) -> "MapBlock":
         return MapBlock.from_values(self.type, [self.get(int(p)) for p in positions])

@@ -12,7 +12,13 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
-from repro.core.blocks import Block, block_from_values
+from repro.core.blocks import (
+    Block,
+    DictionaryBlock,
+    PrimitiveBlock,
+    _numpy_dtype_for,
+    block_from_values,
+)
 from repro.core.types import PrestoType
 
 
@@ -46,9 +52,10 @@ class Page:
     @classmethod
     def from_rows(cls, types: Sequence[PrestoType], rows: Sequence[Sequence[Any]]) -> "Page":
         """Build a page from row tuples (convenience for tests/workloads)."""
-        columns = [[row[i] for row in rows] for i in range(len(types))]
         if not rows:
-            columns = [[] for _ in types]
+            columns: Sequence[Sequence[Any]] = [[] for _ in types]
+        else:
+            columns = list(zip(*rows))
         return cls.from_columns(types, columns)
 
     @property
@@ -95,13 +102,48 @@ class Page:
 def concat_pages(types: Sequence[PrestoType], pages: Sequence[Page]) -> Page:
     """Concatenate pages row-wise into a single page.
 
-    Used by final operators (Output, aggregation build) and tests.  Goes
-    through Python values for simplicity; hot paths keep pages separate.
+    Used by final operators (Output, aggregation build, sort, join build)
+    and tests.  Primitive columns concatenate as numpy arrays (dictionary
+    blocks decode first); nested columns fall back to Python values,
+    per-column, with the declared type's coercion semantics either way.
     """
     if not pages:
         return Page.from_columns(types, [[] for _ in types])
-    columns: list[list[Any]] = [[] for _ in types]
-    for page in pages:
-        for channel in range(len(types)):
-            columns[channel].extend(page.block(channel).loaded().to_list())
-    return Page.from_columns(types, columns)
+    position_count = sum(page.position_count for page in pages)
+    blocks = [
+        _concat_blocks(presto_type, [page.block(channel) for page in pages])
+        for channel, presto_type in enumerate(types)
+    ]
+    return Page(blocks, position_count)
+
+
+def _concat_blocks(presto_type: PrestoType, blocks: Sequence[Block]) -> Block:
+    """Concatenate one column's blocks; vectorized for flat columns."""
+    loaded: list[Block] = []
+    for block in blocks:
+        block = block.loaded()
+        if isinstance(block, DictionaryBlock):
+            block = block.decode()
+        loaded.append(block)
+    expected_dtype = _numpy_dtype_for(presto_type)
+    if all(isinstance(b, PrimitiveBlock) for b in loaded) and (
+        expected_dtype is object
+        or all(b.values.dtype != object for b in loaded)
+    ):
+        values = np.concatenate([b.values for b in loaded]) if loaded else np.empty(0)
+        if expected_dtype is not object and values.dtype != expected_dtype:
+            values = values.astype(expected_dtype)
+        nulls = None
+        if any(b.nulls is not None for b in loaded):
+            nulls = np.concatenate([b.null_mask() for b in loaded])
+            if not nulls.any():
+                nulls = None
+            elif values.dtype == object:
+                # Normalize padding under nulls, matching the Python path.
+                values = values.copy()
+                values[nulls] = None
+        return PrimitiveBlock(presto_type, values, nulls)
+    values_list: list[Any] = []
+    for block in loaded:
+        values_list.extend(block.to_list())
+    return block_from_values(presto_type, values_list)

@@ -22,6 +22,10 @@ class QueryStats:
     rows_output: int = 0
     peak_build_rows: int = 0
     fragment_cache_hits: int = 0
+    # Operator-kernel counters (section III): rows that went through the
+    # vectorized group-by/join/sort kernels vs the row-at-a-time fallback.
+    rows_processed_vectorized: int = 0
+    rows_processed_fallback: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -31,6 +35,8 @@ class QueryStats:
             "rows_output": self.rows_output,
             "peak_build_rows": self.peak_build_rows,
             "fragment_cache_hits": self.fragment_cache_hits,
+            "rows_processed_vectorized": self.rows_processed_vectorized,
+            "rows_processed_fallback": self.rows_processed_fallback,
         }
 
 

@@ -1,0 +1,805 @@
+"""Vectorized operator kernels: the engine-side array hot path.
+
+The block layer (section III: Presto "processes a bunch of in memory
+encoded column values vectorized, instead of row by row") keeps column
+values in numpy storage, but the relational operators downstream used to
+fall back to ``block.get(position)`` loops over Python tuples.  This
+module is the kernel layer that keeps them columnar:
+
+- **Group-key factorization** (:func:`factorize_keys`): encode the key
+  columns of a page into one dense ``int64`` code array plus the list of
+  distinct key tuples.  Dictionary-encoded columns factorize directly on
+  their id arrays without decoding; primitive columns go through
+  ``np.unique``; object-dtype (varchar) columns get a null-safe
+  ``np.unique`` over the non-null values.  Unsupported block kinds (row,
+  array, map, mixed-type object columns) return ``None`` and the caller
+  falls back to the retained row-at-a-time reference path.
+- **Grouped accumulators**: count/sum/min/max/avg accumulate per group
+  code with ``np.bincount`` / ``np.add.at`` / ``np.minimum.at`` instead
+  of a per-row dict of Python states.  ``np.add.at`` applies updates in
+  row order, so float results are bit-identical to the row loop.  The
+  :class:`GenericAccumulator` wraps any aggregate's create/add/merge
+  state machine for the cases the array kernels do not cover (DISTINCT,
+  object-dtype inputs, avg in merge mode) and is also the differential
+  reference.
+- **Join probe expansion** (:func:`expand_matches`): given probe codes
+  and per-code build-position arrays, produce the
+  ``(probe_positions, build_positions)`` index pair in probe-row order
+  via ``repeat``/``tile`` plus one stable argsort.
+- **Sort ranks** (:func:`sort_order`): per-key rank arrays (nulls
+  ranked last ascending, first descending — matching ``_SortKey``) fed
+  to a stable ``np.lexsort``.
+
+Caveat shared by every ``np.unique``-based kernel: NaN keys collapse
+into a single group / sort rank, where the row-at-a-time reference
+treats each NaN as its own dict key.  NULL keys are handled exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.blocks import (
+    Block,
+    DictionaryBlock,
+    PrimitiveBlock,
+    _numpy_dtype_for,
+)
+from repro.core.types import parse_type
+
+EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
+
+
+class FallbackNeeded(Exception):
+    """Raised by a vector kernel when a page needs the row-at-a-time path."""
+
+
+# ---------------------------------------------------------------------------
+# Factorization
+# ---------------------------------------------------------------------------
+
+
+def _to_python(value: Any) -> Any:
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def column_codes(block: Block) -> Optional[tuple[np.ndarray, list]]:
+    """Factorize one column into ``(codes, uniques)``.
+
+    ``codes`` is an int64 array with ``-1`` marking nulls; ``uniques[c]``
+    is the Python value for code ``c``, in ascending sorted order.
+    Returns ``None`` when the block kind or value mix is unsupported.
+    """
+    raw = _column_codes_raw(block)
+    if raw is None:
+        return None
+    codes, uniq = raw
+    return codes, [_to_python(v) for v in uniq]
+
+
+def _column_codes_raw(block: Block) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """``column_codes`` keeping the distinct values as a sorted ndarray."""
+    block = block.loaded()
+    if isinstance(block, DictionaryBlock):
+        return _dictionary_codes(block)
+    if not isinstance(block, PrimitiveBlock):
+        return None
+    values = block.values
+    nulls = block.null_mask()
+    if values.dtype == object or nulls.any():
+        non_null = ~nulls
+        try:
+            uniq, inverse = np.unique(values[non_null], return_inverse=True)
+        except TypeError:
+            return None  # mixed or non-orderable object values
+        codes = np.full(len(values), -1, dtype=np.int64)
+        codes[non_null] = inverse
+    else:
+        try:
+            uniq, inverse = np.unique(values, return_inverse=True)
+        except TypeError:
+            return None
+        codes = inverse.astype(np.int64, copy=False)
+    return codes, uniq
+
+
+def _dictionary_codes(block: DictionaryBlock) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """Factorize on the id array without decoding the column.
+
+    The dictionary itself is deduplicated defensively (a dictionary with
+    repeated values must not split one group in two): the small
+    dictionary is factorized once, then the remap table is applied to
+    the full id array with one vectorized gather.
+    """
+    dictionary = block.dictionary
+    dict_values = dictionary.values
+    dict_nulls = dictionary.null_mask()
+    non_null = ~dict_nulls
+    try:
+        uniq, inverse = np.unique(dict_values[non_null], return_inverse=True)
+    except TypeError:
+        return None
+    # remap[dict_id] -> code; the extra trailing slot catches id == -1.
+    remap = np.full(len(dict_values) + 1, -1, dtype=np.int64)
+    remap[np.flatnonzero(non_null)] = inverse
+    ids = block.ids
+    safe_ids = np.where(ids < 0, len(dict_values), ids)
+    return remap[safe_ids], uniq
+
+
+def factorize_keys(blocks: Sequence[Block]) -> Optional[tuple[np.ndarray, list[tuple]]]:
+    """Encode multi-column row keys into dense int64 group codes.
+
+    Returns ``(codes, uniques)`` where ``codes[row]`` indexes into
+    ``uniques``, a list of distinct key tuples (``None`` components for
+    null keys).  Columns are combined with mixed-radix arithmetic,
+    re-compacting through ``np.unique`` whenever the radix product could
+    overflow int64.  Returns ``None`` when any column is unsupported so
+    the caller can take the row-at-a-time path.
+    """
+    if not blocks:
+        return None
+    columns = []
+    for block in blocks:
+        factorized = column_codes(block)
+        if factorized is None:
+            return None
+        columns.append(factorized)
+    n = len(columns[0][0])
+    combined = np.zeros(n, dtype=np.int64)
+    radix = 1
+    for codes, uniques in columns:
+        width = len(uniques) + 1  # +1 slot so null (-1) encodes as 0
+        if radix > (2**62) // max(width, 1):
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64, copy=False)
+            radix = int(combined.max()) + 1 if n else 1
+        combined = combined * width + (codes + 1)
+        radix *= width
+    _, first_rows, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    # Relabel so codes follow first-appearance order (np.unique sorts by
+    # value); group output order must match the row-at-a-time reference.
+    appearance = np.argsort(first_rows, kind="stable")
+    rank = np.empty(len(appearance), dtype=np.int64)
+    rank[appearance] = np.arange(len(appearance), dtype=np.int64)
+    group_codes = rank[inverse]
+    uniques_out: list[tuple] = []
+    for rep in first_rows[appearance]:
+        key = tuple(
+            uniques[codes[rep]] if codes[rep] >= 0 else None
+            for codes, uniques in columns
+        )
+        uniques_out.append(key)
+    return group_codes, uniques_out
+
+
+class GroupIndex:
+    """Incremental key-tuple -> dense group id mapping, first-seen order.
+
+    Pages factorize locally; only each page's *distinct* keys touch the
+    Python dict, so the per-row cost is one vectorized gather.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple, int] = {}
+        self.keys: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def map_codes(self, codes: np.ndarray, uniques: Sequence[tuple]) -> np.ndarray:
+        """Translate page-local codes into global group ids."""
+        remap = np.empty(len(uniques), dtype=np.int64)
+        for local, key in enumerate(uniques):
+            group = self._ids.get(key)
+            if group is None:
+                group = len(self.keys)
+                self._ids[key] = group
+                self.keys.append(key)
+            remap[local] = group
+        return remap[codes]
+
+    def map_rows(self, key_blocks: Sequence[Block], count: int) -> np.ndarray:
+        """Row-at-a-time fallback for unsupported key block kinds."""
+        group_ids = np.empty(count, dtype=np.int64)
+        ids = self._ids
+        for position in range(count):
+            key = tuple(block.get(position) for block in key_blocks)
+            group = ids.get(key)
+            if group is None:
+                group = len(self.keys)
+                ids[key] = group
+                self.keys.append(key)
+            group_ids[position] = group
+        return group_ids
+
+    def ensure_group(self, key: tuple) -> int:
+        group = self._ids.get(key)
+        if group is None:
+            group = len(self.keys)
+            self._ids[key] = group
+            self.keys.append(key)
+        return group
+
+
+# ---------------------------------------------------------------------------
+# Grouped accumulators
+# ---------------------------------------------------------------------------
+
+
+def _numeric_input(block: Block) -> tuple[np.ndarray, np.ndarray]:
+    """Values + null mask of a numeric column, or FallbackNeeded."""
+    block = block.loaded()
+    if isinstance(block, DictionaryBlock):
+        block = block.decode()
+    if not isinstance(block, PrimitiveBlock) or block.values.dtype == object:
+        raise FallbackNeeded
+    return block.values, block.null_mask()
+
+
+class GroupedAccumulator:
+    """One aggregate accumulated across pages, keyed by dense group ids."""
+
+    vectorized = True
+
+    def add_page(
+        self,
+        group_count: int,
+        group_ids: np.ndarray,
+        argument_blocks: Sequence[Block],
+        position_count: int,
+    ) -> None:
+        raise NotImplementedError
+
+    def finalize_all(self, group_count: int) -> list:
+        raise NotImplementedError
+
+    def to_states(self) -> list:
+        """Convert array state to per-group Python states (for fallback)."""
+        raise NotImplementedError
+
+
+class GenericAccumulator(GroupedAccumulator):
+    """Row-at-a-time reference: drives any AggregateFunction state machine.
+
+    Handles DISTINCT, merge (FINAL) mode, and object-dtype inputs; also
+    the target the vector accumulators spill into when a later page turns
+    out not to be vectorizable.
+    """
+
+    vectorized = False
+
+    def __init__(
+        self,
+        impl,
+        distinct: bool,
+        merge_mode: bool,
+        initial_states: Optional[list] = None,
+    ) -> None:
+        self.impl = impl
+        self.distinct = distinct
+        self.merge_mode = merge_mode
+        self.states: list = list(initial_states) if initial_states else []
+        self.seen: list[set] = [set() for _ in self.states] if distinct else []
+
+    def _grow(self, group_count: int) -> None:
+        while len(self.states) < group_count:
+            self.states.append(self.impl.create_state())
+            if self.distinct:
+                self.seen.append(set())
+
+    def add_page(self, group_count, group_ids, argument_blocks, position_count):
+        self._grow(group_count)
+        impl = self.impl
+        states = self.states
+        blocks = [b.loaded() for b in argument_blocks]
+        for position in range(position_count):
+            group = int(group_ids[position])
+            arguments = tuple(block.get(position) for block in blocks)
+            if self.distinct:
+                if arguments in self.seen[group]:
+                    continue
+                self.seen[group].add(arguments)
+            if self.merge_mode:
+                states[group] = impl.merge(states[group], arguments[0])
+            else:
+                states[group] = impl.add_input(states[group], arguments)
+
+    def finalize_all(self, group_count):
+        self._grow(group_count)
+        return [self.impl.finalize(state) for state in self.states]
+
+    def to_states(self):
+        return list(self.states)
+
+
+class _ArrayAccumulator(GroupedAccumulator):
+    """Shared growable-array plumbing for the vector accumulators."""
+
+    def __init__(self) -> None:
+        self._size = 0
+
+    def _grow(self, group_count: int) -> None:
+        if group_count <= self._size:
+            return
+        self._grow_arrays(self._size, group_count)
+        self._size = group_count
+
+    def _grow_arrays(self, old: int, new: int) -> None:
+        raise NotImplementedError
+
+
+def _extended(array: np.ndarray, new_size: int, fill) -> np.ndarray:
+    out = np.full(new_size, fill, dtype=array.dtype)
+    out[: len(array)] = array
+    return out
+
+
+class CountAccumulator(_ArrayAccumulator):
+    """count(*) / count(x); in merge mode sums partial counts."""
+
+    def __init__(self, has_argument: bool, merge_mode: bool) -> None:
+        super().__init__()
+        self.has_argument = has_argument
+        self.merge_mode = merge_mode
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def _grow_arrays(self, old, new):
+        self.counts = _extended(self.counts, new, 0)
+
+    def add_page(self, group_count, group_ids, argument_blocks, position_count):
+        self._grow(group_count)
+        if self.merge_mode:
+            values, nulls = _numeric_input(argument_blocks[0])
+            if nulls.any():
+                # The reference merge raises on a null partial count; fall
+                # back so behavior (including the error) matches exactly.
+                raise FallbackNeeded
+            np.add.at(self.counts, group_ids, values.astype(np.int64, copy=False))
+            return
+        if self.has_argument:
+            nulls = argument_blocks[0].loaded().null_mask()
+            group_ids = group_ids[~nulls]
+        counts = np.bincount(group_ids, minlength=self._size)
+        self.counts[: len(counts)] += counts.astype(np.int64, copy=False)
+
+    def finalize_all(self, group_count):
+        self._grow(group_count)
+        return [int(c) for c in self.counts]
+
+    def to_states(self):
+        return [int(c) for c in self.counts]
+
+
+class SumAccumulator(_ArrayAccumulator):
+    """sum(x); merge mode is the same null-skipping addition."""
+
+    def __init__(self, dtype) -> None:
+        super().__init__()
+        self.sums = np.zeros(0, dtype=dtype)
+        self.has_value = np.zeros(0, dtype=bool)
+
+    def _grow_arrays(self, old, new):
+        self.sums = _extended(self.sums, new, 0)
+        self.has_value = _extended(self.has_value, new, False)
+
+    def add_page(self, group_count, group_ids, argument_blocks, position_count):
+        self._grow(group_count)
+        values, nulls = _numeric_input(argument_blocks[0])
+        if not np.can_cast(values.dtype, self.sums.dtype, casting="same_kind"):
+            raise FallbackNeeded
+        if nulls.any():
+            keep = ~nulls
+            group_ids = group_ids[keep]
+            values = values[keep]
+        np.add.at(self.sums, group_ids, values)
+        self.has_value[group_ids] = True
+
+    def _python_value(self, index: int):
+        if not self.has_value[index]:
+            return None
+        return _to_python(self.sums[index])
+
+    def finalize_all(self, group_count):
+        self._grow(group_count)
+        return [self._python_value(i) for i in range(self._size)]
+
+    def to_states(self):
+        return [self._python_value(i) for i in range(self._size)]
+
+
+class MinMaxAccumulator(_ArrayAccumulator):
+    """min(x) / max(x) over numeric inputs via ufunc.at."""
+
+    def __init__(self, dtype, is_min: bool) -> None:
+        super().__init__()
+        self.is_min = is_min
+        if np.issubdtype(dtype, np.bool_):
+            raise FallbackNeeded
+        if np.issubdtype(dtype, np.floating):
+            self._sentinel = np.inf if is_min else -np.inf
+        else:
+            info = np.iinfo(dtype)
+            self._sentinel = info.max if is_min else info.min
+        self.best = np.zeros(0, dtype=dtype)
+        self.has_value = np.zeros(0, dtype=bool)
+
+    def _grow_arrays(self, old, new):
+        self.best = _extended(self.best, new, self._sentinel)
+        self.has_value = _extended(self.has_value, new, False)
+
+    def add_page(self, group_count, group_ids, argument_blocks, position_count):
+        self._grow(group_count)
+        values, nulls = _numeric_input(argument_blocks[0])
+        if not np.can_cast(values.dtype, self.best.dtype, casting="same_kind"):
+            raise FallbackNeeded
+        if nulls.any():
+            keep = ~nulls
+            group_ids = group_ids[keep]
+            values = values[keep]
+        ufunc = np.minimum if self.is_min else np.maximum
+        ufunc.at(self.best, group_ids, values)
+        self.has_value[group_ids] = True
+
+    def _python_value(self, index: int):
+        if not self.has_value[index]:
+            return None
+        return _to_python(self.best[index])
+
+    def finalize_all(self, group_count):
+        self._grow(group_count)
+        return [self._python_value(i) for i in range(self._size)]
+
+    def to_states(self):
+        return [self._python_value(i) for i in range(self._size)]
+
+
+class AvgAccumulator(_ArrayAccumulator):
+    """avg(x): float64 running sums + int64 counts, row-ordered adds."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sums = np.zeros(0, dtype=np.float64)
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def _grow_arrays(self, old, new):
+        self.sums = _extended(self.sums, new, 0.0)
+        self.counts = _extended(self.counts, new, 0)
+
+    def add_page(self, group_count, group_ids, argument_blocks, position_count):
+        self._grow(group_count)
+        values, nulls = _numeric_input(argument_blocks[0])
+        if nulls.any():
+            keep = ~nulls
+            group_ids = group_ids[keep]
+            values = values[keep]
+        np.add.at(self.sums, group_ids, values)
+        self.counts[: self._size] += np.bincount(group_ids, minlength=self._size)
+
+    def finalize_all(self, group_count):
+        self._grow(group_count)
+        return [
+            float(self.sums[i]) / int(self.counts[i]) if self.counts[i] else None
+            for i in range(self._size)
+        ]
+
+    def to_states(self):
+        return [(float(self.sums[i]), int(self.counts[i])) for i in range(self._size)]
+
+
+def make_accumulator(aggregation, impl, merge_mode: bool) -> GroupedAccumulator:
+    """Pick the vector kernel for one aggregate, or the generic reference.
+
+    DISTINCT aggregates, object-dtype (varchar/date) inputs, avg in merge
+    mode, and any function outside count/sum/min/max/avg always use
+    :class:`GenericAccumulator`, whose semantics are the row-at-a-time
+    reference by construction.
+    """
+    if aggregation.distinct:
+        return GenericAccumulator(impl, True, merge_mode)
+    name = impl.name
+    argument_types = [parse_type(t) for t in aggregation.function_handle.argument_types]
+    dtypes = [_numpy_dtype_for(t) for t in argument_types]
+    try:
+        if name == "count" and len(dtypes) <= 1:
+            if merge_mode and not dtypes:
+                return GenericAccumulator(impl, False, merge_mode)
+            return CountAccumulator(bool(dtypes), merge_mode)
+        if len(dtypes) == 1 and dtypes[0] is not object:
+            if name == "sum":
+                return SumAccumulator(dtypes[0])
+            if name in ("min", "max"):
+                return MinMaxAccumulator(dtypes[0], name == "min")
+            if name == "avg" and not merge_mode:
+                return AvgAccumulator()
+    except FallbackNeeded:
+        pass
+    return GenericAccumulator(impl, aggregation.distinct, merge_mode)
+
+
+# ---------------------------------------------------------------------------
+# Join probe expansion
+# ---------------------------------------------------------------------------
+
+
+def positions_by_code(codes: np.ndarray, code_count: int) -> list[np.ndarray]:
+    """Row positions per code, ascending within each code."""
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    all_codes = np.arange(code_count, dtype=np.int64)
+    starts = np.searchsorted(sorted_codes, all_codes, side="left")
+    ends = np.searchsorted(sorted_codes, all_codes, side="right")
+    return [order[s:e] for s, e in zip(starts, ends)]
+
+
+def expand_matches(
+    probe_codes: np.ndarray,
+    match_positions: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cross probe rows with their matching build positions.
+
+    ``match_positions[c]`` holds the build-side positions matching probe
+    code ``c``.  Returns ``(probe_positions, build_positions)`` ordered
+    exactly like the row-at-a-time loop: probe position ascending, build
+    positions in table insertion order within one probe row.  Negative
+    probe codes (NULL keys) match nothing.
+    """
+    if len(probe_codes) == 0 or not match_positions:
+        return EMPTY_POSITIONS, EMPTY_POSITIONS
+    counts = np.fromiter(
+        (len(m) for m in match_positions), dtype=np.int64, count=len(match_positions)
+    )
+    if not counts.any():
+        return EMPTY_POSITIONS, EMPTY_POSITIONS
+    offsets = np.zeros(len(match_positions) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    flat = np.concatenate(list(match_positions))
+    valid = probe_codes >= 0
+    row_counts = np.where(valid, counts[np.where(valid, probe_codes, 0)], 0)
+    total = int(row_counts.sum())
+    if total == 0:
+        return EMPTY_POSITIONS, EMPTY_POSITIONS
+    probe_positions = np.repeat(
+        np.arange(len(probe_codes), dtype=np.int64), row_counts
+    )
+    # Index-within-probe-row for every output row: counting resets at each
+    # probe row's exclusive prefix sum.  Adding it to the code's offset into
+    # ``flat`` reads the matches in insertion order, so no sort is needed.
+    row_starts = np.cumsum(row_counts) - row_counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(row_starts, row_counts)
+    build_positions = flat[offsets[probe_codes[probe_positions]] + within]
+    return probe_positions, build_positions
+
+
+class JoinKeyIndex:
+    """Code-space hash-join index: probe pages never materialize key tuples.
+
+    The build side is factorized once into mixed-radix combined codes.
+    Probe columns are mapped into the *same* per-column code space with
+    ``np.searchsorted`` against the build side's sorted distinct values,
+    so an entire probe page resolves to build-row positions with a
+    handful of array operations — no per-key Python dict lookups.
+    """
+
+    def __init__(
+        self,
+        column_uniques: list[np.ndarray],
+        widths: list[int],
+        compactions: list[tuple[int, np.ndarray]],
+        code_values: np.ndarray,
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        flat: np.ndarray,
+    ) -> None:
+        self.column_uniques = column_uniques
+        self.widths = widths
+        self.compactions = compactions
+        self.code_values = code_values  # sorted combined codes, null keys excluded
+        self.counts = counts  # build rows per code
+        self.offsets = offsets  # exclusive prefix sums into ``flat``
+        self.flat = flat  # build positions grouped by code, insertion order
+
+    def probe_codes(self, blocks: Sequence[Block], count: int) -> np.ndarray:
+        """Map probe rows to build code space; ``-1`` means no match.
+
+        Raises :class:`FallbackNeeded` when a probe column holds values
+        that cannot be compared against the build side's.
+        """
+        combined = np.zeros(count, dtype=np.int64)
+        invalid = np.zeros(count, dtype=bool)
+        for i, block in enumerate(blocks):
+            for at_column, table in self.compactions:
+                if at_column == i:
+                    idx = np.searchsorted(table, combined)
+                    idx = np.clip(idx, 0, max(len(table) - 1, 0))
+                    if len(table):
+                        invalid |= table[idx] != combined
+                    else:
+                        invalid[:] = True
+                    combined = idx
+            codes = self._map_column(i, block)
+            invalid |= codes < 0
+            combined = combined * self.widths[i] + (np.maximum(codes, -1) + 1)
+        if not len(self.code_values):
+            return np.full(count, -1, dtype=np.int64)
+        idx = np.searchsorted(self.code_values, combined)
+        idx = np.clip(idx, 0, len(self.code_values) - 1)
+        found = (self.code_values[idx] == combined) & ~invalid
+        return np.where(found, idx, -1)
+
+    def expand(self, probe_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``expand_matches`` over this index's precomputed flat layout."""
+        if not len(probe_codes) or not len(self.flat):
+            return EMPTY_POSITIONS, EMPTY_POSITIONS
+        valid = probe_codes >= 0
+        row_counts = np.where(
+            valid, self.counts[np.where(valid, probe_codes, 0)], 0
+        )
+        total = int(row_counts.sum())
+        if total == 0:
+            return EMPTY_POSITIONS, EMPTY_POSITIONS
+        probe_positions = np.repeat(
+            np.arange(len(probe_codes), dtype=np.int64), row_counts
+        )
+        row_starts = np.cumsum(row_counts) - row_counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(row_starts, row_counts)
+        build_positions = self.flat[
+            self.offsets[probe_codes[probe_positions]] + within
+        ]
+        return probe_positions, build_positions
+
+    def _map_column(self, i: int, block: Block) -> np.ndarray:
+        block = block.loaded()
+        if isinstance(block, DictionaryBlock):
+            dictionary = block.dictionary
+            dict_codes = self._match_values(
+                i, dictionary.values, dictionary.null_mask()
+            )
+            lookup = np.empty(len(dict_codes) + 1, dtype=np.int64)
+            lookup[: len(dict_codes)] = dict_codes
+            lookup[len(dict_codes)] = -1  # id == -1 (null row)
+            ids = block.ids
+            safe_ids = np.where(ids < 0, len(dict_codes), ids)
+            return lookup[safe_ids]
+        if not isinstance(block, PrimitiveBlock):
+            raise FallbackNeeded("unsupported probe key block")
+        return self._match_values(i, block.values, block.null_mask())
+
+    def _match_values(
+        self, i: int, values: np.ndarray, nulls: np.ndarray
+    ) -> np.ndarray:
+        uniq = self.column_uniques[i]
+        codes = np.full(len(values), -1, dtype=np.int64)
+        non_null = ~nulls
+        candidates = values[non_null]
+        if not len(uniq) or not len(candidates):
+            return codes
+        try:
+            idx = np.searchsorted(uniq, candidates)
+        except TypeError:
+            raise FallbackNeeded("unorderable probe key values")
+        idx = np.clip(idx, 0, len(uniq) - 1)
+        try:
+            matched = uniq[idx] == candidates
+        except TypeError:
+            raise FallbackNeeded("incomparable probe key values")
+        codes[non_null] = np.where(matched, idx, -1)
+        return codes
+
+
+def build_join_index(blocks: Sequence[Block]) -> Optional[JoinKeyIndex]:
+    """Factorize the build side of a hash join into a :class:`JoinKeyIndex`.
+
+    Returns ``None`` when a key column's block kind or value mix is
+    unsupported, in which case the caller takes the row-at-a-time path.
+    Build rows whose key contains NULL are excluded (SQL join semantics).
+    """
+    columns = []
+    for block in blocks:
+        raw = _column_codes_raw(block)
+        if raw is None:
+            return None
+        columns.append(raw)
+    if not columns:
+        return None
+    n = len(columns[0][0])
+    combined = np.zeros(n, dtype=np.int64)
+    null_row = np.zeros(n, dtype=bool)
+    widths: list[int] = []
+    compactions: list[tuple[int, np.ndarray]] = []
+    radix = 1
+    for i, (codes, uniq) in enumerate(columns):
+        width = len(uniq) + 1  # +1 slot so null (-1) encodes as 0
+        if radix > (2**62) // max(width, 1):
+            # Same overflow guard as factorize_keys, but the compaction
+            # table is kept so probe pages can replay the mapping.
+            table = np.unique(combined)
+            compactions.append((i, table))
+            combined = np.searchsorted(table, combined).astype(np.int64, copy=False)
+            radix = len(table)
+        null_row |= codes < 0
+        combined = combined * width + (codes + 1)
+        widths.append(width)
+        radix *= width
+    valid_positions = np.flatnonzero(~null_row)
+    code_values, inverse = np.unique(combined[valid_positions], return_inverse=True)
+    # Stable sort by code keeps ascending original positions within each
+    # code — exactly the dict-insertion order of the row-at-a-time build.
+    order = np.argsort(inverse, kind="stable")
+    flat = valid_positions[order]
+    counts = np.bincount(inverse, minlength=len(code_values)).astype(np.int64)
+    offsets = np.zeros(len(code_values) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return JoinKeyIndex(
+        [uniq for _, uniq in columns],
+        widths,
+        compactions,
+        code_values,
+        counts,
+        offsets,
+        flat,
+    )
+
+
+def take_nullable(block: Block, positions: np.ndarray, null_mask: np.ndarray) -> Block:
+    """``block.take`` where ``null_mask`` rows become NULL (outer-join pad)."""
+    block = block.loaded()
+    safe = np.where(null_mask, 0, positions)
+    if isinstance(block, PrimitiveBlock):
+        if block.position_count == 0:
+            # Build side is empty: every row is padding.
+            values = np.zeros(len(positions), dtype=block.values.dtype)
+            if values.dtype == object:
+                values[:] = None
+            return PrimitiveBlock(block.type, values, np.ones(len(positions), bool))
+        values = block.values[safe]
+        nulls = block.null_mask()[safe] | null_mask
+        if values.dtype == object and null_mask.any():
+            values = values.copy()
+            values[null_mask] = None
+        return PrimitiveBlock(block.type, values, nulls)
+    if isinstance(block, DictionaryBlock):
+        if block.position_count == 0:
+            ids = np.full(len(positions), -1, dtype=np.int64)
+        else:
+            ids = np.where(null_mask, -1, block.ids[safe])
+        return DictionaryBlock(block.dictionary, ids)
+    from repro.core.blocks import block_from_values
+
+    values = [
+        None if null_mask[i] else block.get(int(positions[i]))
+        for i in range(len(positions))
+    ]
+    return block_from_values(block.type, values)
+
+
+# ---------------------------------------------------------------------------
+# Sort ranks
+# ---------------------------------------------------------------------------
+
+
+def sort_order(
+    blocks: Sequence[Block], ascending_flags: Sequence[bool]
+) -> Optional[np.ndarray]:
+    """Stable row order for multi-key ORDER BY, or ``None`` to fall back.
+
+    Each key column factorizes to dense ranks; nulls rank above every
+    value, so after direction negation they sort last ascending and
+    first descending — exactly the ``_SortKey`` total order.
+    """
+    rank_keys = []
+    for block, ascending in zip(blocks, ascending_flags):
+        factorized = column_codes(block)
+        if factorized is None:
+            return None
+        codes, uniques = factorized
+        ranks = np.where(codes < 0, len(uniques), codes)
+        rank_keys.append(ranks if ascending else -ranks)
+    if not rank_keys:
+        return np.arange(0, dtype=np.int64)
+    # np.lexsort treats its *last* key as primary.
+    return np.lexsort(rank_keys[::-1]).astype(np.int64, copy=False)

@@ -5,6 +5,14 @@ Presto's default.  Build-side size is charged against the context's memory
 limit; exceeding it raises ``InsufficientResourcesError`` — the failure
 mode users hit with big joins (section XII.C).
 
+The equi-join probe is vectorized (section III): the build side stays in
+columnar blocks, keys factorize into dense codes, and each probe page
+expands into ``(probe_positions, build_positions)`` index arrays that
+construct the output with ``Block.take`` instead of ``Page.from_rows``.
+Key kinds the factorizer does not support fall back to the retained
+row-at-a-time reference, :func:`_hash_join_rows` — the original
+implementation, kept verbatim as the differential-test oracle.
+
 The spatial join implements both execution strategies of section VI: the
 brute-force path evaluates ``st_contains`` for every (point, polygon) pair,
 while the indexed path builds a QuadTree over the polygons on the fly
@@ -18,7 +26,8 @@ from typing import Any, Iterator, Optional
 import numpy as np
 
 from repro.common.errors import ExecutionError, InsufficientResourcesError
-from repro.core.page import Page
+from repro.core.page import Page, concat_pages
+from repro.execution import kernels
 from repro.execution.context import ExecutionContext
 from repro.execution.operators.filter_project import bindings_for
 from repro.planner.plan import JoinNode, SpatialJoinNode
@@ -71,12 +80,195 @@ def _build_rows(
     return rows
 
 
+def _build_pages(ctx: ExecutionContext, source: Iterator[Page]) -> list[Page]:
+    """Load the build side as pages (blocks, not tuples), memory-checked."""
+    pages: list[Page] = []
+    total = 0
+    for page in source:
+        page = page.loaded()
+        total += page.position_count
+        if total > ctx.max_build_rows:
+            raise InsufficientResourcesError(
+                "Insufficient Resources: join build side exceeds memory limit "
+                f"({ctx.max_build_rows} rows)"
+            )
+        pages.append(page)
+    ctx.stats.peak_build_rows = max(ctx.stats.peak_build_rows, total)
+    return pages
+
+
 def _hash_join(
     node: JoinNode,
     ctx: ExecutionContext,
     left_source: Iterator[Page],
     right_source: Iterator[Page],
 ) -> Iterator[Page]:
+    right_outputs = node.right.outputs
+    right_key_indexes = [
+        [v.name for v in right_outputs].index(r.name) for _, r in node.criteria
+    ]
+    left_outputs = node.left.outputs
+    left_key_indexes = [
+        [v.name for v in left_outputs].index(l.name) for l, _ in node.criteria
+    ]
+
+    pages = _build_pages(ctx, right_source)
+    right_types = [v.type for v in right_outputs]
+    build_page = concat_pages(right_types, pages)
+
+    index = kernels.build_join_index(
+        [build_page.block(i) for i in right_key_indexes]
+    )
+    if index is None:
+        # Unsupported key kind (nested types, mixed object values): the
+        # original row-at-a-time join is the reference fallback.
+        yield from _hash_join_rows(node, ctx, left_source, iter(pages))
+        return
+
+    evaluator = ctx.evaluator
+    join_filter = node.filter
+    is_left_join = node.join_type == "left"
+    left_width = len(left_outputs)
+    right_width = len(right_outputs)
+    build_rows_cache: Optional[list[tuple]] = None
+    tuple_table: Optional[dict[tuple, np.ndarray]] = None
+
+    for page in left_source:
+        count = page.position_count
+        try:
+            codes = (
+                index.probe_codes(
+                    [page.block(i).loaded() for i in left_key_indexes], count
+                )
+                if count
+                else kernels.EMPTY_POSITIONS
+            )
+        except kernels.FallbackNeeded:
+            # Probe values incomparable with the build side's (e.g. mixed
+            # object types): row-at-a-time probe against a key-tuple table
+            # built lazily on first need.
+            if tuple_table is None:
+                tuple_table = _tuple_table(build_page, right_key_indexes)
+            if build_rows_cache is None:
+                build_rows_cache = build_page.to_rows()
+            ctx.stats.rows_processed_fallback += count
+            yield _probe_page_rows(
+                node, evaluator, page, left_key_indexes, tuple_table, build_rows_cache
+            )
+            continue
+        ctx.stats.rows_processed_vectorized += count
+        probe_positions, build_positions = index.expand(codes)
+
+        if join_filter is not None and len(probe_positions):
+            bindings = {}
+            for i, variable in enumerate(left_outputs):
+                bindings[variable.name] = page.block(i).take(probe_positions)
+            for i, variable in enumerate(right_outputs):
+                bindings[variable.name] = build_page.block(i).take(build_positions)
+            mask = evaluator.filter_mask(join_filter, bindings, len(probe_positions))
+            probe_positions = probe_positions[mask]
+            build_positions = build_positions[mask]
+
+        if is_left_join:
+            matched = np.zeros(count, dtype=bool)
+            matched[probe_positions] = True
+            unmatched = np.flatnonzero(~matched)
+            if len(unmatched):
+                probe_positions = np.concatenate([probe_positions, unmatched])
+                build_positions = np.concatenate(
+                    [build_positions, np.full(len(unmatched), -1, dtype=np.int64)]
+                )
+                # Stable sort interleaves the null-padded rows back into
+                # probe order (a probe row is matched xor padded).
+                reorder = np.argsort(probe_positions, kind="stable")
+                probe_positions = probe_positions[reorder]
+                build_positions = build_positions[reorder]
+
+        blocks = [page.block(i).take(probe_positions) for i in range(left_width)]
+        null_pad = build_positions < 0
+        if null_pad.any():
+            blocks.extend(
+                kernels.take_nullable(build_page.block(i), build_positions, null_pad)
+                for i in range(right_width)
+            )
+        else:
+            blocks.extend(
+                build_page.block(i).take(build_positions) for i in range(right_width)
+            )
+        yield Page(blocks, len(probe_positions))
+
+
+def _tuple_table(build_page: Page, key_indexes: list[int]) -> dict[tuple, np.ndarray]:
+    """Key-tuple -> build positions, for the row-at-a-time probe fallback.
+
+    Only built when a probe page's values cannot be compared against the
+    build side vectorized; ``factorize_keys`` succeeds whenever
+    ``build_join_index`` did, since both share the column factorizer.
+    """
+    table: dict[tuple, np.ndarray] = {}
+    if not build_page.position_count:
+        return table
+    factorized = kernels.factorize_keys(
+        [build_page.block(i) for i in key_indexes]
+    )
+    assert factorized is not None
+    codes, uniques = factorized
+    by_code = kernels.positions_by_code(codes, len(uniques))
+    for code, key in enumerate(uniques):
+        if any(component is None for component in key):
+            continue  # SQL: null keys never match
+        table[key] = by_code[code]
+    return table
+
+
+def _probe_page_rows(
+    node: JoinNode,
+    evaluator,
+    page: Page,
+    left_key_indexes: list[int],
+    table: dict[tuple, np.ndarray],
+    build_rows: list[tuple],
+) -> Page:
+    """Row-at-a-time probe of one page against the vectorized build table."""
+    page = page.loaded()
+    output_types = [v.type for v in node.outputs]
+    all_outputs = node.outputs
+    join_filter = node.filter
+    is_left_join = node.join_type == "left"
+    right_null_row = (None,) * len(node.right.outputs)
+    result_rows: list[tuple] = []
+    for probe_row in page.rows():
+        key = tuple(probe_row[i] for i in left_key_indexes)
+        if any(k is None for k in key):
+            matches: Any = ()
+        else:
+            matches = table.get(key, ())
+        matched = False
+        for build_position in matches:
+            combined = probe_row + build_rows[int(build_position)]
+            if join_filter is not None and not _filter_row(
+                evaluator, join_filter, all_outputs, combined
+            ):
+                continue
+            matched = True
+            result_rows.append(combined)
+        if is_left_join and not matched:
+            result_rows.append(probe_row + right_null_row)
+    return Page.from_rows(output_types, result_rows)
+
+
+def _hash_join_rows(
+    node: JoinNode,
+    ctx: ExecutionContext,
+    left_source: Iterator[Page],
+    right_source: Iterator[Page],
+) -> Iterator[Page]:
+    """Row-at-a-time reference join (the pre-kernel hot path).
+
+    Retained as the semantics oracle for the differential tests, the
+    baseline for ``benchmarks/bench_operator_kernels.py``, and the
+    fallback when build keys cannot be factorized.
+    """
     right_outputs = node.right.outputs
     right_key_indexes = [
         [v.name for v in right_outputs].index(r.name) for _, r in node.criteria

@@ -1,11 +1,23 @@
-"""Sort, TopN, and Limit operators."""
+"""Sort, TopN, and Limit operators.
+
+``execute_sort`` is vectorized: input pages concatenate block-wise
+(:func:`repro.core.page.concat_pages`), each key column factorizes to a
+dense rank array, and one stable ``np.lexsort`` orders the page
+(:func:`repro.execution.kernels.sort_order`).  Key kinds the factorizer
+does not support fall back to the retained row-at-a-time reference,
+:func:`_sorted_rows`.  TopN keeps a bounded heap of ``count`` rows
+instead of re-sorting its buffer on every overflow.
+"""
 
 from __future__ import annotations
 
 import heapq
 from typing import Iterator
 
-from repro.core.page import Page
+import numpy as np
+
+from repro.core.page import Page, concat_pages
+from repro.execution import kernels
 from repro.execution.context import ExecutionContext
 from repro.planner.plan import LimitNode, SortNode, TopNNode
 
@@ -33,11 +45,28 @@ class _SortKey:
         return isinstance(other, _SortKey) and self.value == other.value
 
 
-def _sorted_rows(node, source: Iterator[Page]) -> list[tuple]:
-    key_indexes = [
+class _ReversedEntry:
+    """Max-heap adapter for heapq: reverses comparison of (key, seq) entries."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, item) -> None:
+        self.item = item
+
+    def __lt__(self, other: "_ReversedEntry") -> bool:
+        return other.item[:2] < self.item[:2]
+
+
+def _key_indexes(node) -> list[tuple[int, bool]]:
+    return [
         ([v.name for v in node.source.outputs].index(variable.name), ascending)
         for variable, ascending in node.order_by
     ]
+
+
+def _sorted_rows(node, source: Iterator[Page]) -> list[tuple]:
+    """Row-at-a-time reference sort (retained as the differential oracle)."""
+    key_indexes = _key_indexes(node)
     rows: list[tuple] = []
     for page in source:
         rows.extend(page.loaded().rows())
@@ -48,31 +77,48 @@ def _sorted_rows(node, source: Iterator[Page]) -> list[tuple]:
 def execute_sort(
     node: SortNode, ctx: ExecutionContext, source: Iterator[Page]
 ) -> Iterator[Page]:
-    rows = _sorted_rows(node, source)
-    yield Page.from_rows([v.type for v in node.outputs], rows)
+    key_indexes = _key_indexes(node)
+    types = [v.type for v in node.outputs]
+    page = concat_pages(types, list(source))
+    order = None
+    if key_indexes:
+        order = kernels.sort_order(
+            [page.block(i) for i, _ in key_indexes],
+            [ascending for _, ascending in key_indexes],
+        )
+    if order is None:
+        rows = page.to_rows()
+        rows.sort(key=lambda row: tuple(_SortKey(row[i], asc) for i, asc in key_indexes))
+        ctx.stats.rows_processed_fallback += page.position_count
+        yield Page.from_rows(types, rows)
+        return
+    ctx.stats.rows_processed_vectorized += page.position_count
+    yield page.take(order)
 
 
 def execute_topn(
     node: TopNNode, ctx: ExecutionContext, source: Iterator[Page]
 ) -> Iterator[Page]:
-    # TopN keeps only ``count`` rows resident (vs a full sort).
-    key_indexes = [
-        ([v.name for v in node.source.outputs].index(variable.name), ascending)
-        for variable, ascending in node.order_by
-    ]
+    # TopN keeps only ``count`` rows resident in a bounded max-heap; the
+    # arrival sequence number breaks key ties so the output matches a
+    # stable full sort truncated to ``count``.
+    key_indexes = _key_indexes(node)
 
     def sort_key(row: tuple):
         return tuple(_SortKey(row[i], asc) for i, asc in key_indexes)
 
-    best: list[tuple] = []
+    heap: list[_ReversedEntry] = []
+    sequence = 0
     for page in source:
         for row in page.loaded().rows():
-            best.append(row)
-            if len(best) > 4 * node.count:
-                best.sort(key=sort_key)
-                del best[node.count :]
-    best.sort(key=sort_key)
-    yield Page.from_rows([v.type for v in node.outputs], best[: node.count])
+            entry = (sort_key(row), sequence, row)
+            sequence += 1
+            if len(heap) < node.count:
+                heapq.heappush(heap, _ReversedEntry(entry))
+            elif heap and entry[:2] < heap[0].item[:2]:
+                heapq.heapreplace(heap, _ReversedEntry(entry))
+    ordered = sorted((entry.item for entry in heap), key=lambda item: item[:2])
+    yield Page.from_rows([v.type for v in node.outputs], [item[2] for item in ordered])
 
 
 def execute_limit(
@@ -87,7 +133,5 @@ def execute_limit(
             remaining -= page.position_count
             yield page
         else:
-            import numpy as np
-
             yield page.take(np.arange(remaining))
             remaining = 0

@@ -46,6 +46,12 @@ class TestPrimitiveBlock:
         assert PrimitiveBlock.from_values(BIGINT, [1, 2]).size_in_bytes() > 0
         assert PrimitiveBlock.from_values(VARCHAR, ["hello"]).size_in_bytes() >= 5
 
+    def test_null_mask_without_nulls_is_cached(self):
+        block = PrimitiveBlock.from_values(BIGINT, [1, 2, 3])
+        mask = block.null_mask()
+        assert not mask.any()
+        assert block.null_mask() is mask  # no re-materialization per call
+
 
 class TestDictionaryBlock:
     def test_lookup_through_ids(self):
@@ -70,6 +76,12 @@ class TestDictionaryBlock:
         taken = block.take(np.array([2, 0]))
         assert taken.to_list() == [7, 7]
         assert taken.dictionary is dictionary
+
+    def test_null_mask_includes_dictionary_nulls(self):
+        dictionary = PrimitiveBlock.from_values(BIGINT, [10, None])
+        block = DictionaryBlock(dictionary, np.array([0, 1, -1]))
+        assert list(block.null_mask()) == [False, True, True]
+        assert [block.is_null(i) for i in range(3)] == [False, True, True]
 
 
 class TestRowBlock:

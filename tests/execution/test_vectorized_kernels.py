@@ -1,0 +1,695 @@
+"""Differential tests: vectorized operator kernels vs the row-at-a-time
+reference implementations they replaced.
+
+Every test builds the same input pages, runs both the vectorized operator
+and the retained reference (``execute_aggregation_rows``,
+``_hash_join_rows``, ``_sorted_rows``), and asserts row-for-row identical
+output — values *and* Python types — across NULL keys, NULL aggregate
+inputs, DISTINCT, merge (FINAL) mode, empty input, and object-dtype
+(varchar) keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import DictionaryBlock, PrimitiveBlock, block_from_values
+from repro.core.expressions import CallExpression, variable
+from repro.core.functions import default_registry
+from repro.core.page import Page, concat_pages
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution import kernels
+from repro.execution.context import ExecutionContext
+from repro.execution.operators.aggregation import (
+    execute_aggregation,
+    execute_aggregation_rows,
+)
+from repro.execution.operators.joins import _hash_join_rows, execute_join
+from repro.execution.operators.sorting import (
+    _sorted_rows,
+    execute_sort,
+    execute_topn,
+)
+from repro.planner.plan import (
+    Aggregation,
+    AggregationNode,
+    JoinNode,
+    SortNode,
+    TopNNode,
+    ValuesNode,
+)
+
+
+def make_ctx() -> ExecutionContext:
+    return ExecutionContext(catalog=None)
+
+
+def source_node(names_and_types) -> ValuesNode:
+    return ValuesNode(
+        output_variables=tuple(variable(n, t) for n, t in names_and_types),
+        rows=(),
+    )
+
+
+def agg_node(source, key_names, aggs, step="SINGLE") -> AggregationNode:
+    """``aggs`` is a list of (function, [arg names], distinct, output name)."""
+    registry = default_registry()
+    by_name = {v.name: v for v in source.outputs}
+    aggregations = []
+    for func, arg_names, distinct, out_name in aggs:
+        arg_vars = tuple(by_name[a] for a in arg_names)
+        handle, _ = registry.resolve_aggregate(func, [a.type for a in arg_vars])
+        aggregations.append(
+            Aggregation(
+                output=variable(out_name, handle.resolved_return_type()),
+                function_handle=handle,
+                arguments=arg_vars,
+                distinct=distinct,
+            )
+        )
+    return AggregationNode(
+        source=source,
+        group_keys=tuple(by_name[k] for k in key_names),
+        aggregations=tuple(aggregations),
+        step=step,
+    )
+
+
+def rows_of(pages) -> list[tuple]:
+    out: list[tuple] = []
+    for page in pages:
+        out.extend(page.to_rows())
+    return out
+
+
+def assert_identical(actual: list[tuple], expected: list[tuple]) -> None:
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert got == want
+        for g, w in zip(got, want):
+            assert type(g) is type(w), f"{g!r} ({type(g)}) vs {w!r} ({type(w)})"
+
+
+def paged(types, rows, page_size=7) -> list[Page]:
+    return [
+        Page.from_rows(types, rows[i : i + page_size])
+        for i in range(0, max(len(rows), 1), page_size)
+    ]
+
+
+def run_agg_both(node, pages) -> tuple[list[tuple], list[tuple]]:
+    vec = rows_of(execute_aggregation(node, make_ctx(), iter(pages)))
+    ref = rows_of(execute_aggregation_rows(node, make_ctx(), iter(pages)))
+    return vec, ref
+
+
+class TestAggregationDifferential:
+    def _random_rows(self, seed, n, key_pool, value_kind="double"):
+        rng = random.Random(seed)
+        rows = []
+        for _ in range(n):
+            key = rng.choice(key_pool)
+            if value_kind == "double":
+                value = None if rng.random() < 0.15 else round(rng.uniform(-50, 50), 3)
+            else:
+                value = None if rng.random() < 0.15 else rng.randint(-100, 100)
+            rows.append((key, value))
+        return rows
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_grouped_numeric_with_null_keys(self, seed):
+        rows = self._random_rows(seed, 200, [None, 1, 2, 3, 4, 5])
+        pages = paged([BIGINT, DOUBLE], rows)
+        node = agg_node(
+            source_node([("k", BIGINT), ("v", DOUBLE)]),
+            ["k"],
+            [
+                ("sum", ["v"], False, "s"),
+                ("count", ["v"], False, "c"),
+                ("avg", ["v"], False, "a"),
+                ("min", ["v"], False, "lo"),
+                ("max", ["v"], False, "hi"),
+            ],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_count_star_and_bigint_sum(self):
+        rows = self._random_rows(7, 150, [10, 20, None], value_kind="int")
+        pages = paged([BIGINT, BIGINT], rows)
+        node = agg_node(
+            source_node([("k", BIGINT), ("v", BIGINT)]),
+            ["k"],
+            [("count", [], False, "c"), ("sum", ["v"], False, "s")],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_varchar_keys_object_dtype(self):
+        rows = self._random_rows(3, 120, ["ny", "sf", "la", None])
+        pages = paged([VARCHAR, DOUBLE], rows)
+        node = agg_node(
+            source_node([("city", VARCHAR), ("v", DOUBLE)]),
+            ["city"],
+            [("sum", ["v"], False, "s"), ("count", [], False, "c")],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_varchar_min_max_uses_generic_fallback(self):
+        rows = [(i % 3, s) for i, s in enumerate(["b", "a", None, "z", "m", "a"])]
+        pages = paged([BIGINT, VARCHAR], rows, page_size=2)
+        node = agg_node(
+            source_node([("k", BIGINT), ("s", VARCHAR)]),
+            ["k"],
+            [("min", ["s"], False, "lo"), ("max", ["s"], False, "hi")],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_multi_column_keys(self):
+        rng = random.Random(11)
+        rows = [
+            (rng.choice([None, 1, 2]), rng.choice(["a", "b", None]), rng.randint(0, 9))
+            for _ in range(180)
+        ]
+        pages = paged([BIGINT, VARCHAR, BIGINT], rows)
+        node = agg_node(
+            source_node([("a", BIGINT), ("b", VARCHAR), ("v", BIGINT)]),
+            ["a", "b"],
+            [("sum", ["v"], False, "s"), ("count", ["v"], False, "c")],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_distinct_aggregates(self):
+        rows = self._random_rows(5, 160, [1, 2, None], value_kind="int")
+        pages = paged([BIGINT, BIGINT], rows)
+        node = agg_node(
+            source_node([("k", BIGINT), ("v", BIGINT)]),
+            ["k"],
+            [
+                ("sum", ["v"], True, "ds"),
+                ("count", ["v"], True, "dc"),
+                ("sum", ["v"], False, "s"),
+            ],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_merge_mode_final_step(self):
+        # Partial rows as a connector would return them after pushdown:
+        # (key, partial_sum, partial_count, partial_min, partial_max).
+        rng = random.Random(9)
+        rows = [
+            (
+                rng.choice([1, 2, 3, None]),
+                None if rng.random() < 0.1 else rng.randint(-40, 40),
+                rng.randint(0, 10),
+                None if rng.random() < 0.1 else rng.randint(-40, 40),
+                None if rng.random() < 0.1 else rng.randint(-40, 40),
+            )
+            for _ in range(120)
+        ]
+        pages = paged([BIGINT, BIGINT, BIGINT, BIGINT, BIGINT], rows)
+        node = agg_node(
+            source_node(
+                [
+                    ("k", BIGINT),
+                    ("ps", BIGINT),
+                    ("pc", BIGINT),
+                    ("plo", BIGINT),
+                    ("phi", BIGINT),
+                ]
+            ),
+            ["k"],
+            [
+                ("sum", ["ps"], False, "s"),
+                ("count", ["pc"], False, "c"),
+                ("min", ["plo"], False, "lo"),
+                ("max", ["phi"], False, "hi"),
+            ],
+            step="FINAL",
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_empty_input_grouped_and_global(self):
+        types = [BIGINT, DOUBLE]
+        empty = [Page.from_rows(types, [])]
+        src = source_node([("k", BIGINT), ("v", DOUBLE)])
+        grouped = agg_node(src, ["k"], [("sum", ["v"], False, "s")])
+        vec, ref = run_agg_both(grouped, empty)
+        assert_identical(vec, ref)
+        assert vec == []
+        global_node = agg_node(src, [], [("count", [], False, "c"), ("sum", ["v"], False, "s")])
+        vec, ref = run_agg_both(global_node, empty)
+        assert_identical(vec, ref)
+        assert vec == [(0, None)]
+
+    def test_dictionary_block_keys_group_on_ids(self):
+        dictionary = PrimitiveBlock.from_values(VARCHAR, ["sf", "ny", "la"])
+        ids = np.array([0, 1, 2, 0, 1, -1, 2, 0], dtype=np.int64)
+        keys = DictionaryBlock(dictionary, ids)
+        values = PrimitiveBlock.from_values(DOUBLE, [1.0, 2.0, 3.0, 4.0, None, 6.0, 7.0, 8.0])
+        pages = [Page([keys, values])]
+        node = agg_node(
+            source_node([("city", VARCHAR), ("v", DOUBLE)]),
+            ["city"],
+            [("sum", ["v"], False, "s"), ("count", [], False, "c")],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+    def test_dictionary_with_duplicate_values_merges_groups(self):
+        # A dictionary holding the same value twice must not split a group.
+        dictionary = PrimitiveBlock.from_values(VARCHAR, ["sf", "ny", "sf"])
+        ids = np.array([0, 1, 2, 0, 2], dtype=np.int64)
+        keys = DictionaryBlock(dictionary, ids)
+        values = PrimitiveBlock.from_values(BIGINT, [1, 2, 3, 4, 5])
+        pages = [Page([keys, values])]
+        node = agg_node(
+            source_node([("city", VARCHAR), ("v", BIGINT)]),
+            ["city"],
+            [("sum", ["v"], False, "s")],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+        assert sorted(r[0] for r in vec) == ["ny", "sf"]
+
+    def test_mixed_type_object_keys_fall_back(self):
+        # ints and strings in one object column defeat np.unique; the
+        # row-at-a-time key path must kick in transparently.
+        keys = PrimitiveBlock.from_values(VARCHAR, [1, "a", 1, "a", "b", None])
+        values = PrimitiveBlock.from_values(BIGINT, [1, 2, 3, 4, 5, 6])
+        pages = [Page([keys, values])]
+        node = agg_node(
+            source_node([("k", VARCHAR), ("v", BIGINT)]),
+            ["k"],
+            [("sum", ["v"], False, "s")],
+        )
+        ctx = make_ctx()
+        vec = rows_of(execute_aggregation(node, ctx, iter(pages)))
+        ref = rows_of(execute_aggregation_rows(node, make_ctx(), iter(pages)))
+        assert_identical(vec, ref)
+        assert ctx.stats.rows_processed_fallback == 6
+
+    def test_stats_count_vectorized_rows(self):
+        rows = self._random_rows(2, 60, [1, 2, 3])
+        pages = paged([BIGINT, DOUBLE], rows)
+        node = agg_node(
+            source_node([("k", BIGINT), ("v", DOUBLE)]),
+            ["k"],
+            [("sum", ["v"], False, "s")],
+        )
+        ctx = make_ctx()
+        rows_of(execute_aggregation(node, ctx, iter(pages)))
+        assert ctx.stats.rows_processed_vectorized == 60
+        assert ctx.stats.rows_processed_fallback == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(min_value=-3, max_value=3)),
+                st.one_of(
+                    st.none(),
+                    st.integers(min_value=-1000, max_value=1000).map(lambda v: v / 8),
+                ),
+            ),
+            max_size=60,
+        ),
+        distinct=st.booleans(),
+    )
+    def test_property_grouped_aggregation_matches_reference(self, data, distinct):
+        pages = paged([BIGINT, DOUBLE], data, page_size=9)
+        node = agg_node(
+            source_node([("k", BIGINT), ("v", DOUBLE)]),
+            ["k"],
+            [
+                ("sum", ["v"], distinct, "s"),
+                ("count", ["v"], distinct, "c"),
+                ("avg", ["v"], False, "a"),
+                ("min", ["v"], False, "lo"),
+                ("max", ["v"], False, "hi"),
+            ],
+        )
+        vec, ref = run_agg_both(node, pages)
+        assert_identical(vec, ref)
+
+
+def join_node(join_type, left_spec, right_spec, criteria_names, join_filter=None):
+    left = source_node(left_spec)
+    right = source_node(right_spec)
+    left_by_name = {v.name: v for v in left.outputs}
+    right_by_name = {v.name: v for v in right.outputs}
+    criteria = tuple(
+        (left_by_name[l], right_by_name[r]) for l, r in criteria_names
+    )
+    return JoinNode(
+        join_type=join_type,
+        left=left,
+        right=right,
+        criteria=criteria,
+        filter=join_filter,
+    )
+
+
+def reference_join(node, ctx, left_pages, right_pages):
+    """execute_join's dispatch, with the row-at-a-time hash join inside."""
+    if node.join_type == "right":
+        swapped = JoinNode(
+            join_type="left",
+            left=node.right,
+            right=node.left,
+            criteria=tuple((r, l) for l, r in node.criteria),
+            filter=node.filter,
+            distribution=node.distribution,
+        )
+        left_width = len(node.left.outputs)
+        right_width = len(node.right.outputs)
+        reorder = list(range(right_width, right_width + left_width)) + list(
+            range(right_width)
+        )
+        for page in _hash_join_rows(swapped, ctx, iter(right_pages), iter(left_pages)):
+            yield page.select_channels(reorder)
+        return
+    yield from _hash_join_rows(node, ctx, iter(left_pages), iter(right_pages))
+
+
+def run_join_both(node, left_pages, right_pages):
+    vec = rows_of(
+        execute_join(node, make_ctx(), iter(left_pages), iter(right_pages))
+    )
+    ref = rows_of(reference_join(node, make_ctx(), left_pages, right_pages))
+    return vec, ref
+
+
+def scalar_call(name, args):
+    registry = default_registry()
+    handle, _ = registry.resolve_scalar(name, [a.type for a in args])
+    return CallExpression(name, handle, handle.resolved_return_type(), tuple(args))
+
+
+class TestJoinDifferential:
+    def _sides(self, seed, n_left=90, n_right=40, key_pool=None):
+        rng = random.Random(seed)
+        key_pool = key_pool or [None, 1, 2, 3, 4, 5, 6]
+        left = [(rng.choice(key_pool), rng.randint(0, 99)) for _ in range(n_left)]
+        right = [(rng.choice(key_pool), rng.uniform(0, 1)) for _ in range(n_right)]
+        return (
+            paged([BIGINT, BIGINT], left, page_size=13),
+            paged([BIGINT, DOUBLE], right, page_size=11),
+        )
+
+    @pytest.mark.parametrize("join_type", ["inner", "left", "right"])
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_equi_join_with_null_keys_and_duplicates(self, join_type, seed):
+        left_pages, right_pages = self._sides(seed)
+        node = join_node(
+            join_type,
+            [("lk", BIGINT), ("lv", BIGINT)],
+            [("rk", BIGINT), ("rv", DOUBLE)],
+            [("lk", "rk")],
+        )
+        vec, ref = run_join_both(node, left_pages, right_pages)
+        assert_identical(vec, ref)
+
+    def test_varchar_keys(self):
+        rng = random.Random(21)
+        pool = ["a", "b", "c", None, "d"]
+        left = [(rng.choice(pool), rng.randint(0, 9)) for _ in range(70)]
+        right = [(rng.choice(pool), rng.randint(0, 9)) for _ in range(30)]
+        left_pages = paged([VARCHAR, BIGINT], left, page_size=17)
+        right_pages = paged([VARCHAR, BIGINT], right, page_size=9)
+        node = join_node(
+            "left",
+            [("lk", VARCHAR), ("lv", BIGINT)],
+            [("rk", VARCHAR), ("rv", BIGINT)],
+            [("lk", "rk")],
+        )
+        vec, ref = run_join_both(node, left_pages, right_pages)
+        assert_identical(vec, ref)
+
+    def test_multi_key_join(self):
+        rng = random.Random(31)
+        left = [
+            (rng.choice([1, 2, None]), rng.choice(["x", "y"]), rng.randint(0, 9))
+            for _ in range(80)
+        ]
+        right = [
+            (rng.choice([1, 2, None]), rng.choice(["x", "y", "z"]), rng.randint(0, 9))
+            for _ in range(30)
+        ]
+        left_pages = paged([BIGINT, VARCHAR, BIGINT], left)
+        right_pages = paged([BIGINT, VARCHAR, BIGINT], right)
+        node = join_node(
+            "inner",
+            [("la", BIGINT), ("lb", VARCHAR), ("lv", BIGINT)],
+            [("ra", BIGINT), ("rb", VARCHAR), ("rv", BIGINT)],
+            [("la", "ra"), ("lb", "rb")],
+        )
+        vec, ref = run_join_both(node, left_pages, right_pages)
+        assert_identical(vec, ref)
+
+    @pytest.mark.parametrize("join_type", ["inner", "left"])
+    def test_join_with_residual_filter(self, join_type):
+        left_pages, right_pages = self._sides(8, key_pool=[1, 2, 3])
+        node = join_node(
+            join_type,
+            [("lk", BIGINT), ("lv", BIGINT)],
+            [("rk", BIGINT), ("rv", DOUBLE)],
+            [("lk", "rk")],
+        )
+        predicate = scalar_call(
+            "greater_than",
+            [variable("lv", BIGINT), variable("lk", BIGINT)],
+        )
+        node = JoinNode(
+            join_type=node.join_type,
+            left=node.left,
+            right=node.right,
+            criteria=node.criteria,
+            filter=predicate,
+        )
+        vec, ref = run_join_both(node, left_pages, right_pages)
+        assert_identical(vec, ref)
+
+    def test_empty_build_and_empty_probe(self):
+        node = join_node(
+            "left",
+            [("lk", BIGINT), ("lv", BIGINT)],
+            [("rk", BIGINT), ("rv", DOUBLE)],
+            [("lk", "rk")],
+        )
+        left_pages = paged([BIGINT, BIGINT], [(1, 2), (None, 3), (4, 5)])
+        empty_right = [Page.from_rows([BIGINT, DOUBLE], [])]
+        vec, ref = run_join_both(node, left_pages, empty_right)
+        assert_identical(vec, ref)
+        empty_left = [Page.from_rows([BIGINT, BIGINT], [])]
+        right_pages = paged([BIGINT, DOUBLE], [(1, 0.5)])
+        vec, ref = run_join_both(node, empty_left, right_pages)
+        assert_identical(vec, ref)
+
+    def test_dictionary_build_keys(self):
+        dictionary = PrimitiveBlock.from_values(BIGINT, [10, 20, 30])
+        ids = np.array([0, 1, 2, 1, -1], dtype=np.int64)
+        build_keys = DictionaryBlock(dictionary, ids)
+        build_vals = PrimitiveBlock.from_values(DOUBLE, [0.1, 0.2, 0.3, 0.4, 0.5])
+        right_pages = [Page([build_keys, build_vals])]
+        left_pages = paged([BIGINT, BIGINT], [(10, 1), (20, 2), (99, 3), (None, 4)])
+        node = join_node(
+            "left",
+            [("lk", BIGINT), ("lv", BIGINT)],
+            [("rk", BIGINT), ("rv", DOUBLE)],
+            [("lk", "rk")],
+        )
+        vec, ref = run_join_both(node, left_pages, right_pages)
+        assert_identical(vec, ref)
+
+    def test_stats_count_vectorized_probe_rows(self):
+        left_pages, right_pages = self._sides(1, n_left=50)
+        node = join_node(
+            "inner",
+            [("lk", BIGINT), ("lv", BIGINT)],
+            [("rk", BIGINT), ("rv", DOUBLE)],
+            [("lk", "rk")],
+        )
+        ctx = make_ctx()
+        rows_of(execute_join(node, ctx, iter(left_pages), iter(right_pages)))
+        assert ctx.stats.rows_processed_vectorized == 50
+        assert ctx.stats.peak_build_rows == 40
+
+    def test_mixed_type_probe_keys_fall_back_per_page(self):
+        # Probe values that cannot be ordered against the build side's
+        # (str vs int) make JoinKeyIndex raise FallbackNeeded; the page
+        # must route through the row-at-a-time probe with identical output.
+        left = [("a", 1), (7, 2), ("b", 3), (None, 4)]
+        right = [("a", 10), ("b", 20), ("b", 30)]
+        left_pages = paged([VARCHAR, BIGINT], left, page_size=2)
+        right_pages = paged([VARCHAR, BIGINT], right)
+        node = join_node(
+            "left",
+            [("lk", VARCHAR), ("lv", BIGINT)],
+            [("rk", VARCHAR), ("rv", BIGINT)],
+            [("lk", "rk")],
+        )
+        ctx = make_ctx()
+        vec = rows_of(execute_join(node, ctx, iter(left_pages), iter(right_pages)))
+        ref = rows_of(reference_join(node, make_ctx(), left_pages, right_pages))
+        assert_identical(vec, ref)
+        # The ("a", 7) page is incomparable; the ("b", None) page is fine.
+        assert ctx.stats.rows_processed_fallback == 2
+        assert ctx.stats.rows_processed_vectorized == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        left=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=4)),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=40,
+        ),
+        right=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=4)),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=25,
+        ),
+        join_type=st.sampled_from(["inner", "left"]),
+    )
+    def test_property_join_matches_reference(self, left, right, join_type):
+        left_pages = paged([BIGINT, BIGINT], left, page_size=7)
+        right_pages = paged([BIGINT, BIGINT], right, page_size=6)
+        node = join_node(
+            join_type,
+            [("lk", BIGINT), ("lv", BIGINT)],
+            [("rk", BIGINT), ("rv", BIGINT)],
+            [("lk", "rk")],
+        )
+        vec, ref = run_join_both(node, left_pages, right_pages)
+        assert_identical(vec, ref)
+
+
+class TestSortAndTopNDifferential:
+    def _pages(self, seed, n=120):
+        rng = random.Random(seed)
+        rows = [
+            (
+                rng.choice([None, 1, 2, 3]),
+                rng.choice(["a", "b", None, "c"]),
+                rng.uniform(-5, 5),
+            )
+            for _ in range(n)
+        ]
+        return paged([BIGINT, VARCHAR, DOUBLE], rows, page_size=19)
+
+    @pytest.mark.parametrize(
+        "directions", [[True, True], [False, True], [True, False], [False, False]]
+    )
+    def test_sort_matches_reference(self, directions):
+        pages = self._pages(3)
+        src = source_node([("a", BIGINT), ("b", VARCHAR), ("v", DOUBLE)])
+        by_name = {v.name: v for v in src.outputs}
+        node = SortNode(
+            source=src,
+            order_by=(
+                (by_name["a"], directions[0]),
+                (by_name["b"], directions[1]),
+            ),
+        )
+        vec = rows_of(execute_sort(node, make_ctx(), iter(pages)))
+        ref = _sorted_rows(node, iter(pages))
+        assert_identical(vec, ref)
+
+    def test_sort_is_stable(self):
+        rows = [(1, "x", float(i)) for i in range(50)]
+        pages = paged([BIGINT, VARCHAR, DOUBLE], rows, page_size=8)
+        src = source_node([("a", BIGINT), ("b", VARCHAR), ("v", DOUBLE)])
+        by_name = {v.name: v for v in src.outputs}
+        node = SortNode(source=src, order_by=((by_name["a"], True),))
+        vec = rows_of(execute_sort(node, make_ctx(), iter(pages)))
+        assert vec == rows  # equal keys keep arrival order
+
+    @pytest.mark.parametrize("count", [0, 1, 5, 17, 1000])
+    def test_topn_matches_truncated_stable_sort(self, count):
+        pages = self._pages(6)
+        src = source_node([("a", BIGINT), ("b", VARCHAR), ("v", DOUBLE)])
+        by_name = {v.name: v for v in src.outputs}
+        node = TopNNode(
+            source=src,
+            count=count,
+            order_by=((by_name["a"], True), (by_name["b"], False)),
+        )
+        got = rows_of(execute_topn(node, make_ctx(), iter(pages)))
+        expected = _sorted_rows(node, iter(self._pages(6)))[:count]
+        assert_identical(got, expected)
+
+
+class TestKernels:
+    def test_factorize_keys_null_and_values(self):
+        block = PrimitiveBlock.from_values(BIGINT, [3, None, 3, 1, None])
+        codes, uniques = kernels.factorize_keys([block])
+        assert uniques[codes[0]] == (3,)
+        assert uniques[codes[1]] == (None,)
+        assert uniques[codes[3]] == (1,)
+        assert codes[0] == codes[2] and codes[1] == codes[4]
+
+    def test_factorize_keys_unsupported_returns_none(self):
+        from repro.core.types import ArrayType
+        block = block_from_values(ArrayType(BIGINT), [[1], [2]])
+        assert kernels.factorize_keys([block]) is None
+
+    def test_take_nullable_pads_nulls(self):
+        block = PrimitiveBlock.from_values(BIGINT, [10, 20, 30])
+        positions = np.array([2, -1, 0], dtype=np.int64)
+        mask = positions < 0
+        taken = kernels.take_nullable(block, positions, mask)
+        assert taken.to_list() == [30, None, 10]
+
+    def test_expand_matches_preserves_probe_order(self):
+        codes = np.array([1, 0, 1, 2], dtype=np.int64)
+        matches = [
+            np.array([5], dtype=np.int64),
+            np.array([7, 8], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        ]
+        probe, build = kernels.expand_matches(codes, matches)
+        assert probe.tolist() == [0, 0, 1, 2, 2]
+        assert build.tolist() == [7, 8, 5, 7, 8]
+
+    def test_join_key_index_probe_and_expand(self):
+        build = PrimitiveBlock.from_values(BIGINT, [10, 20, None, 10])
+        index = kernels.build_join_index([build])
+        probe = PrimitiveBlock.from_values(BIGINT, [20, 99, 10, None])
+        codes = index.probe_codes([probe], 4)
+        assert codes[1] == -1 and codes[3] == -1  # no match / null key
+        probe_pos, build_pos = index.expand(codes)
+        assert probe_pos.tolist() == [0, 2, 2]
+        # Build positions come back in insertion order (rows 0 and 3).
+        assert build_pos.tolist() == [1, 0, 3]
+
+    def test_join_key_index_multi_column(self):
+        a = PrimitiveBlock.from_values(BIGINT, [1, 1, 2])
+        b = block_from_values(VARCHAR, ["x", "y", "x"])
+        index = kernels.build_join_index([a, b])
+        pa = PrimitiveBlock.from_values(BIGINT, [1, 2, 1])
+        pb = block_from_values(VARCHAR, ["y", "y", None])
+        codes = index.probe_codes([pa, pb], 3)
+        probe_pos, build_pos = index.expand(codes)
+        assert probe_pos.tolist() == [0]
+        assert build_pos.tolist() == [1]
+
+    def test_concat_pages_vectorized_matches_values(self):
+        a = Page.from_rows([BIGINT, VARCHAR], [(1, "x"), (None, None)])
+        b = Page.from_rows([BIGINT, VARCHAR], [(3, "y")])
+        merged = concat_pages([BIGINT, VARCHAR], [a, b])
+        assert merged.to_rows() == [(1, "x"), (None, None), (3, "y")]
+        assert isinstance(merged.block(0), PrimitiveBlock)
+        assert merged.block(0).values.dtype == np.int64
