@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 from repro.common.clock import SimulatedClock
 from repro.common.errors import ExecutionError
+from repro.common.hashing import stable_hash
 
 
 class WorkerState(enum.Enum):
@@ -228,6 +229,52 @@ class PrestoClusterSim:
         self._at(execution.started_at, self._schedule_pending)
         return execution
 
+    def submit_tasks(
+        self, tasks: list[SplitWork], query_id: Optional[str] = None
+    ) -> QueryExecution:
+        """Admit a query whose work is the given tasks.
+
+        Generalizes :meth:`submit_query` to pre-built :class:`SplitWork`
+        items — the shape staged execution produces (one per task, with
+        the task's simulated duration and its affinity data key).
+        """
+        if not tasks:
+            raise ExecutionError("query needs at least one task")
+        return self.submit_query(
+            [t.duration_ms for t in tasks],
+            query_id=query_id,
+            split_keys=[t.data_key for t in tasks]
+            if any(t.data_key is not None for t in tasks)
+            else None,
+        )
+
+    def submit_engine_query(self, engine, sql: str) -> tuple:
+        """Run ``sql`` on ``engine`` staged, then schedule its real tasks.
+
+        The bridge from query execution to the cluster simulation: the
+        engine's StageScheduler records one task record per executed task
+        (stage, split, rows, simulated cost); those records — not
+        synthetic durations — become the cluster's work.  Returns
+        ``(QueryResult, QueryExecution)``.
+        """
+        result = engine.execute(sql)
+        records = result.stats.task_records
+        if records:
+            tasks = [
+                SplitWork(
+                    query_id="",
+                    duration_ms=record["sim_ms"],
+                    data_key=record["data_key"],
+                )
+                for record in records
+            ]
+        else:
+            # Metadata statements and direct execution produce no task
+            # records; account a single coordinator-side task.
+            tasks = [SplitWork(query_id="", duration_ms=1.0)]
+        execution = self.submit_tasks(tasks)
+        return result, execution
+
     def running_query_count(self) -> int:
         return sum(1 for q in self.queries.values() if q.finished_at is None)
 
@@ -282,9 +329,12 @@ class PrestoClusterSim:
             and split.data_key is not None
         ):
             # Soft affinity: deterministic preferred worker by key hash;
-            # fall through to least-loaded when it has no free slot.
+            # fall through to least-loaded when it has no free slot.  The
+            # hash must be stable across processes (``hash()`` of a str
+            # changes with PYTHONHASHSEED, which would re-route every key
+            # on restart and empty the affinity caches).
             ordered = sorted(self.workers)
-            preferred_id = ordered[hash(split.data_key) % len(ordered)]
+            preferred_id = ordered[stable_hash(split.data_key) % len(ordered)]
             preferred = self.workers.get(preferred_id)
             if preferred is not None and preferred.schedulable(now_ms):
                 return preferred

@@ -26,6 +26,19 @@ class QueryStats:
     # vectorized group-by/join/sort kernels vs the row-at-a-time fallback.
     rows_processed_vectorized: int = 0
     rows_processed_fallback: int = 0
+    # Staged execution counters (section III: fragments → stages → tasks):
+    # filled by the StageScheduler when a query runs fragmented.
+    stages_total: int = 0
+    tasks_total: int = 0
+    rows_exchanged: int = 0
+    simulated_ms: float = 0.0
+    # One dict per stage: fragment id, distribution, task count, rows in/
+    # out, simulated milliseconds.  Rendered by EXPLAIN ANALYZE.
+    stage_summaries: list = field(default_factory=list)
+    # One dict per task: stage, task index, split count, rows in/out, the
+    # data key driving affinity scheduling, and the simulated duration.
+    # PrestoClusterSim.submit_engine_query turns these into SplitWork.
+    task_records: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -37,6 +50,11 @@ class QueryStats:
             "fragment_cache_hits": self.fragment_cache_hits,
             "rows_processed_vectorized": self.rows_processed_vectorized,
             "rows_processed_fallback": self.rows_processed_fallback,
+            "stages_total": self.stages_total,
+            "tasks_total": self.tasks_total,
+            "rows_exchanged": self.rows_exchanged,
+            "simulated_ms": self.simulated_ms,
+            "stage_summaries": list(self.stage_summaries),
         }
 
 
@@ -47,6 +65,13 @@ class ExecutionContext:
     ``max_build_rows`` models cluster memory for join build sides; exceeding
     it raises ``InsufficientResourcesError``, reproducing the
     "Insufficient Resource" failures of section XII.C.
+
+    During staged execution the StageScheduler derives one shallow copy of
+    the query context per task (sharing ``stats``): ``scan_splits`` pins
+    each table scan to the task's assigned connector splits, and
+    ``exchange_inputs`` resolves the task's RemoteSource leaves to pages
+    buffered by upstream stages.  Both are ``None`` on the direct
+    (single-pipeline) path.
     """
 
     catalog: Catalog
@@ -58,6 +83,10 @@ class ExecutionContext:
     # Fragment result cache (section VII): caches per-(leaf fragment,
     # split) pages, keyed additionally by the split's data version.
     fragment_cache: Optional[object] = None
+    # Staged execution, per task: TableScanNode id -> assigned splits.
+    scan_splits: Optional[dict] = None
+    # Staged execution, per task: Exchange -> list of input pages.
+    exchange_inputs: Optional[dict] = None
 
     _evaluator: Optional[Evaluator] = None
 

@@ -19,6 +19,7 @@ from repro.execution.operators import (
     execute_topn,
     execute_values,
 )
+from repro.planner.fragmenter import RemoteSourceNode
 from repro.planner.plan import (
     AggregationNode,
     FilterNode,
@@ -64,9 +65,22 @@ def execute_plan(node: PlanNode, ctx: ExecutionContext) -> Iterator[Page]:
         return execute_limit(node, ctx, execute_plan(node.source, ctx))
     if isinstance(node, UnionNode):
         return _execute_union(node, ctx)
+    if isinstance(node, RemoteSourceNode):
+        return _execute_remote_source(node, ctx)
     if isinstance(node, OutputNode):
         return _execute_output(node, ctx)
     raise ExecutionError(f"no operator for plan node {type(node).__name__}")
+
+
+def _execute_remote_source(node: RemoteSourceNode, ctx: ExecutionContext) -> Iterator[Page]:
+    # Staged execution: the StageScheduler resolved this exchange against
+    # the upstream stage's buffer before starting the task.
+    if ctx.exchange_inputs is None or node.exchange not in ctx.exchange_inputs:
+        raise ExecutionError(
+            "RemoteSource outside staged execution: no pages buffered for "
+            f"exchange from fragment {node.exchange.source_fragment}"
+        )
+    yield from ctx.exchange_inputs[node.exchange]
 
 
 def _execute_union(node: UnionNode, ctx: ExecutionContext) -> Iterator[Page]:

@@ -57,6 +57,8 @@ class PrestoEngine:
         max_build_rows: int = 10_000_000,
         enable_optimizer: bool = True,
         fragment_result_cache=None,
+        staged_execution: bool = True,
+        hash_partitions: int = 4,
     ) -> None:
         # The geospatial plugin registers its functions on import
         # (section VI.E: "Using the Presto plugin framework").
@@ -68,6 +70,11 @@ class PrestoEngine:
         self.clock = clock
         self.max_build_rows = max_build_rows
         self.fragment_result_cache = fragment_result_cache
+        # Staged execution (section III): execute() fragments the plan and
+        # runs it stage by stage through exchanges.  The direct pipeline
+        # stays available as execute_direct(), the differential oracle.
+        self.staged_execution = staged_execution
+        self.hash_partitions = hash_partitions
         # Simulated control-plane costs charged per query when a clock is
         # attached: coordinator parse/plan/schedule plus result streaming.
         self.coordinator_overhead_ms = 15.0
@@ -104,18 +111,46 @@ class PrestoEngine:
     def execute(self, sql: str) -> QueryResult:
         """Run ``sql`` to completion and materialize the result.
 
+        SELECT queries run through staged execution by default: the plan
+        is fragmented (section III), each fragment runs as a stage of
+        tasks, and pages move between stages over exchange buffers.  Pass
+        ``staged_execution=False`` to the engine (or call
+        :meth:`execute_direct`) for the single-pipeline path.
+
         Besides SELECT queries, the metadata statements are supported:
-        ``EXPLAIN [(TYPE DISTRIBUTED)] <query>``, ``SHOW CATALOGS``,
-        ``SHOW SCHEMAS [FROM catalog]``, ``SHOW TABLES [FROM
-        catalog.schema]``, and ``DESCRIBE <table>``.
+        ``EXPLAIN [ANALYZE | (TYPE DISTRIBUTED)] <query>``,
+        ``SHOW CATALOGS``, ``SHOW SCHEMAS [FROM catalog]``, ``SHOW TABLES
+        [FROM catalog.schema]``, and ``DESCRIBE <table>``.
         """
         statement = _match_metadata_statement(sql)
         if statement is not None:
             return statement(self)
-        plan = self.plan(sql)
+        if self.staged_execution:
+            return self._execute_staged(self.plan(sql))
+        return self._execute_pipeline(self.plan(sql))
+
+    def execute_direct(self, sql: str) -> QueryResult:
+        """Run ``sql`` through the single in-process pipeline.
+
+        The pre-staged execution path, retained as the differential
+        oracle (the convention the operator kernels also follow): staged
+        and direct execution must return the same rows.
+        """
+        statement = _match_metadata_statement(sql)
+        if statement is not None:
+            return statement(self)
+        return self._execute_pipeline(self.plan(sql))
+
+    def execute_staged(self, sql: str) -> QueryResult:
+        """Run ``sql`` through fragments, stages, tasks and exchanges."""
+        return self._execute_staged(self.plan(sql))
+
+    # -- internals -----------------------------------------------------------
+
+    def _fresh_context(self) -> ExecutionContext:
         if self.clock is not None:
             self.clock.advance(self.coordinator_overhead_ms)
-        ctx = ExecutionContext(
+        return ExecutionContext(
             catalog=self.catalog,
             session=self.session,
             registry=self.registry,
@@ -123,10 +158,49 @@ class PrestoEngine:
             max_build_rows=self.max_build_rows,
             fragment_cache=self.fragment_result_cache,
         )
+
+    def _execute_pipeline(self, plan: OutputNode) -> QueryResult:
+        ctx = self._fresh_context()
         rows: list[tuple] = []
         for page in execute_plan(plan, ctx):
             rows.extend(page.rows())
         return QueryResult(list(plan.column_names), rows, ctx.stats)
+
+    def _execute_staged(self, plan: OutputNode) -> QueryResult:
+        from repro.execution.scheduler import StageScheduler
+        from repro.planner.fragmenter import Fragmenter
+
+        fragmented = Fragmenter().fragment(plan)
+        ctx = self._fresh_context()
+        scheduler = StageScheduler(ctx, hash_partitions=self.hash_partitions)
+        rows: list[tuple] = []
+        for page in scheduler.run(fragmented):
+            rows.extend(page.rows())
+        return QueryResult(list(plan.column_names), rows, ctx.stats)
+
+    def explain_analyze(self, sql: str) -> str:
+        """EXPLAIN ANALYZE: run staged, report per-stage execution stats."""
+        plan = self.plan(sql)
+        from repro.planner.fragmenter import Fragmenter
+
+        fragmented = Fragmenter().fragment(plan)
+        result = self._execute_staged(plan)
+        stats = result.stats
+        lines = [
+            f"Query: {stats.stages_total} stages, {stats.tasks_total} tasks, "
+            f"{stats.rows_exchanged} rows exchanged, "
+            f"{stats.simulated_ms:.2f} simulated ms",
+        ]
+        for summary in reversed(stats.stage_summaries):
+            fragment = fragmented.fragment_by_id(summary["stage"])
+            lines.append(
+                f"Stage {summary['stage']} [{summary['distribution']}]: "
+                f"{summary['tasks']} tasks, rows in {summary['rows_in']}, "
+                f"rows out {summary['rows_out']}, "
+                f"{summary['sim_ms']:.2f} simulated ms"
+            )
+            lines.extend("  " + line for line in fragment.root.pretty().splitlines())
+        return "\n".join(lines)
 
 
 def _match_metadata_statement(sql: str):
@@ -135,6 +209,18 @@ def _match_metadata_statement(sql: str):
 
     stripped = sql.strip().rstrip(";")
     lowered = stripped.lower()
+
+    analyze = re.match(r"explain\s+analyze\s+(.*)", stripped, re.IGNORECASE | re.DOTALL)
+    if analyze:
+        inner = analyze.group(1)
+
+        def run_explain_analyze(engine: "PrestoEngine") -> QueryResult:
+            text = engine.explain_analyze(inner)
+            return QueryResult(
+                ["Query Plan"], [(line,) for line in text.splitlines()], QueryStats()
+            )
+
+        return run_explain_analyze
 
     explain = re.match(
         r"explain\s*(\(\s*type\s+distributed\s*\))?\s+(.*)", stripped, re.IGNORECASE | re.DOTALL
@@ -160,7 +246,11 @@ def _match_metadata_statement(sql: str):
 
         return run_show_catalogs
 
-    schemas = re.match(r"show\s+schemas(?:\s+from\s+(\w+))?$", lowered)
+    # SHOW keyword matching is case-insensitive, but catalog/schema
+    # identifiers are matched against the *original* string so their case
+    # survives (``SHOW SCHEMAS FROM MyCatalog`` must look up "MyCatalog",
+    # not "mycatalog").
+    schemas = re.match(r"show\s+schemas(?:\s+from\s+(\w+))?$", stripped, re.IGNORECASE)
     if schemas:
         def run_show_schemas(engine: "PrestoEngine") -> QueryResult:
             catalog_name = schemas.group(1) or engine.session.catalog
@@ -175,7 +265,9 @@ def _match_metadata_statement(sql: str):
 
         return run_show_schemas
 
-    tables = re.match(r"show\s+tables(?:\s+from\s+(\w+)(?:\.(\w+))?)?$", lowered)
+    tables = re.match(
+        r"show\s+tables(?:\s+from\s+(\w+)(?:\.(\w+))?)?$", stripped, re.IGNORECASE
+    )
     if tables:
         def run_show_tables(engine: "PrestoEngine") -> QueryResult:
             from repro.common.errors import SemanticError
@@ -208,7 +300,7 @@ def _match_metadata_statement(sql: str):
             probe = _parse(f"SELECT count(*) FROM {describe.group(1)}")
             reference = probe.from_relation
             analyzer = Analyzer(engine.catalog, engine.session, engine.registry)
-            catalog_name, schema_name, table_name = analyzer._qualify(reference.parts)
+            catalog_name, schema_name, table_name = analyzer.qualify(reference.parts)
             metadata = engine.catalog.connector(catalog_name).metadata()
             handle = metadata.get_table_handle(schema_name, table_name)
             if handle is None:

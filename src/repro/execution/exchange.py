@@ -1,0 +1,95 @@
+"""Exchange buffers: page movement between stages of a fragmented plan.
+
+Section III: stages are connected by exchanges — GATHER (all data to one
+node), REPARTITION (hash-partition on keys), REPLICATE (broadcast).  In
+this in-process reproduction an exchange is a buffer of pages produced by
+the upstream stage's tasks, in task order, so staged execution stays
+deterministic.
+
+Partitioning is columnar: the producer's key channels go through
+:func:`repro.execution.kernels.partition_assignments` (the PR-1 kernel
+layer — distinct key tuples factorize once and hash once, rows gather
+their partition index in one vectorized take), and each partition's rows
+are extracted with ``Page.take``.  The hash is the CRC32-based
+:func:`repro.common.hashing.stable_hash`, so partition placement is
+reproducible across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.core.page import Page
+from repro.execution import kernels
+from repro.planner.fragmenter import Exchange, ExchangeKind
+
+
+class ExchangeBuffer:
+    """Buffered output of one stage, keyed by the consuming exchange.
+
+    ``partition_count`` only matters for partitioned exchanges (the
+    REPARTITION edge feeding a hash-distributed stage); every other kind
+    keeps a single buffer which consumers read in full — GATHER because
+    there is one consumer task, REPLICATE because every consumer task
+    receives the whole broadcast, and non-partitioned REPARTITION (a join
+    build side) because the in-process hash join needs the complete build
+    table per probe task.
+    """
+
+    def __init__(
+        self,
+        exchange: Optional[Exchange],
+        partition_count: int = 1,
+        key_channels: Optional[list[int]] = None,
+    ) -> None:
+        self.exchange = exchange
+        self.partitioned = bool(exchange is not None and exchange.partitioned)
+        self.partition_count = partition_count if self.partitioned else 1
+        self.key_channels = key_channels or []
+        if self.partitioned and not self.key_channels:
+            raise ExecutionError(
+                f"partitioned exchange {exchange.kind} has no key channels"
+            )
+        self.partitions: list[list[Page]] = [
+            [] for _ in range(self.partition_count)
+        ]
+        self.rows_added = 0
+
+    def add(self, page: Page) -> None:
+        """Route one producer page into the buffer."""
+        self.rows_added += page.position_count
+        if not self.partitioned or self.partition_count == 1:
+            self.partitions[0].append(page)
+            return
+        if page.position_count == 0:
+            return
+        key_blocks = [page.block(c).loaded() for c in self.key_channels]
+        assignments = kernels.partition_assignments(key_blocks, self.partition_count)
+        for partition in range(self.partition_count):
+            positions = np.nonzero(assignments == partition)[0]
+            if len(positions):
+                self.partitions[partition].append(page.take(positions))
+
+    def pages_for_partition(self, partition: int) -> list[Page]:
+        """Pages owned by one consumer task of a partitioned exchange."""
+        return list(self.partitions[partition])
+
+    def all_pages(self) -> list[Page]:
+        """Every buffered page, partition-major, in production order."""
+        return [page for partition in self.partitions for page in partition]
+
+
+def key_channels_for(exchange: Exchange, producer_root) -> list[int]:
+    """Channel indexes of the exchange's partition keys in producer output."""
+    names = [v.name for v in producer_root.outputs]
+    channels = []
+    for key in exchange.partition_keys:
+        if key not in names:
+            raise ExecutionError(
+                f"partition key {key!r} not in producer outputs {names}"
+            )
+        channels.append(names.index(key))
+    return channels

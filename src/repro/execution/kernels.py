@@ -177,6 +177,39 @@ def factorize_keys(blocks: Sequence[Block]) -> Optional[tuple[np.ndarray, list[t
     return group_codes, uniques_out
 
 
+def partition_assignments(blocks: Sequence[Block], n_partitions: int) -> np.ndarray:
+    """Per-row partition indexes for a hash-partitioned exchange.
+
+    Vectorized path: the key columns factorize into dense codes
+    (:func:`factorize_keys`), one :func:`stable_hash` is computed per
+    *distinct* key tuple, and the per-row assignment is a single gather.
+    Unsupported key kinds fall back to hashing row tuples directly.  Both
+    paths use the CRC32-based :func:`repro.common.hashing.stable_hash`,
+    so placement is identical across processes (no ``PYTHONHASHSEED``
+    dependence).
+    """
+    from repro.common.hashing import stable_hash
+
+    if not blocks:
+        raise ValueError("partitioning requires at least one key column")
+    count = blocks[0].position_count
+    factorized = factorize_keys(blocks)
+    if factorized is None:
+        loaded = [b.loaded() for b in blocks]
+        out = np.empty(count, dtype=np.int64)
+        for position in range(count):
+            key = tuple(block.get(position) for block in loaded)
+            out[position] = stable_hash(key) % n_partitions
+        return out
+    codes, uniques = factorized
+    table = np.fromiter(
+        (stable_hash(key) % n_partitions for key in uniques),
+        dtype=np.int64,
+        count=len(uniques),
+    )
+    return table[codes] if len(uniques) else np.zeros(count, dtype=np.int64)
+
+
 class GroupIndex:
     """Incremental key-tuple -> dense group id mapping, first-seen order.
 

@@ -19,11 +19,12 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.core.blocks import PrimitiveBlock, block_from_values
 from repro.core.page import Page
 from repro.execution.context import ExecutionContext
 from repro.execution import kernels
 from repro.execution.operators.filter_project import bindings_for
-from repro.planner.plan import AggregationNode
+from repro.planner.plan import AggregationNode, AggregationStep
 
 
 def execute_aggregation(
@@ -97,9 +98,42 @@ def execute_aggregation(
     columns: list[list[Any]] = [
         [key[channel] for key in index.keys] for channel in range(len(key_names))
     ]
+    if node.step == AggregationStep.PARTIAL:
+        # Partial aggregations (staged execution) emit raw accumulator
+        # states: the FINAL stage beyond the exchange merges them.  States
+        # that are not scalars (avg's (sum, count), approx_distinct's set)
+        # travel in object-storage blocks under the declared output type.
+        for accumulator in accumulators:
+            accumulator.finalize_all(group_count)  # grow to full group count
+            columns.append(accumulator.to_states())
+        yield _partial_page(output_types, len(key_names), columns, group_count)
+        return
     for accumulator in accumulators:
         columns.append(accumulator.finalize_all(group_count))
     yield Page.from_columns(output_types, columns)
+
+
+_SCALAR_STATE_TYPES = (int, float, str, bool, bytes)
+
+
+def _partial_page(output_types, key_count, columns, group_count) -> Page:
+    """Page of per-group partial states, tolerating non-scalar states."""
+    blocks = []
+    for channel, (presto_type, values) in enumerate(zip(output_types, columns)):
+        scalar = channel < key_count or all(
+            v is None or isinstance(v, _SCALAR_STATE_TYPES) for v in values
+        )
+        if scalar:
+            try:
+                blocks.append(block_from_values(presto_type, values))
+                continue
+            except Exception:
+                pass
+        storage = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            storage[i] = v
+        blocks.append(PrimitiveBlock(presto_type, storage))
+    return Page(blocks, group_count)
 
 
 def execute_aggregation_rows(
@@ -162,6 +196,15 @@ def execute_aggregation_rows(
         group_order.append(())
 
     output_types = [v.type for v in node.outputs]
+    if node.step == AggregationStep.PARTIAL:
+        key_count = len(key_names)
+        columns = [
+            [key[channel] for key in group_order] for channel in range(key_count)
+        ]
+        for index in range(len(implementations)):
+            columns.append([groups[key][index] for key in group_order])
+        yield _partial_page(output_types, key_count, columns, len(group_order))
+        return
     rows = []
     for key in group_order:
         states = groups[key]

@@ -17,12 +17,19 @@ from repro.planner.plan import TableScanNode, ValuesNode
 
 def execute_table_scan(node: TableScanNode, ctx: ExecutionContext) -> Iterator[Page]:
     connector = ctx.catalog.connector(node.catalog)
-    split_manager = connector.split_manager()
     provider = connector.record_set_provider()
     columns = [column for _, column in node.assignments]
 
+    # Staged execution pins each task to its assigned splits; the direct
+    # pipeline enumerates every split of the table in one pass.
+    splits = None
+    if ctx.scan_splits is not None:
+        splits = ctx.scan_splits.get(node.id)
+    if splits is None:
+        splits = connector.split_manager().get_splits(node.handle)
+
     produced_any = False
-    for split in split_manager.get_splits(node.handle):
+    for split in splits:
         ctx.stats.splits_scanned += 1
         if ctx.clock is not None:
             # Task creation/assignment RPC overhead per split.

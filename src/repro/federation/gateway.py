@@ -82,3 +82,20 @@ class PrestoGateway:
         """
         redirect = self.redirect(user, groups)
         return self.clusters[redirect.cluster_name].submit_query(split_durations_ms)
+
+    def submit_sql(
+        self,
+        user: str,
+        engine,
+        sql: str,
+        groups: tuple[str, ...] = (),
+    ) -> tuple:
+        """Follow the redirect and run a real query on the target cluster.
+
+        The query executes on ``engine`` through staged execution; the
+        resulting task records are scheduled as cluster work on whichever
+        cluster the route resolves to.  Returns ``(QueryResult,
+        QueryExecution)``.
+        """
+        redirect = self.redirect(user, groups)
+        return self.clusters[redirect.cluster_name].submit_engine_query(engine, sql)

@@ -346,7 +346,7 @@ class Analyzer:
         raise SemanticError(f"unsupported relation {type(relation).__name__}")
 
     def _plan_table(self, table: ast.TableReference) -> tuple[PlanNode, Scope]:
-        catalog_name, schema_name, table_name = self._qualify(table.parts)
+        catalog_name, schema_name, table_name = self.qualify(table.parts)
         connector = self._catalog.connector(catalog_name)
         metadata = connector.metadata()
         handle = metadata.get_table_handle(schema_name, table_name)
@@ -472,7 +472,12 @@ class Analyzer:
             as_variable(right_expr, extra_right),
         )
 
-    def _qualify(self, parts: tuple[str, ...]) -> tuple[str, str, str]:
+    def qualify(self, parts: tuple[str, ...]) -> tuple[str, str, str]:
+        """Resolve a 1-3 part table name against the session defaults.
+
+        Public because metadata statements (DESCRIBE) resolve table names
+        with the same catalog/schema defaulting rules as SELECT.
+        """
         if len(parts) == 3:
             return parts[0], parts[1], parts[2]
         if len(parts) == 2:
@@ -484,6 +489,9 @@ class Analyzer:
                 raise SemanticError(f"no default schema set for table {parts[0]}")
             return self._session.catalog, self._session.schema, parts[0]
         raise SemanticError(f"invalid table name {'.'.join(parts)!r}")
+
+    # Backwards-compatible alias for the pre-public spelling.
+    _qualify = qualify
 
     # -- aggregation ----------------------------------------------------------------
 

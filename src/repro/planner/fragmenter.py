@@ -13,21 +13,39 @@ machines and groups the operators between boundaries into
   split side and a REPARTITION exchange on the grouping keys;
 - at each join: the build side ends in a REPARTITION (partitioned
   distribution) or REPLICATE (broadcast) exchange;
+- below each LIMIT over distributed input: a partial per-task limit, with
+  the final limit applied after the gather;
+- each UNION ALL branch becomes its own fragment, gathered in order;
 - at the top: a GATHER exchange into the single-node output fragment.
 
-The in-process executor does not need fragments to run a query (its
-pipeline is already correct); fragments drive the distributed EXPLAIN,
-the cluster simulation's task counting, and the federation benchmarks.
+Fragments are *executable*: :class:`RemoteSourceNode` leaves are wired to
+:class:`Exchange` edges that :class:`repro.execution.scheduler.StageScheduler`
+resolves against in-memory exchange buffers, so the fragmented plan is the
+engine's actual execution path (``PrestoEngine.execute``).  The fragments
+also drive the distributed EXPLAIN, ``EXPLAIN ANALYZE``, the cluster
+simulation's task accounting, and the federation benchmarks.
+
+Aggregation splitting follows the partial/final protocol: the fragment
+below the exchange runs with ``step=PARTIAL`` and emits raw accumulator
+*states* (not finalized values); the fragment above merges them with
+``step=FINAL``.  DISTINCT aggregates and aggregations that are already in
+merge mode (``step=FINAL`` after connector aggregation pushdown) are not
+split again — their raw input is repartitioned on the grouping keys (or
+gathered, for global aggregates) and the node runs once beyond the
+exchange, which is equivalent because every row of a group lands in the
+same partition.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.planner.plan import (
+    Aggregation,
     AggregationNode,
+    AggregationStep,
     FilterNode,
     JoinNode,
     LimitNode,
@@ -38,6 +56,7 @@ from repro.planner.plan import (
     SpatialJoinNode,
     TableScanNode,
     TopNNode,
+    UnionNode,
     ValuesNode,
 )
 
@@ -50,11 +69,21 @@ class ExchangeKind:
 
 @dataclass(frozen=True)
 class Exchange:
-    """A data movement edge between two fragments."""
+    """A data movement edge between two fragments.
+
+    ``partitioned`` marks exchanges whose consumer runs one task per hash
+    partition (the final side of a split aggregation): the producer
+    partitions its output on ``partition_keys`` and consumer task *i*
+    reads only partition *i*.  A REPARTITION exchange without the flag
+    (a join build side) records where the data would be placed in a real
+    cluster, but every consumer task reads it in full — the in-process
+    hash join needs the whole build table per probe task.
+    """
 
     kind: str
     source_fragment: int
     partition_keys: tuple[str, ...] = ()
+    partitioned: bool = False
 
 
 @dataclass
@@ -90,6 +119,12 @@ class FragmentedPlan:
 
     def stage_count(self) -> int:
         return len(self.fragments)
+
+    def fragment_by_id(self, fragment_id: int) -> PlanFragment:
+        for fragment in self.fragments:
+            if fragment.fragment_id == fragment_id:
+                return fragment
+        raise KeyError(f"no fragment {fragment_id}")
 
     def describe(self) -> str:
         return "\n\n".join(f.describe() for f in reversed(self.fragments))
@@ -141,7 +176,7 @@ class Fragmenter:
             # Results gather onto the coordinator for output.
             source_fragment = self._add_fragment(root_body, final_inputs, distribution)
             gather = Exchange(ExchangeKind.GATHER, source_fragment.fragment_id)
-            root_body = RemoteSourceNode(gather, body.outputs)
+            root_body = RemoteSourceNode(gather, root_body.outputs)
             final_inputs = [gather]
         output = OutputNode(source=root_body, column_names=plan.column_names)
         self._add_fragment(output, final_inputs, "single")
@@ -159,29 +194,74 @@ class Fragmenter:
         if isinstance(node, (TableScanNode, ValuesNode)):
             return node, [], "source"
 
-        if isinstance(node, (FilterNode, ProjectNode, LimitNode)):
+        if isinstance(node, (FilterNode, ProjectNode)):
             child, inputs, distribution = self._visit(node.source)
             return node.replace_sources([child]), inputs, distribution
+
+        if isinstance(node, LimitNode):
+            child, inputs, distribution = self._visit(node.source)
+            if distribution == "single":
+                return node.replace_sources([child]), inputs, "single"
+            # Partial limit caps each task's output; the true limit is
+            # applied once after the gather (a per-task limit alone would
+            # return up to count × tasks rows).
+            partial = replace(node, source=child, partial=True)
+            source_fragment = self._add_fragment(partial, inputs, distribution)
+            exchange = Exchange(ExchangeKind.GATHER, source_fragment.fragment_id)
+            remote = RemoteSourceNode(exchange, partial.outputs)
+            return replace(node, source=remote, partial=False), [exchange], "single"
 
         if isinstance(node, AggregationNode):
             child, inputs, distribution = self._visit(node.source)
             if distribution == "single":
                 return node.replace_sources([child]), inputs, "single"
-            # Partial aggregation runs in the child's fragment; the final
-            # aggregation runs after a repartition on the grouping keys.
-            partial = node.replace_sources([child])
-            source_fragment = self._add_fragment(partial, inputs, distribution)
             keys = tuple(k.name for k in node.group_keys)
-            kind = ExchangeKind.REPARTITION if keys else ExchangeKind.GATHER
-            exchange = Exchange(kind, source_fragment.fragment_id, keys)
-            remote = RemoteSourceNode(exchange, node.outputs)
-            final = AggregationNode(
-                source=remote,
-                group_keys=node.group_keys,
-                aggregations=node.aggregations,
-                step="FINAL",
+            splittable = node.step == AggregationStep.SINGLE and not any(
+                a.distinct for a in node.aggregations
             )
-            return final, [exchange], "hash" if keys else "single"
+            if splittable:
+                # Partial aggregation (emitting accumulator states) runs in
+                # the child's fragment; the final aggregation merges states
+                # after a repartition on the grouping keys.
+                below = replace(
+                    node.replace_sources([child]), step=AggregationStep.PARTIAL
+                )
+                remote_outputs = node.outputs
+            else:
+                # DISTINCT or already-FINAL (pushdown merge) aggregations
+                # run once beyond the exchange over their raw input: the
+                # repartition on grouping keys keeps them correct because
+                # a group never straddles partitions.
+                below = child
+                remote_outputs = child.outputs
+            source_fragment = self._add_fragment(below, inputs, distribution)
+            kind = ExchangeKind.REPARTITION if keys else ExchangeKind.GATHER
+            exchange = Exchange(
+                kind, source_fragment.fragment_id, keys, partitioned=bool(keys)
+            )
+            remote = RemoteSourceNode(exchange, remote_outputs)
+            if splittable:
+                # The FINAL aggregation merges the partial state columns,
+                # referencing them by the output variable names the PARTIAL
+                # step emitted (same shape as the pushdown merge of
+                # figure 2).
+                final_aggregations = tuple(
+                    Aggregation(
+                        output=a.output,
+                        function_handle=a.function_handle,
+                        arguments=(a.output,),
+                    )
+                    for a in node.aggregations
+                )
+                beyond: PlanNode = AggregationNode(
+                    source=remote,
+                    group_keys=node.group_keys,
+                    aggregations=final_aggregations,
+                    step=AggregationStep.FINAL,
+                )
+            else:
+                beyond = node.replace_sources([remote])
+            return beyond, [exchange], "hash" if keys else "single"
 
         if isinstance(node, (JoinNode, SpatialJoinNode)):
             left, left_inputs, left_distribution = self._visit(node.sources()[0])
@@ -211,8 +291,21 @@ class Fragmenter:
             # Global ordering requires gathering to one node.
             source_fragment = self._add_fragment(child, inputs, distribution)
             exchange = Exchange(ExchangeKind.GATHER, source_fragment.fragment_id)
-            remote = RemoteSourceNode(exchange, node.source.outputs)
+            remote = RemoteSourceNode(exchange, child.outputs)
             return node.replace_sources([remote]), [exchange], "single"
+
+        if isinstance(node, UnionNode):
+            # Each UNION ALL branch runs as its own fragment; the union
+            # itself concatenates the gathered branch outputs in order.
+            exchanges: list[Exchange] = []
+            remotes: list[PlanNode] = []
+            for branch in node.union_sources:
+                child, inputs, distribution = self._visit(branch)
+                branch_fragment = self._add_fragment(child, inputs, distribution)
+                exchange = Exchange(ExchangeKind.GATHER, branch_fragment.fragment_id)
+                exchanges.append(exchange)
+                remotes.append(RemoteSourceNode(exchange, child.outputs))
+            return node.replace_sources(remotes), exchanges, "single"
 
         if isinstance(node, RemoteSourceNode):
             return node, [node.exchange], "hash"

@@ -70,6 +70,18 @@ class TestShow:
         with pytest.raises(SemanticError):
             engine.execute("SHOW TABLES")
 
+    def test_show_preserves_identifier_case(self):
+        # Regression: SHOW matched on the lowercased SQL, so a catalog or
+        # schema registered with uppercase letters could never be listed.
+        connector = MemoryConnector()
+        connector.create_table("Sales", "Orders", [("x", BIGINT)], [])
+        engine = PrestoEngine()
+        engine.register_connector("MyCatalog", connector)
+        schemas = engine.execute("SHOW SCHEMAS FROM MyCatalog")
+        assert schemas.rows == [("Sales",)]
+        tables = engine.execute("show tables from MyCatalog.Sales")
+        assert tables.rows == [("Orders",)]
+
 
 class TestDescribe:
     def test_describe_table(self, engine):
@@ -88,3 +100,14 @@ class TestDescribe:
 
     def test_trailing_semicolon_tolerated(self, engine):
         assert engine.execute("SHOW CATALOGS;").rows == [("memory",)]
+
+    def test_describe_uses_public_qualify(self, engine):
+        # DESCRIBE resolves names through Analyzer.qualify(), the public
+        # spelling of the SELECT name-resolution rules.
+        from repro.planner.analyzer import Analyzer
+
+        analyzer = Analyzer(engine.catalog, engine.session, engine.registry)
+        assert analyzer.qualify(("trips",)) == ("memory", "db", "trips")
+        assert analyzer.qualify(("other", "misc")) == ("memory", "other", "misc")
+        with pytest.raises(SemanticError):
+            analyzer.qualify(())

@@ -1,0 +1,178 @@
+"""Staged execution: stages, tasks, exchanges, EXPLAIN ANALYZE, and the
+bridge into the cluster simulation (section III + section VIII)."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.hashing import stable_hash
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT, VARCHAR
+from repro.execution.cluster import PrestoClusterSim, SplitWork
+from repro.execution.engine import PrestoEngine
+from repro.federation.gateway import PrestoGateway
+from repro.planner.analyzer import Session
+
+
+def make_engine(split_size=5, **kwargs):
+    connector = MemoryConnector(split_size=split_size)
+    rows = [(f"key-{i % 7}", i) for i in range(40)]
+    connector.create_table("db", "events", [("k", VARCHAR), ("v", BIGINT)], rows)
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"), **kwargs)
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestStagedStats:
+    def test_one_task_per_split_on_leaf_stage(self):
+        engine = make_engine(split_size=5)  # 40 rows → 8 splits
+        result = engine.execute("SELECT k, count(*) FROM events GROUP BY k")
+        leaf = result.stats.stage_summaries[0]
+        assert leaf["distribution"] == "source"
+        assert leaf["tasks"] == 8
+        assert result.stats.splits_scanned == 8
+
+    def test_hash_stage_runs_one_task_per_partition(self):
+        engine = make_engine(hash_partitions=3)
+        result = engine.execute("SELECT k, sum(v) FROM events GROUP BY k")
+        hash_stages = [
+            s for s in result.stats.stage_summaries if s["distribution"] == "hash"
+        ]
+        assert hash_stages and hash_stages[0]["tasks"] == 3
+
+    def test_rows_exchanged_counted(self):
+        engine = make_engine()
+        result = engine.execute("SELECT k, count(*) FROM events GROUP BY k")
+        # 8 partial tasks × up to 7 groups flow through the repartition,
+        # then 7 final rows gather to the output stage.
+        assert result.stats.rows_exchanged > 7
+        assert result.stats.tasks_total >= result.stats.stages_total
+
+    def test_simulated_time_deterministic(self):
+        first = make_engine().execute("SELECT k, sum(v) FROM events GROUP BY k").stats
+        second = make_engine().execute("SELECT k, sum(v) FROM events GROUP BY k").stats
+        assert first.simulated_ms == second.simulated_ms
+        assert first.task_records == second.task_records
+
+    def test_task_records_carry_split_data_keys(self):
+        engine = make_engine()
+        result = engine.execute("SELECT sum(v) FROM events")
+        leaf_keys = [r["data_key"] for r in result.stats.task_records if r["splits"]]
+        assert leaf_keys and all(key.startswith("memory:db.events:") for key in leaf_keys)
+
+    def test_stats_appear_in_as_dict(self):
+        engine = make_engine()
+        stats = engine.execute("SELECT count(*) FROM events").stats.as_dict()
+        assert stats["stages_total"] >= 2
+        assert stats["tasks_total"] >= stats["stages_total"]
+        assert isinstance(stats["stage_summaries"], list)
+
+
+class TestExplainAnalyze:
+    def test_reports_stages_tasks_and_rows(self):
+        engine = make_engine()
+        result = engine.execute("EXPLAIN ANALYZE SELECT k, count(*) FROM events GROUP BY k")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "stages" in text and "tasks" in text
+        assert "rows exchanged" in text
+        assert "simulated ms" in text
+        assert "Stage 0" in text
+
+    def test_analyze_not_swallowed_by_plain_explain(self):
+        engine = make_engine()
+        analyzed = engine.execute("explain analyze SELECT count(*) FROM events")
+        plain = engine.execute("EXPLAIN SELECT count(*) FROM events")
+        assert any("simulated ms" in row[0] for row in analyzed.rows)
+        assert not any("simulated ms" in row[0] for row in plain.rows)
+
+
+class TestDirectOracle:
+    def test_execute_direct_runs_single_pipeline(self):
+        engine = make_engine()
+        result = engine.execute_direct("SELECT k, count(*) FROM events GROUP BY k")
+        assert result.stats.stages_total == 0
+        assert result.stats.task_records == []
+
+    def test_staged_flag_off_disables_staging(self):
+        engine = make_engine(staged_execution=False)
+        result = engine.execute("SELECT count(*) FROM events")
+        assert result.stats.stages_total == 0
+        assert result.rows == [(40,)]
+
+
+class TestClusterBridge:
+    def test_submit_tasks_generalizes_submit_query(self):
+        cluster = PrestoClusterSim(workers=2, clock=SimulatedClock())
+        execution = cluster.submit_tasks(
+            [SplitWork("", 10.0, "a"), SplitWork("", 20.0, "b")]
+        )
+        cluster.run_until_idle()
+        assert execution.finished_at is not None
+        assert execution.splits_total == 2
+
+    def test_submit_engine_query_schedules_real_tasks(self):
+        engine = make_engine()
+        cluster = PrestoClusterSim(workers=3, clock=SimulatedClock())
+        result, execution = cluster.submit_engine_query(
+            engine, "SELECT k, sum(v) FROM events GROUP BY k"
+        )
+        cluster.run_until_idle()
+        assert execution.finished_at is not None
+        # One cluster task per staged-execution task, not a synthetic count.
+        assert execution.splits_total == result.stats.tasks_total
+
+    def test_engine_queries_warm_affinity_caches(self):
+        engine = make_engine()
+        cluster = PrestoClusterSim(
+            workers=4, clock=SimulatedClock(), affinity_scheduling=True
+        )
+        for _ in range(3):
+            cluster.submit_engine_query(engine, "SELECT sum(v) FROM events")
+            cluster.run_until_idle()
+        # The split data keys repeat across queries, so repeat scans hit
+        # the preferred workers' caches.
+        assert sum(w.cache_hits for w in cluster.workers.values()) >= 8
+
+    def test_graceful_shutdown_drains_engine_tasks(self):
+        engine = make_engine()
+        cluster = PrestoClusterSim(workers=2, clock=SimulatedClock())
+        _, execution = cluster.submit_engine_query(
+            engine, "SELECT k, count(*) FROM events GROUP BY k"
+        )
+        victim = next(iter(cluster.workers))
+        cluster.request_graceful_shutdown(victim, grace_period_ms=1.0)
+        cluster.run_until_idle()
+        assert execution.finished_at is not None
+        from repro.execution.cluster import WorkerState
+
+        assert cluster.workers[victim].state is WorkerState.SHUT_DOWN
+
+    def test_gateway_routes_sql_to_cluster(self):
+        engine = make_engine()
+        gateway = PrestoGateway()
+        adhoc = PrestoClusterSim(workers=2, clock=SimulatedClock(), name="adhoc")
+        gateway.register_cluster(adhoc)
+        gateway.routing.set_default("adhoc")
+        result, execution = gateway.submit_sql("alice", engine, "SELECT count(*) FROM events")
+        adhoc.run_until_idle()
+        assert result.rows == [(40,)]
+        assert execution.finished_at is not None
+        assert execution.query_id.startswith("adhoc-")
+
+
+class TestStableAffinityHash:
+    def test_preferred_worker_is_hashseed_independent(self):
+        # crc32, not hash(): the preferred worker for a data key must not
+        # change across interpreter runs (PYTHONHASHSEED).
+        assert stable_hash("warehouse/part-0.parquet") == 953814315
+        assert stable_hash(b"abc") == 891568578
+
+    def test_affinity_placement_matches_stable_hash(self):
+        cluster = PrestoClusterSim(
+            workers=4, slots_per_worker=4, clock=SimulatedClock(), affinity_scheduling=True
+        )
+        key = "events-split-3"
+        cluster.submit_query([5.0], split_keys=[key])
+        cluster.run_until_idle()
+        ordered = sorted(cluster.workers)
+        expected = ordered[stable_hash(key) % len(ordered)]
+        assert cluster.workers[expected].completed_splits == 1

@@ -92,3 +92,52 @@ class TestFragmentation:
         ids = [f.fragment_id for f in plan.fragments]
         assert ids == sorted(set(ids))
         assert plan.root_fragment.fragment_id == max(ids)
+
+    def test_union_all_fragments_each_branch(self, engine):
+        # Regression: UnionNode used to fall through to the generic case
+        # and crash the fragmenter.  Each branch becomes its own fragment,
+        # gathered in order.
+        plan = fragment(engine, "SELECT k FROM facts UNION ALL SELECT k FROM dim")
+        assert plan.stage_count() == 3  # two branches + output
+        union_inputs = plan.root_fragment.inputs
+        assert [e.kind for e in union_inputs] == [
+            ExchangeKind.GATHER,
+            ExchangeKind.GATHER,
+        ]
+        assert len({e.source_fragment for e in union_inputs}) == 2
+
+    def test_union_all_distributed_explain(self, engine):
+        text = engine.execute(
+            "EXPLAIN (TYPE DISTRIBUTED) SELECT k FROM facts UNION ALL SELECT k FROM dim"
+        ).rows
+        rendered = "\n".join(r[0] for r in text)
+        assert "Union" in rendered
+        assert rendered.count("RemoteSource[GATHER") >= 2
+
+    def test_union_of_aggregations_fragments(self, engine):
+        plan = fragment(
+            engine,
+            "SELECT count(*) FROM facts UNION ALL SELECT count(*) FROM dim",
+        )
+        assert plan.stage_count() >= 3
+
+    def test_exchanges_mark_partitioned_consumers(self, engine):
+        plan = fragment(engine, "SELECT k, sum(v) FROM facts GROUP BY k")
+        repartition = [
+            e
+            for f in plan.fragments
+            for e in f.inputs
+            if e.kind == ExchangeKind.REPARTITION
+        ][0]
+        assert repartition.partitioned
+        # Join build-side repartitions are read whole by every probe task.
+        join_plan = fragment(
+            engine, "SELECT count(*) FROM facts f JOIN dim d ON f.k = d.k"
+        )
+        build = [
+            e
+            for f in join_plan.fragments
+            for e in f.inputs
+            if e.kind == ExchangeKind.REPARTITION
+        ][0]
+        assert not build.partitioned
