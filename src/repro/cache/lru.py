@@ -22,8 +22,19 @@ class CacheStats:
         return self.hits / self.requests if self.requests else 0.0
 
 
+# Distinguishes "not cached" from "cached None" — a legitimate value (a
+# file with no footer, a metastore miss) that must stay countable.
+_MISSING = object()
+
+
 class LruCache:
-    """Least-recently-used cache of bounded entry count."""
+    """Least-recently-used cache of bounded entry count.
+
+    ``None`` is an ordinary cacheable value: ``get_or_load`` and
+    ``invalidate`` test presence, never truthiness.  Only the plain
+    ``get`` is ambiguous for ``None`` values — pass a ``default``
+    sentinel of your own when that matters.
+    """
 
     def __init__(self, max_entries: int = 10_000) -> None:
         if max_entries <= 0:
@@ -32,13 +43,13 @@ class LruCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
 
-    def get(self, key: Hashable) -> Optional[Any]:
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Optional[Any]:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
             return self._entries[key]
         self.stats.misses += 1
-        return None
+        return default
 
     def get_or_load(self, key: Hashable, loader: Callable[[], Any]) -> Any:
         if key in self._entries:
@@ -58,7 +69,7 @@ class LruCache:
             self.stats.evictions += 1
 
     def invalidate(self, key: Hashable) -> None:
-        if self._entries.pop(key, None) is not None:
+        if self._entries.pop(key, _MISSING) is not _MISSING:
             self.stats.invalidations += 1
 
     def invalidate_all(self) -> None:

@@ -1,17 +1,56 @@
-"""Exception hierarchy for the engine.
+"""Exception hierarchy and error taxonomy for the engine.
 
 Mirrors Presto's user-facing error classes: syntax errors from the parser,
 semantic errors from the analyzer, planning errors from the optimizer, and
 execution errors from the runtime.  ``InsufficientResourcesError`` reproduces
 the "Insufficient Resource" failure the paper's section XII.C describes for
 over-large joins.
+
+Every error carries an :class:`ErrorCategory`, mirroring Presto's
+standardized error categories (``USER_ERROR`` / ``INTERNAL_ERROR`` /
+``INSUFFICIENT_RESOURCES`` / ``EXTERNAL``).  The category decides the
+retry policy at every level of the fault-tolerance stack: the
+``StageScheduler`` retries a failing task only when its error is
+``retryable`` (INTERNAL_ERROR and EXTERNAL — transient infrastructure
+problems), while USER_ERRORs fail fast (re-running a bad query cannot
+help) and INSUFFICIENT_RESOURCES escalates instead of retrying (the
+paper's answer is falling back to Presto-on-Spark, not a retry loop).
+The federation gateway applies the same test when deciding whether to
+fail a query over to another cluster.
 """
 
 from __future__ import annotations
 
+import enum
+
+
+class ErrorCategory(enum.Enum):
+    """Presto's standardized error categories (section XII.C)."""
+
+    USER_ERROR = "USER_ERROR"
+    INTERNAL_ERROR = "INTERNAL_ERROR"
+    INSUFFICIENT_RESOURCES = "INSUFFICIENT_RESOURCES"
+    EXTERNAL = "EXTERNAL"
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a retry can plausibly succeed.
+
+        Transient infrastructure failures (INTERNAL_ERROR, EXTERNAL) are
+        retried; USER_ERRORs are deterministic and INSUFFICIENT_RESOURCES
+        needs a bigger engine (Presto on Spark), not another attempt.
+        """
+        return self in (ErrorCategory.INTERNAL_ERROR, ErrorCategory.EXTERNAL)
+
 
 class PrestoError(Exception):
     """Base class for all engine errors."""
+
+    category: ErrorCategory = ErrorCategory.INTERNAL_ERROR
+
+    @property
+    def retryable(self) -> bool:
+        return self.category.retryable
 
 
 class SyntaxError_(PrestoError):
@@ -19,6 +58,8 @@ class SyntaxError_(PrestoError):
 
     Named with a trailing underscore to avoid shadowing the builtin.
     """
+
+    category = ErrorCategory.USER_ERROR
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         self.line = line
@@ -29,6 +70,8 @@ class SyntaxError_(PrestoError):
 
 class SemanticError(PrestoError):
     """Query references unknown tables/columns or misuses types."""
+
+    category = ErrorCategory.USER_ERROR
 
 
 class PlanningError(PrestoError):
@@ -42,20 +85,49 @@ class ExecutionError(PrestoError):
 class InsufficientResourcesError(ExecutionError):
     """Query exceeded cluster memory limits (paper section XII.C)."""
 
+    category = ErrorCategory.INSUFFICIENT_RESOURCES
+
     def __init__(self, message: str = "Insufficient Resources") -> None:
         super().__init__(message)
+
+
+class InjectedFaultError(ExecutionError):
+    """A failure produced by the deterministic fault injector.
+
+    Carries the category the injector was configured with, so retry
+    policies treat an injected fault exactly like the real failure it
+    stands in for.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        category: ErrorCategory = ErrorCategory.INTERNAL_ERROR,
+    ) -> None:
+        super().__init__(message)
+        self.category = category
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task simulated-time budget."""
 
 
 class SchemaEvolutionError(PrestoError):
     """A schema change violates the company-wide evolution rules (V.A)."""
 
+    category = ErrorCategory.USER_ERROR
+
 
 class ConnectorError(PrestoError):
     """A connector failed to serve metadata or data."""
 
+    category = ErrorCategory.EXTERNAL
+
 
 class StorageError(PrestoError):
     """A simulated storage system (HDFS/S3) failed a request."""
+
+    category = ErrorCategory.EXTERNAL
 
 
 class GatewayError(PrestoError):

@@ -10,9 +10,16 @@ A discrete-event simulation of one Presto cluster's control plane:
   graceful shutdown protocol of section IX: SHUTTING_DOWN → sleep grace
   period → coordinator stops sending tasks → drain active tasks → sleep
   grace period again → shut down;
+- **crashes** are the ungraceful counterpart: :meth:`crash_worker` kills
+  a worker without draining — its in-flight splits requeue at the front
+  of their queries' pending work and re-run on surviving workers, the
+  crashed worker is blacklisted from scheduling and from the affinity
+  ring, and its data cache is lost;
 - **expansion** is a registration: "New workers are automatically added to
   the existing cluster."
 
+Splits are scheduled FIFO (submission order), so completion order, cache
+warm-up order, and task records all follow the order work was produced.
 Time is fully simulated; `run_until_idle` drives the event loop.
 """
 
@@ -21,6 +28,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -33,6 +41,7 @@ class WorkerState(enum.Enum):
     ACTIVE = "active"
     SHUTTING_DOWN = "shutting_down"
     SHUT_DOWN = "shut_down"
+    CRASHED = "crashed"
 
 
 DEFAULT_GRACE_PERIOD_MS = 120_000.0  # shutdown.grace-period: 2 minutes
@@ -62,6 +71,7 @@ class Worker:
     shutdown_requested_at: Optional[float] = None
     shutdown_visible_at: Optional[float] = None  # coordinator aware
     shut_down_at: Optional[float] = None
+    crashed_at: Optional[float] = None
     # Local data cache (affinity scheduling): keys of split data this
     # worker has read before.
     cached_keys: set = field(default_factory=set)
@@ -92,7 +102,10 @@ class QueryExecution:
     submitted_at: float = 0.0
     started_at: float = 0.0
     finished_at: Optional[float] = None
-    pending: list[SplitWork] = field(default_factory=list)
+    # FIFO: splits schedule in submission order (popleft); crash-requeued
+    # splits go back to the front so recovered work runs first.
+    pending: deque = field(default_factory=deque)
+    splits_requeued: int = 0
 
     @property
     def latency_ms(self) -> Optional[float]:
@@ -144,6 +157,13 @@ class PrestoClusterSim:
         self._worker_ids = itertools.count()
         self._query_ids = itertools.count()
         self.queries: dict[str, QueryExecution] = {}
+        # Workers the coordinator will never schedule on again (crashed).
+        self.blacklisted_workers: set[str] = set()
+        # In-flight split assignments: id -> (worker, execution, split).
+        # Completion events resolve through this table so a crash can
+        # cancel them and requeue the splits.
+        self._assignments: dict[int, tuple[Worker, QueryExecution, SplitWork]] = {}
+        self._assignment_sequence = itertools.count()
         # Event heap: (time_ms, sequence, callback)
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._event_sequence = itertools.count()
@@ -191,6 +211,45 @@ class PrestoClusterSim:
 
         self._at(shutdown_time, finish)
 
+    def crash_worker(self, worker_id: str) -> list[SplitWork]:
+        """Kill a worker without draining (the ungraceful path).
+
+        Every in-flight split on the worker requeues at the *front* of its
+        query's pending work and re-runs on a surviving worker; the crashed
+        worker is blacklisted (never scheduled again, out of the affinity
+        ring) and its data cache is gone.  Works in any state — a crash
+        during SHUTTING_DOWN simply preempts the drain.  Returns the
+        requeued splits.
+        """
+        worker = self.workers[worker_id]
+        if worker.state in (WorkerState.SHUT_DOWN, WorkerState.CRASHED):
+            return []
+        worker.state = WorkerState.CRASHED
+        worker.crashed_at = self.clock.now_ms()
+        self.blacklisted_workers.add(worker_id)
+        worker.cached_keys.clear()
+        lost = [
+            (assignment_id, execution, split)
+            for assignment_id, (w, execution, split) in self._assignments.items()
+            if w is worker
+        ]
+        requeued = []
+        # Reverse order + appendleft keeps the splits' relative order at
+        # the front of each query's deque.
+        for assignment_id, execution, split in reversed(lost):
+            del self._assignments[assignment_id]
+            execution.pending.appendleft(split)
+            execution.splits_requeued += 1
+            requeued.append(split)
+        requeued.reverse()
+        worker.running = 0
+        self._schedule_pending()
+        return requeued
+
+    def crash_worker_at(self, time_ms: float, worker_id: str) -> None:
+        """Schedule a crash event at an absolute simulated time."""
+        self._at(time_ms, lambda: self.crash_worker(worker_id))
+
     def active_worker_count(self) -> int:
         return sum(1 for w in self.workers.values() if w.state is WorkerState.ACTIVE)
 
@@ -212,6 +271,14 @@ class PrestoClusterSim:
         if split_keys is not None and len(split_keys) != len(split_durations_ms):
             raise ExecutionError("split_keys length must match split durations")
         query_id = query_id or f"{self.name}-q{next(self._query_ids)}"
+        # Engine-assigned ids can repeat across engines (or gateway
+        # failovers); keep cluster-side records unambiguous.
+        if query_id in self.queries:
+            base = query_id
+            for retry in itertools.count(1):
+                query_id = f"{base}-r{retry}"
+                if query_id not in self.queries:
+                    break
         now = self.clock.now_ms()
         execution = QueryExecution(
             query_id, splits_total=len(split_durations_ms), submitted_at=now
@@ -222,10 +289,10 @@ class PrestoClusterSim:
             self.running_query_count() + 1,
         )
         execution.started_at = now + planning
-        execution.pending = [
+        execution.pending = deque(
             SplitWork(query_id, d, split_keys[i] if split_keys else None)
             for i, d in enumerate(split_durations_ms)
-        ]
+        )
         self._at(execution.started_at, self._schedule_pending)
         return execution
 
@@ -258,11 +325,17 @@ class PrestoClusterSim:
         ``(QueryResult, QueryExecution)``.
         """
         result = engine.execute(sql)
+        # Thread the engine's query id through (namespaced by cluster) so
+        # cluster-side records (QueryExecution, SplitWork) join back to
+        # the engine query that produced them.
+        query_id = (
+            f"{self.name}-{result.stats.query_id}" if result.stats.query_id else None
+        )
         records = result.stats.task_records
         if records:
             tasks = [
                 SplitWork(
-                    query_id="",
+                    query_id=query_id or "",
                     duration_ms=record["sim_ms"],
                     data_key=record["data_key"],
                 )
@@ -271,8 +344,8 @@ class PrestoClusterSim:
         else:
             # Metadata statements and direct execution produce no task
             # records; account a single coordinator-side task.
-            tasks = [SplitWork(query_id="", duration_ms=1.0)]
-        execution = self.submit_tasks(tasks)
+            tasks = [SplitWork(query_id=query_id or "", duration_ms=1.0)]
+        execution = self.submit_tasks(tasks, query_id=query_id)
         return result, execution
 
     def running_query_count(self) -> int:
@@ -301,11 +374,14 @@ class PrestoClusterSim:
             if execution.finished_at is not None or now < execution.started_at:
                 continue
             while execution.pending:
-                split = execution.pending[-1]
+                # FIFO: schedule splits in submission order so completion
+                # order, cache warm-up, and records match the order work
+                # was produced.
+                split = execution.pending[0]
                 worker = self._pick_worker(now, split)
                 if worker is None:
                     return  # no capacity; a completion event will reschedule
-                execution.pending.pop()
+                execution.pending.popleft()
                 worker.running += 1
                 duration = split.duration_ms
                 if split.data_key is not None:
@@ -314,13 +390,19 @@ class PrestoClusterSim:
                         duration *= self.cache_hit_speedup
                     else:
                         worker.cached_keys.add(split.data_key)
+                assignment_id = next(self._assignment_sequence)
+                self._assignments[assignment_id] = (worker, execution, split)
                 self._at(
                     now + duration,
-                    lambda w=worker, e=execution: self._on_split_done(w, e),
+                    lambda a=assignment_id: self._on_split_done(a),
                 )
 
     def _pick_worker(self, now_ms: float, split: Optional[SplitWork] = None) -> Optional[Worker]:
-        candidates = [w for w in self.workers.values() if w.schedulable(now_ms)]
+        candidates = [
+            w
+            for w in self.workers.values()
+            if w.worker_id not in self.blacklisted_workers and w.schedulable(now_ms)
+        ]
         if not candidates:
             return None
         if (
@@ -332,15 +414,29 @@ class PrestoClusterSim:
             # fall through to least-loaded when it has no free slot.  The
             # hash must be stable across processes (``hash()`` of a str
             # changes with PYTHONHASHSEED, which would re-route every key
-            # on restart and empty the affinity caches).
-            ordered = sorted(self.workers)
-            preferred_id = ordered[stable_hash(split.data_key) % len(ordered)]
-            preferred = self.workers.get(preferred_id)
-            if preferred is not None and preferred.schedulable(now_ms):
-                return preferred
+            # on restart and empty the affinity caches).  The ring holds
+            # ACTIVE workers only — a draining or dead worker in the ring
+            # would permanently capture every key hashing to it, so those
+            # keys would fall through to least-loaded forever and their
+            # caches could never re-warm.
+            ring = sorted(
+                worker_id
+                for worker_id, worker in self.workers.items()
+                if worker.state is WorkerState.ACTIVE
+            )
+            if ring:
+                preferred = self.workers[ring[stable_hash(split.data_key) % len(ring)]]
+                if preferred.schedulable(now_ms):
+                    return preferred
         return min(candidates, key=lambda w: w.running / w.slots)
 
-    def _on_split_done(self, worker: Worker, execution: QueryExecution) -> None:
+    def _on_split_done(self, assignment_id: int) -> None:
+        assignment = self._assignments.pop(assignment_id, None)
+        if assignment is None:
+            # The worker crashed mid-split; the split was requeued and its
+            # re-run's own completion event finishes it.
+            return
+        worker, execution, _ = assignment
         worker.running -= 1
         worker.completed_splits += 1
         execution.splits_done += 1

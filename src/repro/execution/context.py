@@ -16,6 +16,9 @@ from repro.planner.analyzer import Session
 class QueryStats:
     """Counters accumulated while a query runs."""
 
+    # Engine-assigned query id; threads through task records into the
+    # cluster simulation so cluster-side work joins back to the query.
+    query_id: str = ""
     splits_scanned: int = 0
     rows_scanned: int = 0
     pages_produced: int = 0
@@ -32,6 +35,10 @@ class QueryStats:
     tasks_total: int = 0
     rows_exchanged: int = 0
     simulated_ms: float = 0.0
+    # Fault tolerance (sections VIII/IX/XII.C): task attempts that failed
+    # terminally and attempts that were retried after a retryable error.
+    tasks_failed: int = 0
+    tasks_retried: int = 0
     # One dict per stage: fragment id, distribution, task count, rows in/
     # out, simulated milliseconds.  Rendered by EXPLAIN ANALYZE.
     stage_summaries: list = field(default_factory=list)
@@ -42,6 +49,7 @@ class QueryStats:
 
     def as_dict(self) -> dict:
         return {
+            "query_id": self.query_id,
             "splits_scanned": self.splits_scanned,
             "rows_scanned": self.rows_scanned,
             "pages_produced": self.pages_produced,
@@ -54,6 +62,8 @@ class QueryStats:
             "tasks_total": self.tasks_total,
             "rows_exchanged": self.rows_exchanged,
             "simulated_ms": self.simulated_ms,
+            "tasks_failed": self.tasks_failed,
+            "tasks_retried": self.tasks_retried,
             "stage_summaries": list(self.stage_summaries),
         }
 

@@ -8,6 +8,7 @@ is the object examples and benchmarks interact with; distributed concerns
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
@@ -59,6 +60,10 @@ class PrestoEngine:
         fragment_result_cache=None,
         staged_execution: bool = True,
         hash_partitions: int = 4,
+        fault_injector=None,
+        max_task_retries: int = 3,
+        retry_backoff_ms: float = 10.0,
+        task_timeout_ms: Optional[float] = None,
     ) -> None:
         # The geospatial plugin registers its functions on import
         # (section VI.E: "Using the Presto plugin framework").
@@ -75,6 +80,15 @@ class PrestoEngine:
         # stays available as execute_direct(), the differential oracle.
         self.staged_execution = staged_execution
         self.hash_partitions = hash_partitions
+        # Fault tolerance (sections VIII/IX/XII.C): an optional seeded
+        # FaultInjector dooms a deterministic fraction of task attempts;
+        # the StageScheduler retries retryable failures up to
+        # max_task_retries with exponential simulated backoff.
+        self.fault_injector = fault_injector
+        self.max_task_retries = max_task_retries
+        self.retry_backoff_ms = retry_backoff_ms
+        self.task_timeout_ms = task_timeout_ms
+        self._query_sequence = itertools.count()
         # Simulated control-plane costs charged per query when a clock is
         # attached: coordinator parse/plan/schedule plus result streaming.
         self.coordinator_overhead_ms = 15.0
@@ -157,6 +171,7 @@ class PrestoEngine:
             clock=self.clock,
             max_build_rows=self.max_build_rows,
             fragment_cache=self.fragment_result_cache,
+            stats=QueryStats(query_id=f"query-{next(self._query_sequence)}"),
         )
 
     def _execute_pipeline(self, plan: OutputNode) -> QueryResult:
@@ -172,7 +187,14 @@ class PrestoEngine:
 
         fragmented = Fragmenter().fragment(plan)
         ctx = self._fresh_context()
-        scheduler = StageScheduler(ctx, hash_partitions=self.hash_partitions)
+        scheduler = StageScheduler(
+            ctx,
+            hash_partitions=self.hash_partitions,
+            fault_injector=self.fault_injector,
+            max_task_retries=self.max_task_retries,
+            retry_backoff_ms=self.retry_backoff_ms,
+            task_timeout_ms=self.task_timeout_ms,
+        )
         rows: list[tuple] = []
         for page in scheduler.run(fragmented):
             rows.extend(page.rows())
@@ -187,7 +209,8 @@ class PrestoEngine:
         result = self._execute_staged(plan)
         stats = result.stats
         lines = [
-            f"Query: {stats.stages_total} stages, {stats.tasks_total} tasks, "
+            f"Query: {stats.stages_total} stages, {stats.tasks_total} tasks "
+            f"({stats.tasks_retried} retried, {stats.tasks_failed} failed), "
             f"{stats.rows_exchanged} rows exchanged, "
             f"{stats.simulated_ms:.2f} simulated ms",
         ]

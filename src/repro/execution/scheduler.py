@@ -23,18 +23,32 @@ are simulated from real row counts (a fixed per-task overhead plus a per
 row cost) and recorded in :class:`repro.execution.context.QueryStats`;
 ``EXPLAIN ANALYZE`` renders them and
 ``PrestoClusterSim.submit_engine_query`` replays them as cluster work.
+
+**Fault tolerance.**  Each task runs inside a bounded retry loop.  A task
+attempt can fail three ways: the configured
+:class:`repro.execution.faults.FaultInjector` dooms the attempt (or one
+of its split reads), the operator pipeline raises a real
+:class:`~repro.common.errors.PrestoError`, or the attempt's simulated
+cost exceeds ``task_timeout_ms``.  Retryable errors (INTERNAL_ERROR /
+EXTERNAL categories) are retried up to ``max_task_retries`` times with
+exponential backoff charged to simulated time; USER_ERRORs and
+INSUFFICIENT_RESOURCES surface immediately with their category intact.
+A task's pages are committed to its output exchanges only after the
+attempt succeeds, so a retried task never double-publishes rows and the
+query's results are identical to a zero-fault run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Iterable, Optional
+from typing import Optional
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, PrestoError, TaskTimeoutError
 from repro.core.page import Page
 from repro.execution.context import ExecutionContext
 from repro.execution.driver import execute_plan
 from repro.execution.exchange import ExchangeBuffer, key_channels_for
+from repro.execution.faults import FaultInjector
 from repro.planner.fragmenter import (
     Exchange,
     FragmentedPlan,
@@ -46,7 +60,12 @@ from repro.planner.plan import PlanNode, TableScanNode
 
 @dataclass
 class TaskRecord:
-    """One executed task: the unit the cluster simulation schedules."""
+    """One executed task: the unit the cluster simulation schedules.
+
+    ``attempts`` counts every execution attempt including the successful
+    one; ``failed`` marks a task that exhausted its retries (or hit a
+    non-retryable error) and killed the query.
+    """
 
     stage: int
     task: int
@@ -55,6 +74,8 @@ class TaskRecord:
     rows_out: int
     data_key: str
     sim_ms: float
+    attempts: int = 1
+    failed: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -65,6 +86,8 @@ class TaskRecord:
             "rows_out": self.rows_out,
             "data_key": self.data_key,
             "sim_ms": self.sim_ms,
+            "attempts": self.attempts,
+            "failed": self.failed,
         }
 
 
@@ -76,6 +99,13 @@ class StageScheduler:
     the coordinator RPC of section VIII) plus ``row_cost_ms`` per row in
     and out — deterministic, derived only from real row counts, so the
     same query always produces the same simulated schedule.
+
+    ``fault_injector`` (optional) dooms a deterministic fraction of task
+    attempts and split reads; ``max_task_retries`` bounds how many times
+    a task is re-run after a retryable failure, each retry charging
+    ``retry_backoff_ms * 2**(attempt-1)`` of simulated backoff; a task
+    whose attempt cost exceeds ``task_timeout_ms`` (when set) fails with
+    a retryable :class:`TaskTimeoutError`.
     """
 
     def __init__(
@@ -84,13 +114,23 @@ class StageScheduler:
         hash_partitions: int = 4,
         task_overhead_ms: float = 1.0,
         row_cost_ms: float = 0.001,
+        fault_injector: Optional[FaultInjector] = None,
+        max_task_retries: int = 3,
+        retry_backoff_ms: float = 10.0,
+        task_timeout_ms: Optional[float] = None,
     ) -> None:
         if hash_partitions < 1:
             raise ExecutionError("hash_partitions must be at least 1")
+        if max_task_retries < 0:
+            raise ExecutionError("max_task_retries must be non-negative")
         self.ctx = ctx
         self.hash_partitions = hash_partitions
         self.task_overhead_ms = task_overhead_ms
         self.row_cost_ms = row_cost_ms
+        self.fault_injector = fault_injector
+        self.max_task_retries = max_task_retries
+        self.retry_backoff_ms = retry_backoff_ms
+        self.task_timeout_ms = task_timeout_ms
 
     def run(self, fragmented: FragmentedPlan) -> list[Page]:
         """Run every stage in dependency order; returns the root's pages."""
@@ -125,42 +165,21 @@ class StageScheduler:
             stage_rows_in = 0
             stage_rows_out = 0
             stage_sim_ms = 0.0
-            for task_index, (scan_splits, exchange_inputs, data_key, split_count) in (
-                enumerate(tasks)
-            ):
-                task_ctx = dc_replace(
-                    self.ctx, scan_splits=scan_splits, exchange_inputs=exchange_inputs
-                )
-                rows_in = sum(
-                    page.position_count
-                    for pages in (exchange_inputs or {}).values()
-                    for page in pages
-                )
-                scanned_before = stats.rows_scanned
-                pages = [page.loaded() for page in execute_plan(fragment.root, task_ctx)]
-                rows_in += stats.rows_scanned - scanned_before
-                rows_out = sum(page.position_count for page in pages)
+            for task_index, task_plan in enumerate(tasks):
+                record, pages = self._run_task(fragment, task_index, task_plan)
+                # Commit only after success: a retried attempt never
+                # double-publishes pages.
                 if fragment.fragment_id == root_id:
                     result_pages.extend(pages)
                 else:
                     for buffer in out_buffers:
                         for page in pages:
                             buffer.add(page)
-                sim_ms = self.task_overhead_ms + self.row_cost_ms * (rows_in + rows_out)
-                record = TaskRecord(
-                    stage=fragment.fragment_id,
-                    task=task_index,
-                    splits=split_count,
-                    rows_in=rows_in,
-                    rows_out=rows_out,
-                    data_key=data_key,
-                    sim_ms=sim_ms,
-                )
                 stats.task_records.append(record.as_dict())
                 stats.tasks_total += 1
-                stage_rows_in += rows_in
-                stage_rows_out += rows_out
-                stage_sim_ms += sim_ms
+                stage_rows_in += record.rows_in
+                stage_rows_out += record.rows_out
+                stage_sim_ms += record.sim_ms
             stats.stages_total += 1
             stats.simulated_ms += stage_sim_ms
             stats.stage_summaries.append(
@@ -176,6 +195,110 @@ class StageScheduler:
 
         stats.rows_exchanged = sum(b.rows_added for b in buffers.values())
         return result_pages
+
+    # -- task execution ------------------------------------------------------
+
+    def _run_task(
+        self,
+        fragment: PlanFragment,
+        task_index: int,
+        task_plan: tuple[Optional[dict], dict, str, int],
+    ) -> tuple[TaskRecord, list[Page]]:
+        """Run one task to success (or terminal failure) with retries."""
+        scan_splits, exchange_inputs, data_key, split_count = task_plan
+        stats = self.ctx.stats
+        query_id = stats.query_id
+        stage = fragment.fragment_id
+        attempts = 0
+        penalty_ms = 0.0  # failed-attempt overheads + retry backoffs
+        while True:
+            attempts += 1
+            try:
+                rows_in, rows_out, pages = self._run_attempt(
+                    fragment, task_index, task_plan, attempts
+                )
+                work_ms = self.task_overhead_ms + self.row_cost_ms * (
+                    rows_in + rows_out
+                )
+                if self.task_timeout_ms is not None and work_ms > self.task_timeout_ms:
+                    raise TaskTimeoutError(
+                        f"task {task_index} of stage {stage} exceeded its "
+                        f"{self.task_timeout_ms}ms budget ({work_ms:.2f}ms)"
+                    )
+                record = TaskRecord(
+                    stage=stage,
+                    task=task_index,
+                    splits=split_count,
+                    rows_in=rows_in,
+                    rows_out=rows_out,
+                    data_key=data_key,
+                    sim_ms=work_ms + penalty_ms,
+                    attempts=attempts,
+                )
+                return record, pages
+            except PrestoError as error:
+                # A failed attempt still costs the task setup overhead.
+                penalty_ms += self.task_overhead_ms
+                if not error.retryable or attempts > self.max_task_retries:
+                    stats.tasks_failed += 1
+                    stats.simulated_ms += penalty_ms
+                    stats.task_records.append(
+                        TaskRecord(
+                            stage=stage,
+                            task=task_index,
+                            splits=split_count,
+                            rows_in=0,
+                            rows_out=0,
+                            data_key=data_key,
+                            sim_ms=penalty_ms,
+                            attempts=attempts,
+                            failed=True,
+                        ).as_dict()
+                    )
+                    stats.tasks_total += 1
+                    raise
+                stats.tasks_retried += 1
+                # Exponential backoff, charged to the simulated clock only
+                # (deterministic — no wall-clock sleeping).
+                penalty_ms += self.retry_backoff_ms * (2 ** (attempts - 1))
+
+    def _run_attempt(
+        self,
+        fragment: PlanFragment,
+        task_index: int,
+        task_plan: tuple[Optional[dict], dict, str, int],
+        attempt: int,
+    ) -> tuple[int, int, list[Page]]:
+        """One execution attempt: returns (rows_in, rows_out, pages)."""
+        scan_splits, exchange_inputs, data_key, _ = task_plan
+        stats = self.ctx.stats
+        injector = self.fault_injector
+        if injector is not None:
+            injector.maybe_fail_task(
+                stats.query_id, fragment.fragment_id, task_index, attempt
+            )
+            for splits in (scan_splits or {}).values():
+                for split in splits:
+                    injector.maybe_fail_split(
+                        stats.query_id,
+                        fragment.fragment_id,
+                        task_index,
+                        split.split_id,
+                        attempt,
+                    )
+        task_ctx = dc_replace(
+            self.ctx, scan_splits=scan_splits, exchange_inputs=exchange_inputs
+        )
+        rows_in = sum(
+            page.position_count
+            for pages in (exchange_inputs or {}).values()
+            for page in pages
+        )
+        scanned_before = stats.rows_scanned
+        pages = [page.loaded() for page in execute_plan(fragment.root, task_ctx)]
+        rows_in += stats.rows_scanned - scanned_before
+        rows_out = sum(page.position_count for page in pages)
+        return rows_in, rows_out, pages
 
     # -- task planning -------------------------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.common.errors import GatewayError
+from repro.common.errors import GatewayError, PrestoError
 from repro.execution.cluster import PrestoClusterSim, QueryExecution
 from repro.federation.routing import RoutingTable
 
@@ -39,6 +39,7 @@ class PrestoGateway:
         self._drained: set[str] = set()
         self._fallback: Optional[str] = None
         self.redirects_served = 0
+        self.failovers = 0
 
     # -- cluster management -----------------------------------------------------
 
@@ -89,6 +90,7 @@ class PrestoGateway:
         engine,
         sql: str,
         groups: tuple[str, ...] = (),
+        max_failovers: Optional[int] = None,
     ) -> tuple:
         """Follow the redirect and run a real query on the target cluster.
 
@@ -96,6 +98,33 @@ class PrestoGateway:
         resulting task records are scheduled as cluster work on whichever
         cluster the route resolves to.  Returns ``(QueryResult,
         QueryExecution)``.
+
+        Failover (the Twitter hybrid-cloud gateway pattern): when the run
+        fails with a *retryable* error (INTERNAL_ERROR / EXTERNAL — the
+        cluster or its infrastructure, not the query), the gateway
+        resubmits to another registered, undrained cluster, up to
+        ``max_failovers`` re-routes (default: every other cluster once).
+        USER_ERRORs and INSUFFICIENT_RESOURCES fail fast — no amount of
+        re-routing fixes a bad query or an over-large join.
         """
         redirect = self.redirect(user, groups)
-        return self.clusters[redirect.cluster_name].submit_engine_query(engine, sql)
+        cluster_name = redirect.cluster_name
+        if max_failovers is None:
+            max_failovers = len(self.clusters) - 1
+        tried: list[str] = []
+        while True:
+            tried.append(cluster_name)
+            try:
+                return self.clusters[cluster_name].submit_engine_query(engine, sql)
+            except PrestoError as error:
+                if not error.retryable:
+                    raise
+                candidates = [
+                    name
+                    for name in self.clusters
+                    if name not in tried and name not in self._drained
+                ]
+                if not candidates or len(tried) > max_failovers:
+                    raise
+                self.failovers += 1
+                cluster_name = candidates[0]

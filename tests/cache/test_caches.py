@@ -51,6 +51,36 @@ class TestLru:
         with pytest.raises(ValueError):
             LruCache(0)
 
+    def test_invalidating_cached_none_counts(self):
+        # Regression: invalidate() tested truthiness, so a cached None (a
+        # legitimate value: file with no footer, metastore miss) was
+        # popped without counting the invalidation.
+        cache = LruCache()
+        cache.put("a", None)
+        cache.invalidate("a")
+        assert cache.stats.invalidations == 1
+        assert "a" not in cache
+
+    def test_invalidating_absent_key_does_not_count(self):
+        cache = LruCache()
+        cache.invalidate("never-cached")
+        assert cache.stats.invalidations == 0
+
+    def test_get_or_load_caches_none(self):
+        cache = LruCache()
+        loads = []
+        for _ in range(3):
+            assert cache.get_or_load("k", lambda: loads.append(1)) is None
+        assert len(loads) == 1  # None is an ordinary cacheable value
+        assert cache.stats.hits == 2
+
+    def test_get_accepts_default(self):
+        cache = LruCache()
+        sentinel = object()
+        assert cache.get("missing", sentinel) is sentinel
+        cache.put("present", None)
+        assert cache.get("present", sentinel) is None
+
 
 class TestFileListCache:
     def setup_method(self):

@@ -1,0 +1,59 @@
+"""Smoke test for benchmarks/bench_fault_tolerance.py.
+
+Runs the fault-tolerance sweep in ``--smoke`` mode and validates the
+``BENCH_fault_tolerance.json`` schema plus the qualitative shape: task
+retries dominate the no-retry configuration at every failure rate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_fault_tolerance.py"
+
+
+def test_bench_fault_tolerance_smoke(tmp_path):
+    output = tmp_path / "BENCH_fault_tolerance.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--smoke", "--output", str(output)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "fault_tolerance"
+    assert report["paper_section"].startswith("VIII/IX")
+    assert report["smoke"] is True
+
+    points = report["benchmarks"]
+    by_key = {(p["task_failure_rate"], p["max_task_retries"]): p for p in points}
+    rates = sorted({p["task_failure_rate"] for p in points})
+    assert 0.0 in rates and len(rates) >= 2
+    for point in points:
+        assert 0.0 <= point["success_rate"] <= 1.0
+        assert point["queries"] > 0
+    # Zero faults: everything succeeds, nothing retried.
+    assert by_key[(0.0, 0)]["success_rate"] == 1.0
+    assert by_key[(0.0, 3)]["mean_tasks_retried"] == 0.0
+    # Retries never hurt, and recover real failures at nonzero rates.
+    for rate in rates:
+        assert (
+            by_key[(rate, 3)]["success_rate"] >= by_key[(rate, 0)]["success_rate"]
+        )
+    assert any(
+        by_key[(rate, 3)]["success_rate"] > by_key[(rate, 0)]["success_rate"]
+        for rate in rates
+        if rate > 0
+    )

@@ -1,0 +1,261 @@
+"""Cluster failure handling: worker crashes, FIFO scheduling, the
+affinity-ring fix, and the graceful-shutdown drain path under load.
+
+These pin the scheduling bugs the fault-tolerance work exposed: dead
+workers polluting the affinity ring (keys could never re-home), LIFO
+split scheduling (completion order reversed relative to submission), and
+the crash/drain interactions.
+"""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.hashing import stable_hash
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT, VARCHAR
+from repro.execution.cluster import PrestoClusterSim, WorkerState
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+
+
+class TestWorkerCrash:
+    def test_crash_requeues_in_flight_splits(self):
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=2, clock=SimulatedClock())
+        execution = cluster.submit_query([100.0] * 8)
+        victim = next(iter(cluster.workers))
+        # Let work start, then kill the worker mid-flight.
+        cluster.crash_worker_at(120.0, victim)
+        cluster.run_until_idle()
+        assert execution.finished_at is not None
+        assert execution.splits_done == 8
+        assert execution.splits_requeued > 0
+        assert cluster.workers[victim].state is WorkerState.CRASHED
+
+    def test_crashed_worker_never_scheduled_again(self):
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=2, clock=SimulatedClock())
+        victim = next(iter(cluster.workers))
+        cluster.crash_worker(victim)
+        execution = cluster.submit_query([50.0] * 6)
+        cluster.run_until_idle()
+        assert execution.finished_at is not None
+        assert cluster.workers[victim].completed_splits == 0
+        assert victim in cluster.blacklisted_workers
+
+    def test_crash_loses_worker_cache(self):
+        cluster = PrestoClusterSim(
+            workers=2, slots_per_worker=2, clock=SimulatedClock(), affinity_scheduling=True
+        )
+        cluster.submit_query([10.0] * 4, split_keys=["a", "b", "c", "d"])
+        cluster.run_until_idle()
+        crashed = [w for w in cluster.workers.values() if w.cached_keys]
+        assert crashed
+        cluster.crash_worker(crashed[0].worker_id)
+        assert crashed[0].cached_keys == set()
+
+    def test_stale_completion_event_ignored_after_crash(self):
+        # The split's completion event fires after the crash requeued it;
+        # it must not double-count the split.
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=1, clock=SimulatedClock())
+        execution = cluster.submit_query([100.0, 100.0])
+        victim = next(iter(cluster.workers))
+        cluster.crash_worker_at(60.0, victim)
+        cluster.run_until_idle()
+        assert execution.splits_done == execution.splits_total == 2
+        assert execution.finished_at is not None
+
+    def test_crash_all_workers_then_expand_recovers(self):
+        cluster = PrestoClusterSim(workers=1, slots_per_worker=1, clock=SimulatedClock())
+        execution = cluster.submit_query([100.0] * 3)
+        only = next(iter(cluster.workers))
+        cluster.crash_worker_at(150.0, only)
+        # New worker registers and picks up the orphaned work.
+        cluster._at(200.0, cluster.add_worker)
+        cluster.run_until_idle()
+        assert execution.finished_at is not None
+        assert execution.splits_done == 3
+
+    def test_crash_is_idempotent(self):
+        cluster = PrestoClusterSim(workers=2)
+        victim = next(iter(cluster.workers))
+        cluster.crash_worker(victim)
+        assert cluster.crash_worker(victim) == []
+
+    def test_engine_query_survives_crash(self):
+        connector = MemoryConnector(split_size=5)
+        connector.create_table(
+            "db", "events", [("k", VARCHAR), ("v", BIGINT)],
+            [(f"key-{i % 7}", i) for i in range(40)],
+        )
+        engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+        engine.register_connector("memory", connector)
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=1, clock=SimulatedClock())
+        result, execution = cluster.submit_engine_query(
+            engine, "SELECT k, count(*) FROM events GROUP BY k"
+        )
+        victim = next(iter(cluster.workers))
+        cluster.crash_worker_at(60.0, victim)
+        cluster.run_until_idle()
+        assert result.rows  # engine result intact
+        assert execution.finished_at is not None
+        assert execution.splits_done == execution.splits_total
+
+
+class TestFifoScheduling:
+    def test_splits_run_in_submission_order(self):
+        # One slot: splits must complete 0, 1, 2, ... not reversed.
+        cluster = PrestoClusterSim(workers=1, slots_per_worker=1, clock=SimulatedClock())
+        keys = [f"split-{i}" for i in range(6)]
+        cluster.submit_query([10.0] * 6, split_keys=keys)
+        order = []
+        original = cluster._on_split_done
+
+        def spy(assignment_id):
+            assignment = cluster._assignments.get(assignment_id)
+            if assignment is not None:
+                order.append(assignment[2].data_key)
+            original(assignment_id)
+
+        cluster._on_split_done = spy
+        cluster.run_until_idle()
+        assert order == keys
+
+    def test_cache_warms_in_submission_order(self):
+        # The first-submitted split's key is cached first: with one slot
+        # the first key seen again is a hit before later keys.
+        cluster = PrestoClusterSim(workers=1, slots_per_worker=1, clock=SimulatedClock())
+        cluster.submit_query([10.0, 10.0], split_keys=["first", "second"])
+        cluster.run_until_idle()
+        worker = next(iter(cluster.workers.values()))
+        assert worker.cached_keys == {"first", "second"}
+
+
+class TestAffinityRingRehoming:
+    def test_ring_excludes_non_active_workers(self):
+        # Regression: the ring was built from sorted(self.workers)
+        # including SHUTTING_DOWN/SHUT_DOWN workers, so keys hashing to a
+        # dead worker permanently lost affinity and never re-warmed.
+        cluster = PrestoClusterSim(
+            workers=3, slots_per_worker=4, clock=SimulatedClock(), affinity_scheduling=True
+        )
+        all_ids = sorted(cluster.workers)
+        # A key that prefers the worker we are about to shut down.
+        key = next(
+            f"part-{i}"
+            for i in range(1000)
+            if all_ids[stable_hash(f"part-{i}") % len(all_ids)] == all_ids[0]
+        )
+        cluster.request_graceful_shutdown(all_ids[0], grace_period_ms=1.0)
+        cluster.run_until_idle()  # coordinator now aware; worker drained
+        survivors = sorted(
+            w_id for w_id, w in cluster.workers.items()
+            if w.state is WorkerState.ACTIVE
+        )
+        expected_home = survivors[stable_hash(key) % len(survivors)]
+        # Repeat rounds of the key: all land on the new home, and from the
+        # second round on they hit its cache.
+        for _ in range(3):
+            cluster.submit_query([10.0], split_keys=[key])
+            cluster.run_until_idle()
+        new_home = cluster.workers[expected_home]
+        assert new_home.completed_splits == 3
+        assert new_home.cache_hits == 2
+
+    def test_rehoming_after_crash(self):
+        cluster = PrestoClusterSim(
+            workers=3, slots_per_worker=4, clock=SimulatedClock(), affinity_scheduling=True
+        )
+        all_ids = sorted(cluster.workers)
+        key = next(
+            f"part-{i}"
+            for i in range(1000)
+            if all_ids[stable_hash(f"part-{i}") % len(all_ids)] == all_ids[1]
+        )
+        cluster.submit_query([10.0], split_keys=[key])
+        cluster.run_until_idle()
+        assert cluster.workers[all_ids[1]].completed_splits == 1
+        cluster.crash_worker(all_ids[1])
+        survivors = sorted(
+            w_id for w_id, w in cluster.workers.items()
+            if w.state is WorkerState.ACTIVE
+        )
+        expected_home = survivors[stable_hash(key) % len(survivors)]
+        for _ in range(2):
+            cluster.submit_query([10.0], split_keys=[key])
+            cluster.run_until_idle()
+        assert cluster.workers[expected_home].completed_splits == 2
+        assert cluster.workers[expected_home].cache_hits == 1
+
+
+class TestGracefulShutdownUnderLoad:
+    def test_drain_shuts_down_one_grace_period_after_last_split(self):
+        # Worker has in-flight work when the shutdown becomes visible: it
+        # drains, _on_split_done re-checks, and SHUT_DOWN lands exactly
+        # one grace period after the last split completes.
+        clock = SimulatedClock()
+        cluster = PrestoClusterSim(workers=1, slots_per_worker=2, clock=clock)
+        worker_id = next(iter(cluster.workers))
+        execution = cluster.submit_query([500.0, 500.0])
+        grace = 100.0
+        cluster.request_graceful_shutdown(worker_id, grace_period_ms=grace)
+        cluster.run_until_idle()
+        worker = cluster.workers[worker_id]
+        assert execution.finished_at is not None
+        assert worker.state is WorkerState.SHUT_DOWN
+        # Visibility landed mid-flight (grace < total work), so the drain
+        # path went through _on_split_done's re-check.
+        assert worker.shut_down_at == pytest.approx(execution.finished_at + grace)
+
+    def test_drained_worker_takes_no_tasks_after_visibility(self):
+        clock = SimulatedClock()
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=2, clock=clock)
+        worker_id = next(iter(cluster.workers))
+        cluster.submit_query([300.0] * 4)
+        cluster.request_graceful_shutdown(worker_id, grace_period_ms=50.0)
+        cluster.run_until_idle()
+        completed_at_drain = cluster.workers[worker_id].completed_splits
+        late = cluster.submit_query([50.0] * 4)
+        cluster.run_until_idle()
+        assert late.finished_at is not None
+        assert cluster.workers[worker_id].completed_splits == completed_at_drain
+
+    def test_crash_during_shutting_down_preempts_drain(self):
+        clock = SimulatedClock()
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=1, clock=clock)
+        execution = cluster.submit_query([1000.0] * 4)
+        victim = next(iter(cluster.workers))
+        cluster.request_graceful_shutdown(victim, grace_period_ms=100.0)
+        # Crash while still draining its in-flight split.
+        cluster.crash_worker_at(500.0, victim)
+        cluster.run_until_idle()
+        worker = cluster.workers[victim]
+        assert worker.state is WorkerState.CRASHED  # not SHUT_DOWN
+        assert execution.finished_at is not None
+        assert execution.splits_done == 4
+        assert execution.splits_requeued > 0
+
+
+class TestQueryIdThreading:
+    def test_engine_query_id_reaches_cluster_records(self):
+        connector = MemoryConnector(split_size=10)
+        connector.create_table(
+            "db", "t", [("v", BIGINT)], [(i,) for i in range(30)]
+        )
+        engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+        engine.register_connector("memory", connector)
+        cluster = PrestoClusterSim(workers=2, clock=SimulatedClock(), name="adhoc")
+        result, execution = cluster.submit_engine_query(engine, "SELECT sum(v) FROM t")
+        cluster.run_until_idle()
+        engine_id = result.stats.query_id
+        assert engine_id
+        assert execution.query_id == f"adhoc-{engine_id}"
+        assert execution.query_id in cluster.queries
+
+    def test_resubmitting_same_engine_query_gets_unique_cluster_id(self):
+        cluster = PrestoClusterSim(workers=1, clock=SimulatedClock())
+        from repro.execution.cluster import SplitWork
+
+        first = cluster.submit_tasks([SplitWork("", 1.0)], query_id="dup")
+        second = cluster.submit_tasks([SplitWork("", 1.0)], query_id="dup")
+        assert first.query_id == "dup"
+        assert second.query_id != "dup"
+        assert len(cluster.queries) == 2

@@ -2,10 +2,20 @@
 
 import pytest
 
-from repro.common.errors import GatewayError
+from repro.common.errors import (
+    ExecutionError,
+    GatewayError,
+    InsufficientResourcesError,
+    SemanticError,
+)
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT
 from repro.execution.cluster import PrestoClusterSim
+from repro.execution.engine import PrestoEngine
+from repro.execution.faults import FaultInjector
 from repro.federation.gateway import PrestoGateway
 from repro.federation.routing import RoutingTable
+from repro.planner.analyzer import Session
 
 
 def make_gateway():
@@ -16,6 +26,31 @@ def make_gateway():
     gateway.routing.assign_group("analytics", "dedicated-b")
     gateway.routing.set_default("shared")
     return gateway
+
+
+def make_engine(**kwargs):
+    connector = MemoryConnector(split_size=10)
+    connector.create_table("db", "t", [("v", BIGINT)], [(i,) for i in range(30)])
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"), **kwargs)
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class FlakyEngine:
+    """Engine stub: raises a configured error for the first N executions,
+    then delegates to a real engine."""
+
+    def __init__(self, failures, error_factory):
+        self.calls = 0
+        self.failures = failures
+        self.error_factory = error_factory
+        self.real = make_engine()
+
+    def execute(self, sql):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error_factory()
+        return self.real.execute(sql)
 
 
 class TestRoutingTable:
@@ -108,3 +143,71 @@ class TestGateway:
         for _ in range(10):
             gateway.submit("random", [5.0])
         assert gateway.redirects_served == 10
+
+
+class TestGatewayFailover:
+    def test_retryable_failure_fails_over_to_next_cluster(self):
+        gateway = make_gateway()
+        engine = FlakyEngine(1, lambda: ExecutionError("worker pool collapsed"))
+        result, execution = gateway.submit_sql("alice", engine, "SELECT sum(v) FROM t")
+        assert engine.calls == 2
+        assert gateway.failovers == 1
+        # Routed to dedicated-a first; the rerun landed on the next
+        # registered, undrained cluster.
+        assert execution.query_id.startswith("dedicated-b")
+        assert result.rows == [(sum(range(30)),)]
+
+    def test_user_error_fails_fast_without_failover(self):
+        gateway = make_gateway()
+        engine = FlakyEngine(99, lambda: SemanticError("no such column"))
+        with pytest.raises(SemanticError):
+            gateway.submit_sql("alice", engine, "SELECT nope FROM t")
+        assert engine.calls == 1
+        assert gateway.failovers == 0
+
+    def test_insufficient_resources_fails_fast(self):
+        # Re-routing does not shrink an over-large join (section XII.C).
+        gateway = make_gateway()
+        engine = FlakyEngine(99, lambda: InsufficientResourcesError("query too big"))
+        with pytest.raises(InsufficientResourcesError):
+            gateway.submit_sql("alice", engine, "SELECT v FROM t")
+        assert engine.calls == 1
+        assert gateway.failovers == 0
+
+    def test_exhausting_all_clusters_surfaces_the_error(self):
+        gateway = make_gateway()
+        engine = FlakyEngine(99, lambda: ExecutionError("still down"))
+        with pytest.raises(ExecutionError):
+            gateway.submit_sql("alice", engine, "SELECT v FROM t")
+        assert engine.calls == 3  # every registered cluster tried once
+        assert gateway.failovers == 2
+
+    def test_max_failovers_zero_disables_rerouting(self):
+        gateway = make_gateway()
+        engine = FlakyEngine(99, lambda: ExecutionError("down"))
+        with pytest.raises(ExecutionError):
+            gateway.submit_sql("alice", engine, "SELECT v FROM t", max_failovers=0)
+        assert engine.calls == 1
+
+    def test_drained_cluster_excluded_from_failover(self):
+        gateway = make_gateway()
+        gateway.drain_cluster("dedicated-b", fallback="shared")
+        engine = FlakyEngine(1, lambda: ExecutionError("down"))
+        _, execution = gateway.submit_sql("alice", engine, "SELECT v FROM t")
+        assert execution.query_id.startswith("shared")
+        assert gateway.failovers == 1
+
+    def test_injected_faults_drive_real_failover(self):
+        # End-to-end: retries disabled, so the injected INTERNAL_ERROR on
+        # the first engine run escapes to the gateway, which reruns the
+        # query on another cluster — where it deterministically succeeds
+        # (seed 18 fails query-0, passes query-1).
+        gateway = make_gateway()
+        engine = make_engine(
+            fault_injector=FaultInjector(seed=18, task_failure_rate=0.05),
+            max_task_retries=0,
+        )
+        result, execution = gateway.submit_sql("alice", engine, "SELECT sum(v) FROM t")
+        assert gateway.failovers == 1
+        assert execution.query_id.startswith("dedicated-b")
+        assert result.rows == [(sum(range(30)),)]
