@@ -1,0 +1,266 @@
+"""Expression-compiler microbenchmark: compiled kernels vs interpreter.
+
+Expression evaluation sits under every WHERE clause, projection, and
+connector predicate, so this bench measures the three paths the compiler
+changes: null-bearing numeric filters (the old "any null ⇒ Python loop"
+bail-out), string-heavy predicates (the old object-dtype bail-out), and
+dictionary-encoded columns (O(rows) → O(distinct) evaluation, paper §V).
+Each suite runs the identical expression through the compiled lane and
+the retained interpreter oracle, asserts byte-identical output, and
+records the speedups in ``BENCH_expressions.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_expressions.py            # full
+    PYTHONPATH=src python benchmarks/bench_expressions.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _harness import print_table
+from repro.core.blocks import DictionaryBlock, PrimitiveBlock
+from repro.core.compiler import INTERPRETED, EvaluatorOptions
+from repro.core.evaluator import Evaluator
+from repro.core.expressions import (
+    CallExpression,
+    SpecialForm,
+    SpecialFormExpression,
+    and_,
+    constant,
+    variable,
+)
+from repro.core.functions import default_registry
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+
+PAGE_SIZE = 8192
+REGISTRY = default_registry()
+
+
+def call(name, args, arg_types):
+    handle, _ = REGISTRY.resolve_scalar(name, arg_types)
+    return CallExpression(name, handle, handle.resolved_return_type(), tuple(args))
+
+
+def _paged(bindings_fn, total: int) -> list[tuple[dict, int]]:
+    pages = []
+    for start in range(0, total, PAGE_SIZE):
+        end = min(start + PAGE_SIZE, total)
+        pages.append((bindings_fn(start, end), end - start))
+    return pages
+
+
+# -- suites ------------------------------------------------------------------
+
+
+def null_filter_suite(rows: int, seed: int = 7):
+    """Numeric filter over null-bearing columns (the old Python-loop path)."""
+    rng = np.random.default_rng(seed)
+    quantity = rng.integers(1, 50, size=rows).astype(np.int64)
+    price = rng.uniform(1.0, 1000.0, size=rows)
+    discount = rng.uniform(0.0, 0.1, size=rows)
+    nulls = rng.random(rows) < 0.05
+
+    def bindings(start, end):
+        page_nulls = nulls[start:end]
+        return {
+            "quantity": PrimitiveBlock(
+                BIGINT, quantity[start:end], page_nulls.copy() if page_nulls.any() else None
+            ),
+            "price": PrimitiveBlock(DOUBLE, price[start:end]),
+            "discount": PrimitiveBlock(DOUBLE, discount[start:end]),
+        }
+
+    # quantity < 24 AND price * (1 - discount) > 500.0
+    predicate = and_(
+        call("less_than", [variable("quantity", BIGINT), constant(24, BIGINT)], [BIGINT, BIGINT]),
+        call(
+            "greater_than",
+            [
+                call(
+                    "multiply",
+                    [
+                        variable("price", DOUBLE),
+                        call(
+                            "subtract",
+                            [constant(1.0, DOUBLE), variable("discount", DOUBLE)],
+                            [DOUBLE, DOUBLE],
+                        ),
+                    ],
+                    [DOUBLE, DOUBLE],
+                ),
+                constant(500.0, DOUBLE),
+            ],
+            [DOUBLE, DOUBLE],
+        ),
+    )
+    return predicate, _paged(bindings, rows)
+
+
+def string_filter_suite(rows: int, seed: int = 11):
+    """String-heavy predicate (the old object-dtype bail-out)."""
+    rng = np.random.default_rng(seed)
+    words = np.array(
+        ["airplane", "AIR CARGO", "shipping", "rail", "air freight", "truck", None],
+        dtype=object,
+    )
+    modes = words[rng.integers(0, len(words), size=rows)]
+
+    def bindings(start, end):
+        return {"mode": PrimitiveBlock.from_values(VARCHAR, list(modes[start:end]))}
+
+    # lower(mode) LIKE 'air%' AND length(mode) > 3
+    predicate = and_(
+        call(
+            "like",
+            [
+                call("lower", [variable("mode", VARCHAR)], [VARCHAR]),
+                constant("air%", VARCHAR),
+            ],
+            [VARCHAR, VARCHAR],
+        ),
+        call(
+            "greater_than",
+            [call("length", [variable("mode", VARCHAR)], [VARCHAR]), constant(3, BIGINT)],
+            [BIGINT, BIGINT],
+        ),
+    )
+    return predicate, _paged(bindings, rows)
+
+
+def dictionary_suite(rows: int, distinct: int = 200, seed: int = 13):
+    """Dictionary-encoded varchar column: evaluate per distinct, not per row."""
+    rng = np.random.default_rng(seed)
+    pool = [f"warehouse-region-{i:04d}" for i in range(distinct)]
+    dictionary = PrimitiveBlock.from_values(VARCHAR, pool)
+    ids = rng.integers(0, distinct, size=rows).astype(np.int64)
+
+    def bindings(start, end):
+        return {"region": DictionaryBlock(dictionary, ids[start:end])}
+
+    # upper(substr(region, 11, 6)) LIKE 'REGION%'
+    predicate = call(
+        "like",
+        [
+            call(
+                "upper",
+                [
+                    call(
+                        "substr",
+                        [variable("region", VARCHAR), constant(11, BIGINT), constant(6, BIGINT)],
+                        [VARCHAR, BIGINT, BIGINT],
+                    )
+                ],
+                [VARCHAR],
+            ),
+            constant("REGION%", VARCHAR),
+        ],
+        [VARCHAR, VARCHAR],
+    )
+    return predicate, _paged(bindings, rows)
+
+
+# -- measurement -------------------------------------------------------------
+
+
+def _run_lane(evaluator: Evaluator, predicate, pages) -> tuple[float, list]:
+    start = time.perf_counter()
+    masks = [
+        evaluator.filter_mask(predicate, bindings, count) for bindings, count in pages
+    ]
+    elapsed = (time.perf_counter() - start) * 1000.0
+    return elapsed, masks
+
+
+def bench_suite(name: str, predicate, pages, rows: int) -> dict:
+    compiled_evaluator = Evaluator(REGISTRY)
+    interpreted_evaluator = Evaluator(REGISTRY, options=EvaluatorOptions(mode=INTERPRETED))
+    # Warm the compile cache so the measured loop shows steady-state cost.
+    if pages:
+        compiled_evaluator.filter_mask(predicate, pages[0][0], pages[0][1])
+    compiled_ms, compiled_masks = _run_lane(compiled_evaluator, predicate, pages)
+    interpreted_ms, interpreted_masks = _run_lane(interpreted_evaluator, predicate, pages)
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(compiled_masks, interpreted_masks)
+    )
+    return {
+        "name": name,
+        "rows": rows,
+        "compiled_ms": round(compiled_ms, 3),
+        "interpreted_ms": round(interpreted_ms, 3),
+        "speedup": round(interpreted_ms / compiled_ms, 2) if compiled_ms else None,
+        "rows_per_sec": round(rows / (compiled_ms / 1000.0)) if compiled_ms else None,
+        "identical": identical,
+    }
+
+
+def run(smoke: bool) -> dict:
+    rows = 5_000 if smoke else 200_000
+    dict_rows = 5_000 if smoke else 100_000
+    suites = [
+        ("null_filter", *null_filter_suite(rows), rows),
+        ("string_filter", *string_filter_suite(rows), rows),
+        ("dictionary", *dictionary_suite(dict_rows), dict_rows),
+    ]
+    benchmarks = [
+        bench_suite(name, predicate, pages, total)
+        for name, predicate, pages, total in suites
+    ]
+    return {
+        "benchmark": "expressions",
+        "paper_section": "III (vectorized engine) / V (dictionary optimizations)",
+        "smoke": smoke,
+        "benchmarks": benchmarks,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes + skip speedup gates (CI)"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_expressions.json", help="result JSON path"
+    )
+    args = parser.parse_args()
+
+    report = run(args.smoke)
+    print_table(
+        "Expression evaluation: compiled kernels vs interpreter",
+        ["suite", "rows", "compiled ms", "interpreted ms", "speedup", "identical"],
+        [
+            [
+                b["name"],
+                b["rows"],
+                b["compiled_ms"],
+                b["interpreted_ms"],
+                b["speedup"],
+                b["identical"],
+            ]
+            for b in report["benchmarks"]
+        ],
+    )
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.output}")
+
+    assert all(b["identical"] for b in report["benchmarks"]), "compiled lane diverged"
+    if not args.smoke:
+        gates = {"null_filter": 5.0, "dictionary": 10.0}
+        for b in report["benchmarks"]:
+            gate = gates.get(b["name"])
+            if gate is not None:
+                assert b["speedup"] >= gate, (
+                    f"{b['name']}: speedup {b['speedup']}x below the {gate}x target"
+                )
+        print("speedup targets met: >=5x null_filter, >=10x dictionary")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Sequence
 
 from repro.common.errors import ConnectorError
-from repro.core.blocks import Block
+from repro.core.blocks import Block, block_from_values
 from repro.core.evaluator import Evaluator, constant_block
 from repro.core.expressions import (
     RowExpression,
@@ -225,14 +225,14 @@ class _HiveSplitManager(ConnectorSplitManager):
             else None
         )
 
-        splits: list[ConnectorSplit] = []
-        for partition in connector.metastore.list_partitions(
+        partitions = connector.metastore.list_partitions(
             handle.schema_name, handle.table_name
-        ):
-            if partition_predicate is not None and not self._partition_matches(
-                table, partition.values, partition_predicate
-            ):
-                continue
+        )
+        if partition_predicate is not None:
+            partitions = self._prune_partitions(table, partitions, partition_predicate)
+
+        splits: list[ConnectorSplit] = []
+        for partition in partitions:
             for status in connector._list_files(partition.location, partition.sealed):
                 splits.append(
                     ConnectorSplit(
@@ -258,17 +258,32 @@ class _HiveSplitManager(ConnectorSplitManager):
                 )
         return splits
 
-    def _partition_matches(
+    def _prune_partitions(
         self,
         table: TableInfo,
-        values: tuple[str, ...],
+        partitions: Sequence,
         predicate: RowExpression,
-    ) -> bool:
+    ) -> list:
+        """Batched partition pruning: one page over all partitions.
+
+        Each partition key becomes one column whose rows are the
+        per-partition values, so the predicate is evaluated with a single
+        ``filter_mask`` call instead of one position_count=1 evaluation
+        per partition.
+        """
+        partitions = list(partitions)
+        if not partitions:
+            return partitions
         bindings: dict[str, Block] = {}
-        for (key, key_type), value in zip(table.partition_keys, values):
-            bindings[key] = constant_block(_coerce(value, key_type), key_type, 1)
-        mask = self._connector._evaluator.filter_mask(predicate, bindings, 1)
-        return bool(mask[0])
+        for index, (key, key_type) in enumerate(table.partition_keys):
+            bindings[key] = block_from_values(
+                key_type,
+                [_coerce(partition.values[index], key_type) for partition in partitions],
+            )
+        mask = self._connector._evaluator.filter_mask(
+            predicate, bindings, len(partitions)
+        )
+        return [partition for partition, keep in zip(partitions, mask) if keep]
 
 
 class _HiveRecordSetProvider(ConnectorRecordSetProvider):

@@ -450,3 +450,32 @@ def block_from_values(presto_type: PrestoType, values: Sequence[Any]) -> Block:
     if isinstance(presto_type, MapType):
         return MapBlock.from_values(presto_type, values)
     return PrimitiveBlock.from_values(presto_type, values)
+
+
+def constant_block(value: Any, presto_type: PrestoType, count: int) -> Block:
+    """A block repeating ``value`` ``count`` times (run-length style)."""
+    if value is None:
+        dtype = _numpy_dtype_for(presto_type)
+        storage = np.zeros(count, dtype=dtype) if dtype is not object else np.empty(count, dtype=object)
+        return PrimitiveBlock(presto_type, storage, np.ones(count, dtype=bool))
+    if presto_type.is_nested():
+        return block_from_values(presto_type, [value] * count)
+    dtype = _numpy_dtype_for(presto_type)
+    if dtype is object:
+        storage = np.empty(count, dtype=object)
+        storage[:] = value
+    else:
+        storage = np.full(count, value, dtype=dtype)
+    return PrimitiveBlock(presto_type, storage)
+
+
+def with_extra_nulls(block: Block, extra_nulls: np.ndarray) -> Block:
+    """Return ``block`` with additional positions marked null."""
+    if not extra_nulls.any():
+        return block
+    block = block.loaded()
+    merged = block.null_mask() | extra_nulls
+    if isinstance(block, PrimitiveBlock):
+        return PrimitiveBlock(block.type, block.values, merged)
+    values = [None if merged[i] else block.get(i) for i in range(block.position_count)]
+    return block_from_values(block.type, values)

@@ -1,0 +1,891 @@
+"""Expression compiler: RowExpression trees → reusable DAGs of array kernels.
+
+Presto generates JVM bytecode per expression once and reuses it for every
+page; this module is the Python equivalent of that code generation step.
+``ExpressionCompiler.compile`` turns an analyzed :class:`RowExpression`
+into a :class:`CompiledExpression` — a DAG of kernel objects compiled once
+per canonical expression form and cached process-wide — instead of
+re-dispatching on the tree shape for every page of every operator.
+
+The compiled lane removes the interpreter's three big bail-outs:
+
+- **null-aware apply** — a call with any null argument no longer drops to a
+  per-position Python loop.  The kernel fills null lanes of every argument
+  with a type-appropriate sentinel (1 for numerics, so a null-lane divisor
+  never trips the division-by-zero check; a surviving value for object
+  arrays, so mixed comparisons and casts stay legal), runs the vectorized
+  implementation over *all* lanes, and masks the result.
+- **string/object kernels** — functions flagged ``vectorized_on_objects``
+  (length, upper/lower, substr, concat, trim, LIKE, comparisons, casts) run
+  over object-dtype arrays; ``LIKE <constant>`` additionally precompiles
+  its anchored regex at expression-compile time.
+- **dictionary-aware evaluation** — a deterministic, null-propagating
+  subtree over a single variable evaluates on the *dictionary* of a
+  :class:`DictionaryBlock` and re-wraps the ids, turning O(rows) work into
+  O(distinct) (paper §V's dictionary optimizations applied to expressions).
+
+Constant-foldable subtrees are evaluated once at compile time, so
+``WHERE 1 = 1``-style conjuncts vanish before any page is scanned.
+
+The row-at-a-time interpreter (:class:`repro.core.evaluator.Evaluator` in
+``interpreted`` mode) stays as the differential oracle; unsupported
+constructs (lambdas, non-constant IN lists) compile to a kernel that
+delegates to it and counts its positions as interpreter fallback.
+"""
+
+from __future__ import annotations
+
+import json
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.core.blocks import (
+    Block,
+    DictionaryBlock,
+    PrimitiveBlock,
+    RowBlock,
+    _numpy_dtype_for,
+    block_from_values,
+    constant_block,
+    with_extra_nulls,
+)
+from repro.core.expressions import (
+    CallExpression,
+    ConstantExpression,
+    LambdaDefinitionExpression,
+    RowExpression,
+    SpecialForm,
+    SpecialFormExpression,
+    VariableReferenceExpression,
+)
+from repro.core.functions import FunctionRegistry, ScalarFunction, like_regex
+from repro.core.types import BOOLEAN, PrestoType
+
+COMPILED = "compiled"
+INTERPRETED = "interpreted"
+
+
+@dataclass
+class EvaluatorOptions:
+    """Switch between the compiled kernel lane and the interpreter oracle.
+
+    ``mode`` selects the lane (``"compiled"`` is the default hot path;
+    ``"interpreted"`` is the retained row-at-a-time reference).  The two
+    optimization toggles exist for ablation: disabling them keeps the
+    compiled lane but without constant folding / dictionary evaluation.
+    """
+
+    mode: str = COMPILED
+    constant_folding: bool = True
+    dictionary_optimization: bool = True
+    cache_size: int = 256
+
+
+# ---------------------------------------------------------------------------
+# Shared array helpers
+# ---------------------------------------------------------------------------
+
+
+def bool_arrays(block: Block) -> tuple[np.ndarray, np.ndarray]:
+    """Extract (values, nulls) boolean arrays from a boolean-typed block.
+
+    Fully array-based: dictionary blocks are evaluated on the dictionary
+    and gathered through the ids; object arrays avoid per-position
+    ``Block.get`` calls.
+    """
+    block = block.loaded()
+    if isinstance(block, DictionaryBlock):
+        dict_values, _ = bool_arrays(block.dictionary)
+        nulls = block.null_mask()
+        safe_ids = np.where(block.ids < 0, 0, block.ids)
+        values = np.where(nulls, False, dict_values[safe_ids])
+        return values, nulls
+    nulls = block.null_mask()
+    if isinstance(block, PrimitiveBlock):
+        if block.values.dtype != object:
+            values = block.values.astype(bool)
+        else:
+            values = np.fromiter(
+                ((not nulls[i]) and bool(v) for i, v in enumerate(block.values)),
+                dtype=bool,
+                count=block.position_count,
+            )
+    else:
+        values = np.fromiter(
+            (
+                (not nulls[i]) and bool(block.get(i))
+                for i in range(block.position_count)
+            ),
+            dtype=bool,
+            count=block.position_count,
+        )
+    values = np.where(nulls, False, values)
+    return values, nulls
+
+
+def _sentinel_for(values: np.ndarray, invalid: np.ndarray) -> Any:
+    """A fill value for null lanes that keeps the kernel legal on all lanes.
+
+    Numerics use 1 so a null-lane divisor never triggers the
+    division-by-zero check; object arrays borrow a surviving value so
+    comparisons and casts see a homogeneous, parseable element.
+    """
+    kind = values.dtype.kind
+    if kind == "b":
+        return False
+    if kind in "iu":
+        return 1
+    if kind == "f":
+        return 1.0
+    valid = np.nonzero(~invalid)[0]
+    return values[valid[0]] if len(valid) else ""
+
+
+def _flat(block: Block) -> Block:
+    block = block.loaded()
+    if isinstance(block, DictionaryBlock):
+        return block.decode()
+    return block
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+class Kernel:
+    """One node of a compiled expression DAG."""
+
+    def run(
+        self, bindings: dict[str, Block], position_count: int, stats
+    ) -> Block:
+        raise NotImplementedError
+
+
+class ConstantKernel(Kernel):
+    def __init__(self, value: Any, presto_type: PrestoType) -> None:
+        self.value = value
+        self.type = presto_type
+
+    def run(self, bindings, position_count, stats) -> Block:
+        return constant_block(self.value, self.type, position_count)
+
+
+class VariableKernel(Kernel):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def run(self, bindings, position_count, stats) -> Block:
+        block = bindings.get(self.name)
+        if block is None:
+            raise ExecutionError(f"unbound variable {self.name}")
+        return block
+
+
+class CallKernel(Kernel):
+    """Null-aware vectorized function application.
+
+    Runs the vectorized implementation over all lanes with null lanes
+    sentinel-filled, then masks the result — no "any null ⇒ Python loop"
+    bail-out.  The per-row loop remains only for non-primitive blocks and
+    functions without a (type-compatible) vectorized implementation, and
+    its positions are counted as interpreter fallback.
+    """
+
+    def __init__(
+        self,
+        fn: ScalarFunction,
+        return_type: PrestoType,
+        arg_kernels: list[Kernel],
+    ) -> None:
+        self.fn = fn
+        self.return_type = return_type
+        self.arg_kernels = arg_kernels
+        self._target_dtype = _numpy_dtype_for(return_type)
+
+    def run(self, bindings, position_count, stats) -> Block:
+        blocks = [
+            _flat(k.run(bindings, position_count, stats)) for k in self.arg_kernels
+        ]
+        nulls = np.zeros(position_count, dtype=bool)
+        for b in blocks:
+            nulls = nulls | b.null_mask()
+        if position_count and nulls.all():
+            return constant_block(None, self.return_type, position_count)
+        fn = self.fn
+        vector_ok = (
+            fn.vectorized is not None
+            and all(isinstance(b, PrimitiveBlock) for b in blocks)
+            and all(
+                b.values.dtype != object or fn.vectorized_on_objects for b in blocks
+            )
+        )
+        if vector_ok:
+            any_nulls = bool(nulls.any())
+            arrays = []
+            for b in blocks:
+                values = b.values
+                if any_nulls:
+                    values = values.copy()
+                    values[nulls] = _sentinel_for(values, nulls)
+                arrays.append(values)
+            result = np.asarray(fn.vectorized(*arrays))
+            if self._target_dtype is not object and result.dtype != self._target_dtype:
+                result = result.astype(self._target_dtype)
+            if stats is not None:
+                stats.expr_positions_vectorized += position_count
+            return PrimitiveBlock(
+                self.return_type, result, nulls if any_nulls else None
+            )
+        if stats is not None:
+            stats.expr_positions_fallback += position_count
+        values_out: list[Any] = []
+        for i in range(position_count):
+            if nulls[i]:
+                values_out.append(None)
+            else:
+                values_out.append(fn.row_fn(*[b.get(i) for b in blocks]))
+        return block_from_values(self.return_type, values_out)
+
+
+class LikeConstantKernel(Kernel):
+    """``value LIKE 'pattern'`` with the anchored regex compiled once."""
+
+    def __init__(self, value_kernel: Kernel, pattern: str) -> None:
+        self.value_kernel = value_kernel
+        self.pattern = pattern
+        self.regex = like_regex(pattern)
+
+    def run(self, bindings, position_count, stats) -> Block:
+        block = _flat(self.value_kernel.run(bindings, position_count, stats))
+        nulls = block.null_mask()
+        match = self.regex.match
+        if isinstance(block, PrimitiveBlock):
+            values = np.fromiter(
+                (
+                    isinstance(v, str) and match(v) is not None
+                    for v in block.values
+                ),
+                dtype=bool,
+                count=position_count,
+            )
+            if stats is not None:
+                stats.expr_positions_vectorized += position_count
+        else:
+            values = np.fromiter(
+                (
+                    (not nulls[i])
+                    and isinstance(block.get(i), str)
+                    and match(block.get(i)) is not None
+                    for i in range(position_count)
+                ),
+                dtype=bool,
+                count=position_count,
+            )
+            if stats is not None:
+                stats.expr_positions_fallback += position_count
+        values = np.where(nulls, False, values)
+        return PrimitiveBlock(BOOLEAN, values, nulls.copy() if nulls.any() else None)
+
+
+class KleeneKernel(Kernel):
+    """AND/OR under SQL three-valued logic, whole-array."""
+
+    def __init__(self, arg_kernels: list[Kernel], is_and: bool) -> None:
+        self.arg_kernels = arg_kernels
+        self.is_and = is_and
+
+    def run(self, bindings, position_count, stats) -> Block:
+        is_and = self.is_and
+        result = np.full(position_count, is_and, dtype=bool)
+        result_nulls = np.zeros(position_count, dtype=bool)
+        for kernel in self.arg_kernels:
+            block = kernel.run(bindings, position_count, stats)
+            values, nulls = bool_arrays(block)
+            if is_and:
+                # false wins over null; null wins over true
+                result_nulls = (result_nulls & (values | nulls)) | (nulls & result)
+                result = result & (values | nulls)
+            else:
+                result_nulls = (result_nulls & ~(values & ~nulls)) | (nulls & ~result)
+                result = result | (values & ~nulls)
+        result = result & ~result_nulls
+        if stats is not None:
+            stats.expr_positions_vectorized += position_count
+        return PrimitiveBlock(
+            BOOLEAN, result, result_nulls if result_nulls.any() else None
+        )
+
+
+class NotKernel(Kernel):
+    def __init__(self, arg_kernel: Kernel) -> None:
+        self.arg_kernel = arg_kernel
+
+    def run(self, bindings, position_count, stats) -> Block:
+        block = self.arg_kernel.run(bindings, position_count, stats)
+        values, nulls = bool_arrays(block)
+        if stats is not None:
+            stats.expr_positions_vectorized += position_count
+        return PrimitiveBlock(BOOLEAN, ~values, nulls if nulls.any() else None)
+
+
+class IsNullKernel(Kernel):
+    def __init__(self, arg_kernel: Kernel) -> None:
+        self.arg_kernel = arg_kernel
+
+    def run(self, bindings, position_count, stats) -> Block:
+        block = self.arg_kernel.run(bindings, position_count, stats).loaded()
+        if stats is not None:
+            stats.expr_positions_vectorized += position_count
+        return PrimitiveBlock(BOOLEAN, block.null_mask().copy())
+
+
+class InConstantKernel(Kernel):
+    """``value IN (constants...)`` via array membership."""
+
+    def __init__(
+        self, value_kernel: Kernel, in_list: list[Any], has_null_candidate: bool
+    ) -> None:
+        self.value_kernel = value_kernel
+        self.in_list = in_list
+        self.in_set = set(in_list)
+        self.in_array = np.array(in_list) if in_list else np.array([], dtype=object)
+        self.has_null_candidate = has_null_candidate
+
+    def run(self, bindings, position_count, stats) -> Block:
+        block = _flat(self.value_kernel.run(bindings, position_count, stats))
+        nulls = block.null_mask().copy()
+        if isinstance(block, PrimitiveBlock) and block.values.dtype != object:
+            matches = np.isin(block.values, self.in_array)
+        elif isinstance(block, PrimitiveBlock):
+            in_set = self.in_set
+            matches = np.fromiter(
+                (
+                    (not nulls[i]) and v in in_set
+                    for i, v in enumerate(block.values)
+                ),
+                dtype=bool,
+                count=position_count,
+            )
+        else:
+            in_set = self.in_set
+            matches = np.fromiter(
+                (
+                    (not nulls[i]) and block.get(i) in in_set
+                    for i in range(position_count)
+                ),
+                dtype=bool,
+                count=position_count,
+            )
+        if self.has_null_candidate:
+            # value NOT IN (..., NULL) is null when no match
+            nulls = nulls | (~matches)
+        matches = matches & ~nulls
+        if stats is not None:
+            stats.expr_positions_vectorized += position_count
+        return PrimitiveBlock(BOOLEAN, matches, nulls if nulls.any() else None)
+
+
+class IfKernel(Kernel):
+    def __init__(
+        self,
+        condition: Kernel,
+        then_kernel: Kernel,
+        else_kernel: Kernel,
+        return_type: PrestoType,
+    ) -> None:
+        self.condition = condition
+        self.then_kernel = then_kernel
+        self.else_kernel = else_kernel
+        self.return_type = return_type
+        self._target_dtype = _numpy_dtype_for(return_type)
+
+    def run(self, bindings, position_count, stats) -> Block:
+        condition = self.condition.run(bindings, position_count, stats)
+        cond_values, cond_nulls = bool_arrays(condition)
+        take_then = cond_values & ~cond_nulls
+        then_block = _flat(self.then_kernel.run(bindings, position_count, stats))
+        else_block = _flat(self.else_kernel.run(bindings, position_count, stats))
+        if isinstance(then_block, PrimitiveBlock) and isinstance(
+            else_block, PrimitiveBlock
+        ):
+            then_values, else_values = then_block.values, else_block.values
+            if self._target_dtype is object:
+                if then_values.dtype != object:
+                    then_values = then_values.astype(object)
+                if else_values.dtype != object:
+                    else_values = else_values.astype(object)
+            values = np.where(take_then, then_values, else_values)
+            if self._target_dtype is not object and values.dtype != self._target_dtype:
+                values = values.astype(self._target_dtype)
+            nulls = np.where(take_then, then_block.null_mask(), else_block.null_mask())
+            if stats is not None:
+                stats.expr_positions_vectorized += position_count
+            return PrimitiveBlock(
+                self.return_type, values, nulls if nulls.any() else None
+            )
+        if stats is not None:
+            stats.expr_positions_fallback += position_count
+        values_out = [
+            then_block.get(i) if take_then[i] else else_block.get(i)
+            for i in range(position_count)
+        ]
+        return block_from_values(self.return_type, values_out)
+
+
+class CoalesceKernel(Kernel):
+    def __init__(self, arg_kernels: list[Kernel], return_type: PrestoType) -> None:
+        self.arg_kernels = arg_kernels
+        self.return_type = return_type
+        self._target_dtype = _numpy_dtype_for(return_type)
+
+    def run(self, bindings, position_count, stats) -> Block:
+        blocks = [
+            _flat(k.run(bindings, position_count, stats)) for k in self.arg_kernels
+        ]
+        if all(isinstance(b, PrimitiveBlock) for b in blocks):
+            target = self._target_dtype
+            values: Optional[np.ndarray] = None
+            nulls: Optional[np.ndarray] = None
+            for block in blocks:
+                block_values = block.values
+                if target is object and block_values.dtype != object:
+                    block_values = block_values.astype(object)
+                elif target is not object and block_values.dtype != target:
+                    block_values = block_values.astype(target)
+                block_nulls = block.null_mask()
+                if values is None:
+                    values = block_values.copy()
+                    nulls = block_nulls.copy()
+                else:
+                    fill = nulls & ~block_nulls
+                    values[fill] = block_values[fill]
+                    nulls = nulls & block_nulls
+            if stats is not None:
+                stats.expr_positions_vectorized += position_count
+            return PrimitiveBlock(
+                self.return_type, values, nulls if nulls is not None and nulls.any() else None
+            )
+        if stats is not None:
+            stats.expr_positions_fallback += position_count
+        values_out: list[Any] = [None] * position_count
+        remaining = np.ones(position_count, dtype=bool)
+        for block in blocks:
+            if not remaining.any():
+                break
+            block_nulls = block.null_mask()
+            for i in np.nonzero(remaining)[0]:
+                if not block_nulls[i]:
+                    values_out[int(i)] = block.get(int(i))
+                    remaining[i] = False
+        return block_from_values(self.return_type, values_out)
+
+
+class DereferenceKernel(Kernel):
+    """Struct field access; O(1) on RowBlocks via the child block."""
+
+    def __init__(
+        self, base_kernel: Kernel, field_name: str, return_type: PrestoType
+    ) -> None:
+        self.base_kernel = base_kernel
+        self.field_name = field_name
+        self.return_type = return_type
+
+    def run(self, bindings, position_count, stats) -> Block:
+        base = self.base_kernel.run(bindings, position_count, stats).loaded()
+        if isinstance(base, RowBlock):
+            if base.has_field(self.field_name):
+                field_block = base.field(self.field_name)
+                return with_extra_nulls(field_block, base.null_mask())
+            # Schema evolution: newly added field absent from old data → null.
+            return constant_block(None, self.return_type, position_count)
+        values = []
+        for i in range(position_count):
+            row_value = base.get(i)
+            values.append(None if row_value is None else row_value.get(self.field_name))
+        return block_from_values(self.return_type, values)
+
+
+class DictionaryKernel(Kernel):
+    """Evaluate a single-variable subtree on the dictionary, keep the ids.
+
+    Only wrapped around null-propagating deterministic subtrees, so a null
+    id (< 0) or a null dictionary entry stays null through the rewrap.
+    """
+
+    def __init__(self, variable_name: str, inner: Kernel) -> None:
+        self.variable_name = variable_name
+        self.inner = inner
+
+    def run(self, bindings, position_count, stats) -> Block:
+        block = bindings.get(self.variable_name)
+        if block is not None:
+            block = block.loaded()
+        if isinstance(block, DictionaryBlock):
+            dictionary = block.dictionary
+            inner_block = self.inner.run(
+                {self.variable_name: dictionary}, dictionary.position_count, stats
+            )
+            inner_block = _flat(inner_block)
+            if isinstance(inner_block, PrimitiveBlock):
+                if stats is not None:
+                    stats.expr_positions_dictionary_saved += max(
+                        0, position_count - dictionary.position_count
+                    )
+                return DictionaryBlock(inner_block, block.ids)
+        return self.inner.run(bindings, position_count, stats)
+
+
+class InterpreterKernel(Kernel):
+    """Fallback: delegate an unsupported subtree to the interpreter oracle."""
+
+    def __init__(self, expression: RowExpression, compiler: "ExpressionCompiler") -> None:
+        self.expression = expression
+        self._compiler = compiler
+
+    def run(self, bindings, position_count, stats) -> Block:
+        if stats is not None:
+            stats.expr_positions_fallback += position_count
+        return self._compiler.interpreter().evaluate_interpreted(
+            self.expression, bindings, position_count
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compiled expression + compiler
+# ---------------------------------------------------------------------------
+
+
+class CompiledExpression:
+    """A RowExpression compiled to a kernel DAG, reusable across pages."""
+
+    def __init__(
+        self,
+        expression: RowExpression,
+        kernel: Kernel,
+        interpreter_nodes: int,
+    ) -> None:
+        self.expression = expression  # post-folding form
+        self.kernel = kernel
+        # Compile-time count of subtrees that delegate to the interpreter;
+        # 0 means the whole DAG is kernel-evaluated (runtime row-loop
+        # bail-outs for odd block shapes can still occur and are counted
+        # in QueryStats.expr_positions_fallback).
+        self.interpreter_nodes = interpreter_nodes
+
+    def evaluate(
+        self, bindings: dict[str, Block], position_count: int, stats=None
+    ) -> Block:
+        return self.kernel.run(bindings, position_count, stats)
+
+    def constant_value(self) -> tuple[bool, Any]:
+        """(is_constant, value) after folding."""
+        if isinstance(self.kernel, ConstantKernel):
+            return True, self.kernel.value
+        return False, None
+
+    def is_always_true(self) -> bool:
+        constant, value = self.constant_value()
+        return constant and value is True
+
+
+class ExpressionCompiler:
+    """Compiles RowExpressions for one FunctionRegistry."""
+
+    def __init__(self, registry: FunctionRegistry, options: EvaluatorOptions) -> None:
+        self._registry = registry
+        self._options = options
+        self._interpreter = None
+        self._interpreter_nodes = 0
+
+    def interpreter(self):
+        """The row-at-a-time oracle used for folding and fallback kernels."""
+        if self._interpreter is None:
+            from repro.core.evaluator import Evaluator
+
+            self._interpreter = Evaluator(
+                self._registry, options=EvaluatorOptions(mode=INTERPRETED)
+            )
+        return self._interpreter
+
+    def compile(self, expression: RowExpression) -> CompiledExpression:
+        if self._options.constant_folding:
+            expression = self.fold(expression)
+        self._interpreter_nodes = 0
+        kernel = self._compile(expression, self._options.dictionary_optimization)
+        return CompiledExpression(expression, kernel, self._interpreter_nodes)
+
+    # -- constant folding ---------------------------------------------------
+
+    def fold(self, expression: RowExpression) -> RowExpression:
+        """Evaluate literal-only subtrees once; prune trivial AND/OR terms."""
+        if isinstance(
+            expression,
+            (ConstantExpression, VariableReferenceExpression, LambdaDefinitionExpression),
+        ):
+            return expression
+        if isinstance(expression, CallExpression):
+            arguments = tuple(self.fold(a) for a in expression.arguments)
+            folded = CallExpression(
+                expression.display_name,
+                expression.function_handle,
+                expression.type,
+                arguments,
+            )
+            return self._fold_whole(folded)
+        if isinstance(expression, SpecialFormExpression):
+            arguments = tuple(self.fold(a) for a in expression.arguments)
+            form = expression.form
+            if form is SpecialForm.AND or form is SpecialForm.OR:
+                is_and = form is SpecialForm.AND
+                absorbing, identity = (False, True) if is_and else (True, False)
+                kept: list[RowExpression] = []
+                for argument in arguments:
+                    if isinstance(argument, ConstantExpression):
+                        if argument.value is identity:
+                            continue  # `WHERE 1 = 1` conjuncts vanish here
+                        if argument.value is absorbing:
+                            return ConstantExpression(absorbing, expression.type)
+                        # a NULL constant cannot be pruned under Kleene logic
+                    kept.append(argument)
+                if not kept:
+                    return ConstantExpression(identity, expression.type)
+                if len(kept) == 1 and kept[0].type == expression.type:
+                    return kept[0]
+                return SpecialFormExpression(form, expression.type, tuple(kept))
+            if form is SpecialForm.IF and isinstance(arguments[0], ConstantExpression):
+                if arguments[0].value is True:
+                    return arguments[1]
+                if len(arguments) > 2:
+                    return arguments[2]
+                return ConstantExpression(None, expression.type)
+            if form is SpecialForm.COALESCE:
+                kept = []
+                for argument in arguments:
+                    if isinstance(argument, ConstantExpression):
+                        if argument.value is None:
+                            continue
+                        kept.append(argument)
+                        break  # later arguments are unreachable
+                    kept.append(argument)
+                if not kept:
+                    return ConstantExpression(None, expression.type)
+                if len(kept) == 1 and kept[0].type == expression.type:
+                    return kept[0]
+                return SpecialFormExpression(form, expression.type, tuple(kept))
+            folded = SpecialFormExpression(form, expression.type, arguments)
+            return self._fold_whole(folded)
+        return expression
+
+    def _fold_whole(self, expression: RowExpression) -> RowExpression:
+        """Replace a variable-free deterministic subtree with its value."""
+        if not self._literal_only(expression):
+            return expression
+        try:
+            value = self.interpreter().evaluate_scalar(expression)
+        except Exception:
+            # Errors (division by zero, bad casts) must surface at run
+            # time with interpreter-identical behaviour; leave unfolded.
+            return expression
+        return ConstantExpression(value, expression.type)
+
+    def _literal_only(self, expression: RowExpression) -> bool:
+        for node in expression.walk():
+            if isinstance(node, (VariableReferenceExpression, LambdaDefinitionExpression)):
+                return False
+            if isinstance(node, CallExpression):
+                try:
+                    fn = self._registry.implementation_for(node.function_handle)
+                except Exception:
+                    return False
+                if not fn.deterministic:
+                    return False
+        return True
+
+    # -- kernel construction ------------------------------------------------
+
+    def _compile(self, expression: RowExpression, allow_dictionary: bool) -> Kernel:
+        if isinstance(expression, ConstantExpression):
+            return ConstantKernel(expression.value, expression.type)
+        if isinstance(expression, VariableReferenceExpression):
+            return VariableKernel(expression.name)
+        if allow_dictionary and self._dictionary_candidate(expression):
+            variables = expression.variables()
+            inner = self._compile_node(expression, allow_dictionary=False)
+            return DictionaryKernel(variables[0].name, inner)
+        return self._compile_node(expression, allow_dictionary)
+
+    def _compile_node(self, expression: RowExpression, allow_dictionary: bool) -> Kernel:
+        if isinstance(expression, CallExpression):
+            return self._compile_call(expression, allow_dictionary)
+        if isinstance(expression, SpecialFormExpression):
+            return self._compile_special(expression, allow_dictionary)
+        if isinstance(expression, LambdaDefinitionExpression):
+            raise ExecutionError("lambda must appear as a function argument")
+        raise ExecutionError(f"cannot compile {type(expression).__name__}")
+
+    def _compile_call(self, call: CallExpression, allow_dictionary: bool) -> Kernel:
+        if any(isinstance(a, LambdaDefinitionExpression) for a in call.arguments):
+            return self._interpreter_kernel(call)
+        try:
+            fn = self._registry.implementation_for(call.function_handle)
+        except Exception:
+            return self._interpreter_kernel(call)
+        if (
+            call.function_handle.name == "like"
+            and len(call.arguments) == 2
+            and isinstance(call.arguments[1], ConstantExpression)
+            and isinstance(call.arguments[1].value, str)
+        ):
+            return LikeConstantKernel(
+                self._compile(call.arguments[0], allow_dictionary),
+                call.arguments[1].value,
+            )
+        return CallKernel(
+            fn,
+            call.type,
+            [self._compile(a, allow_dictionary) for a in call.arguments],
+        )
+
+    def _compile_special(
+        self, expression: SpecialFormExpression, allow_dictionary: bool
+    ) -> Kernel:
+        form = expression.form
+        arguments = expression.arguments
+        compile_ = lambda e: self._compile(e, allow_dictionary)  # noqa: E731
+        if form is SpecialForm.AND:
+            return KleeneKernel([compile_(a) for a in arguments], is_and=True)
+        if form is SpecialForm.OR:
+            return KleeneKernel([compile_(a) for a in arguments], is_and=False)
+        if form is SpecialForm.NOT:
+            return NotKernel(compile_(arguments[0]))
+        if form is SpecialForm.IS_NULL:
+            return IsNullKernel(compile_(arguments[0]))
+        if form is SpecialForm.IN:
+            candidates = arguments[1:]
+            if all(isinstance(c, ConstantExpression) for c in candidates):
+                in_list = [c.value for c in candidates if c.value is not None]
+                try:
+                    return InConstantKernel(
+                        compile_(arguments[0]),
+                        in_list,
+                        has_null_candidate=any(c.value is None for c in candidates),
+                    )
+                except TypeError:
+                    pass  # unhashable candidate values: leave to the oracle
+            return self._interpreter_kernel(expression)
+        if form is SpecialForm.IF:
+            else_kernel: Kernel
+            if len(arguments) > 2:
+                else_kernel = compile_(arguments[2])
+            else:
+                else_kernel = ConstantKernel(None, expression.type)
+            return IfKernel(
+                compile_(arguments[0]),
+                compile_(arguments[1]),
+                else_kernel,
+                expression.type,
+            )
+        if form is SpecialForm.COALESCE:
+            return CoalesceKernel([compile_(a) for a in arguments], expression.type)
+        if form is SpecialForm.DEREFERENCE:
+            if isinstance(arguments[1], ConstantExpression):
+                return DereferenceKernel(
+                    compile_(arguments[0]), arguments[1].value, expression.type
+                )
+            return self._interpreter_kernel(expression)
+        return self._interpreter_kernel(expression)
+
+    def _interpreter_kernel(self, expression: RowExpression) -> Kernel:
+        self._interpreter_nodes += 1
+        return InterpreterKernel(expression, self)
+
+    # -- dictionary candidates ----------------------------------------------
+
+    def _dictionary_candidate(self, expression: RowExpression) -> bool:
+        if len(expression.variables()) != 1:
+            return False
+        safe, has_work = self._dictionary_safe(expression)
+        return safe and has_work
+
+    def _dictionary_safe(self, expression: RowExpression) -> tuple[bool, bool]:
+        """(safe, has_work): safe ⇔ deterministic and null-propagating."""
+        if isinstance(expression, VariableReferenceExpression):
+            return True, False
+        if isinstance(expression, ConstantExpression):
+            return expression.value is not None, False
+        if isinstance(expression, CallExpression):
+            if any(isinstance(a, LambdaDefinitionExpression) for a in expression.arguments):
+                return False, False
+            try:
+                fn = self._registry.implementation_for(expression.function_handle)
+            except Exception:
+                return False, False
+            if not fn.deterministic:
+                return False, False
+            for argument in expression.arguments:
+                safe, _ = self._dictionary_safe(argument)
+                if not safe:
+                    return False, False
+            return True, True
+        if isinstance(expression, SpecialFormExpression):
+            if expression.form is SpecialForm.NOT:
+                safe, has_work = self._dictionary_safe(expression.arguments[0])
+                return safe, has_work
+            if expression.form is SpecialForm.IN and all(
+                isinstance(c, ConstantExpression) for c in expression.arguments[1:]
+            ):
+                safe, _ = self._dictionary_safe(expression.arguments[0])
+                return safe, True
+            # IS_NULL / COALESCE / IF / AND / OR map null inputs to non-null
+            # outputs and must see the real per-position null mask.
+            return False, False
+        return False, False
+
+
+# ---------------------------------------------------------------------------
+# Process-wide compile cache (per registry, keyed on canonical form)
+# ---------------------------------------------------------------------------
+
+
+_SHARED_CACHE: "weakref.WeakKeyDictionary[FunctionRegistry, OrderedDict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def canonical_form(expression: RowExpression) -> str:
+    """Stable serialization used as the compile-cache key."""
+    return json.dumps(
+        expression.to_dict(), sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+def compile_cached(
+    registry: FunctionRegistry,
+    options: EvaluatorOptions,
+    expression: RowExpression,
+) -> CompiledExpression:
+    """Compile ``expression`` once per canonical form and registry."""
+    cache = _SHARED_CACHE.get(registry)
+    if cache is None:
+        cache = OrderedDict()
+        _SHARED_CACHE[registry] = cache
+    key = (
+        canonical_form(expression),
+        options.constant_folding,
+        options.dictionary_optimization,
+    )
+    compiled = cache.get(key)
+    if compiled is not None:
+        cache.move_to_end(key)
+        return compiled
+    compiled = ExpressionCompiler(registry, options).compile(expression)
+    cache[key] = compiled
+    while len(cache) > max(options.cache_size, 1):
+        cache.popitem(last=False)
+    return compiled

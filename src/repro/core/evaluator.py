@@ -1,18 +1,18 @@
-"""Vectorized interpreter for RowExpressions.
+"""Expression evaluation: compiled kernel DAGs + row-at-a-time oracle.
 
 Presto generates JVM bytecode (via ASM) for expression evaluation; this
-module is the Python equivalent: it evaluates a :class:`RowExpression`
-against a batch of columns at once, using numpy array operations on the
-fast path and a row-at-a-time fallback for complex types.
+module is the Python equivalent.  The default lane compiles each
+:class:`RowExpression` once (per canonical form, cached process-wide in
+:mod:`repro.core.compiler`) into a DAG of null-aware, dictionary-aware
+array kernels and reuses it for every page.
 
-Null semantics follow SQL three-valued logic: function calls propagate null
-when any argument is null; AND/OR use Kleene logic; ``IS_NULL`` and
-``COALESCE`` observe nulls without propagating them.
-
-A dictionary fast path mirrors the engine-side benefit of dictionary
-encoding: a deterministic single-argument call over a
-:class:`DictionaryBlock` is evaluated once per *dictionary entry* and the
-ids are reused, not once per row.
+The original row-at-a-time interpreter is retained in full as the
+differential oracle — the same pattern as ``execute_aggregation_rows`` for
+the operator kernels — selected with
+``EvaluatorOptions(mode="interpreted")``.  Null semantics follow SQL
+three-valued logic in both lanes: function calls propagate null when any
+argument is null; AND/OR use Kleene logic; ``IS_NULL`` and ``COALESCE``
+observe nulls without propagating them.
 """
 
 from __future__ import annotations
@@ -25,10 +25,20 @@ from repro.common.errors import ExecutionError
 from repro.core.blocks import (
     Block,
     DictionaryBlock,
-    LazyBlock,
     PrimitiveBlock,
     RowBlock,
+    _numpy_dtype_for,
     block_from_values,
+    constant_block,  # noqa: F401  (re-exported; historical home of this helper)
+    with_extra_nulls,
+)
+from repro.core.compiler import (
+    COMPILED,
+    INTERPRETED,
+    CompiledExpression,
+    EvaluatorOptions,
+    bool_arrays,
+    compile_cached,
 )
 from repro.core.expressions import (
     CallExpression,
@@ -41,45 +51,48 @@ from repro.core.expressions import (
 )
 from repro.core.functions import FunctionRegistry, default_registry
 from repro.core.types import BOOLEAN, PrestoType
-from repro.core.blocks import _numpy_dtype_for
 
-
-def constant_block(value: Any, presto_type: PrestoType, count: int) -> Block:
-    """A block repeating ``value`` ``count`` times (run-length style)."""
-    if value is None:
-        dtype = _numpy_dtype_for(presto_type)
-        storage = np.zeros(count, dtype=dtype) if dtype is not object else np.empty(count, dtype=object)
-        return PrimitiveBlock(presto_type, storage, np.ones(count, dtype=bool))
-    if presto_type.is_nested():
-        return block_from_values(presto_type, [value] * count)
-    dtype = _numpy_dtype_for(presto_type)
-    if dtype is object:
-        storage = np.empty(count, dtype=object)
-        storage[:] = value
-    else:
-        storage = np.full(count, value, dtype=dtype)
-    return PrimitiveBlock(presto_type, storage)
-
-
-def _with_extra_nulls(block: Block, extra_nulls: np.ndarray) -> Block:
-    """Return ``block`` with additional positions marked null."""
-    if not extra_nulls.any():
-        return block
-    block = block.loaded()
-    merged = block.null_mask() | extra_nulls
-    if isinstance(block, PrimitiveBlock):
-        return PrimitiveBlock(block.type, block.values, merged)
-    values = [None if merged[i] else block.get(i) for i in range(block.position_count)]
-    return block_from_values(block.type, values)
+_with_extra_nulls = with_extra_nulls  # historical private alias
+_bool_arrays = bool_arrays  # historical private alias
 
 
 class Evaluator:
-    """Evaluates RowExpressions over column bindings."""
+    """Evaluates RowExpressions over column bindings.
 
-    def __init__(self, registry: Optional[FunctionRegistry] = None) -> None:
+    ``options.mode`` selects the lane: ``"compiled"`` (default) runs the
+    kernel DAGs from :mod:`repro.core.compiler`; ``"interpreted"`` runs the
+    row-at-a-time reference implementation.  ``stats`` (a
+    :class:`repro.execution.context.QueryStats`, optional) receives the
+    ``expr_positions_*`` counters surfaced by EXPLAIN ANALYZE.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        options: Optional[EvaluatorOptions] = None,
+        stats=None,
+    ) -> None:
         self._registry = registry or default_registry()
+        self._options = options or EvaluatorOptions()
+        self._stats = stats
+        # Per-evaluator memo keyed on expression identity; holds a strong
+        # reference to the expression so the id stays valid.
+        self._compiled_memo: dict[int, tuple[RowExpression, CompiledExpression]] = {}
+
+    @property
+    def options(self) -> EvaluatorOptions:
+        return self._options
 
     # -- public API ---------------------------------------------------------
+
+    def compiled(self, expression: RowExpression) -> CompiledExpression:
+        """The compiled form of ``expression`` (memoized, shared cache)."""
+        memo = self._compiled_memo.get(id(expression))
+        if memo is not None and memo[0] is expression:
+            return memo[1]
+        compiled = compile_cached(self._registry, self._options, expression)
+        self._compiled_memo[id(expression)] = (expression, compiled)
+        return compiled
 
     def evaluate(
         self,
@@ -88,6 +101,56 @@ class Evaluator:
         position_count: int,
     ) -> Block:
         """Evaluate ``expression`` for every position, returning a block."""
+        if isinstance(expression, VariableReferenceExpression):
+            if expression.name not in bindings:
+                raise ExecutionError(f"unbound variable {expression.name}")
+            return bindings[expression.name]
+        if isinstance(expression, ConstantExpression):
+            return constant_block(expression.value, expression.type, position_count)
+        if self._options.mode == INTERPRETED:
+            if self._stats is not None:
+                self._stats.expr_positions_fallback += position_count
+            return self.evaluate_interpreted(expression, bindings, position_count)
+        return self.compiled(expression).evaluate(bindings, position_count, self._stats)
+
+    def evaluate_scalar(self, expression: RowExpression) -> Any:
+        """Evaluate a variable-free expression to a single Python value."""
+        if self._options.mode == INTERPRETED:
+            block = self.evaluate_interpreted(expression, {}, 1)
+        else:
+            block = self.evaluate(expression, {}, 1)
+        return block.get(0)
+
+    def predicate_is_always_true(self, predicate: RowExpression) -> bool:
+        """True when ``predicate`` constant-folds to TRUE (safe to skip)."""
+        if self._options.mode == INTERPRETED or not self._options.constant_folding:
+            return (
+                isinstance(predicate, ConstantExpression) and predicate.value is True
+            )
+        return self.compiled(predicate).is_always_true()
+
+    def filter_mask(
+        self,
+        predicate: RowExpression,
+        bindings: dict[str, Block],
+        position_count: int,
+    ) -> np.ndarray:
+        """Boolean selection mask: True where the predicate is true (not null)."""
+        if self._options.mode != INTERPRETED and self.compiled(predicate).is_always_true():
+            return np.ones(position_count, dtype=bool)
+        block = self.evaluate(predicate, bindings, position_count)
+        values, nulls = bool_arrays(block)
+        return values & ~nulls
+
+    # -- interpreter lane (differential oracle) ------------------------------
+
+    def evaluate_interpreted(
+        self,
+        expression: RowExpression,
+        bindings: dict[str, Block],
+        position_count: int,
+    ) -> Block:
+        """Row-at-a-time reference evaluation (the pre-compiler semantics)."""
         if isinstance(expression, ConstantExpression):
             return constant_block(expression.value, expression.type, position_count)
         if isinstance(expression, VariableReferenceExpression):
@@ -101,30 +164,6 @@ class Evaluator:
         if isinstance(expression, LambdaDefinitionExpression):
             raise ExecutionError("lambda must appear as a function argument")
         raise ExecutionError(f"cannot evaluate {type(expression).__name__}")
-
-    def evaluate_scalar(self, expression: RowExpression) -> Any:
-        """Evaluate a variable-free expression to a single Python value."""
-        block = self.evaluate(expression, {}, 1)
-        return block.get(0)
-
-    def filter_mask(
-        self,
-        predicate: RowExpression,
-        bindings: dict[str, Block],
-        position_count: int,
-    ) -> np.ndarray:
-        """Boolean selection mask: True where the predicate is true (not null)."""
-        block = self.evaluate(predicate, bindings, position_count).loaded()
-        nulls = block.null_mask()
-        if isinstance(block, DictionaryBlock):
-            block = block.decode()
-        if isinstance(block, PrimitiveBlock):
-            values = block.values.astype(bool)
-        else:
-            values = np.array(
-                [bool(block.get(i)) if not nulls[i] else False for i in range(position_count)]
-            )
-        return values & ~nulls
 
     # -- calls ---------------------------------------------------------------
 
@@ -158,7 +197,8 @@ class Evaluator:
                     return DictionaryBlock(inner, arg_block.ids)
 
         arg_blocks = [
-            self.evaluate(arg, bindings, position_count).loaded() for arg in call.arguments
+            self.evaluate_interpreted(arg, bindings, position_count).loaded()
+            for arg in call.arguments
         ]
         arg_blocks = [
             b.decode() if isinstance(b, DictionaryBlock) else b for b in arg_blocks
@@ -213,7 +253,9 @@ class Evaluator:
         columns captured by the body are bound as per-row constants.
         """
         name = call.function_handle.name
-        array_block = self.evaluate(call.arguments[0], bindings, position_count).loaded()
+        array_block = self.evaluate_interpreted(
+            call.arguments[0], bindings, position_count
+        ).loaded()
         lam = call.arguments[1]
         if not isinstance(lam, LambdaDefinitionExpression):
             raise ExecutionError(f"{name}() requires a lambda argument")
@@ -242,7 +284,9 @@ class Evaluator:
                 lambda_bindings[variable.name] = constant_block(
                     outer.get(position), variable.type, len(elements)
                 )
-            body_block = self.evaluate(lam.body, lambda_bindings, len(elements)).loaded()
+            body_block = self.evaluate_interpreted(
+                lam.body, lambda_bindings, len(elements)
+            ).loaded()
             if name == "transform":
                 results.append(body_block.to_list())
             elif name == "filter":
@@ -270,11 +314,15 @@ class Evaluator:
         if form is SpecialForm.OR:
             return self._kleene(expression.arguments, bindings, position_count, is_and=False)
         if form is SpecialForm.NOT:
-            block = self.evaluate(expression.arguments[0], bindings, position_count).loaded()
+            block = self.evaluate_interpreted(
+                expression.arguments[0], bindings, position_count
+            ).loaded()
             values, nulls = _bool_arrays(block)
             return PrimitiveBlock(BOOLEAN, ~values, nulls if nulls.any() else None)
         if form is SpecialForm.IS_NULL:
-            block = self.evaluate(expression.arguments[0], bindings, position_count).loaded()
+            block = self.evaluate_interpreted(
+                expression.arguments[0], bindings, position_count
+            ).loaded()
             return PrimitiveBlock(BOOLEAN, block.null_mask().copy())
         if form is SpecialForm.IN:
             return self._evaluate_in(expression, bindings, position_count)
@@ -296,7 +344,7 @@ class Evaluator:
         result = np.full(position_count, is_and, dtype=bool)
         result_nulls = np.zeros(position_count, dtype=bool)
         for argument in arguments:
-            block = self.evaluate(argument, bindings, position_count).loaded()
+            block = self.evaluate_interpreted(argument, bindings, position_count).loaded()
             values, nulls = _bool_arrays(block)
             if is_and:
                 # false wins over null; null wins over true
@@ -305,10 +353,7 @@ class Evaluator:
             else:
                 result_nulls = (result_nulls & ~(values & ~nulls)) | (nulls & ~result)
                 result = result | (values & ~nulls)
-        if is_and:
-            result = result & ~result_nulls
-        else:
-            result = result & ~result_nulls
+        result = result & ~result_nulls
         return PrimitiveBlock(BOOLEAN, result, result_nulls if result_nulls.any() else None)
 
     def _evaluate_in(
@@ -317,7 +362,9 @@ class Evaluator:
         bindings: dict[str, Block],
         position_count: int,
     ) -> Block:
-        value_block = self.evaluate(expression.arguments[0], bindings, position_count).loaded()
+        value_block = self.evaluate_interpreted(
+            expression.arguments[0], bindings, position_count
+        ).loaded()
         if isinstance(value_block, DictionaryBlock):
             value_block = value_block.decode()
         candidates = expression.arguments[1:]
@@ -344,7 +391,9 @@ class Evaluator:
         # General form: compare against each candidate expression.
         matches = np.zeros(position_count, dtype=bool)
         for candidate in candidates:
-            candidate_block = self.evaluate(candidate, bindings, position_count).loaded()
+            candidate_block = self.evaluate_interpreted(
+                candidate, bindings, position_count
+            ).loaded()
             for i in range(position_count):
                 if not nulls[i] and not candidate_block.is_null(i):
                     if value_block.get(i) == candidate_block.get(i):
@@ -358,12 +407,18 @@ class Evaluator:
         bindings: dict[str, Block],
         position_count: int,
     ) -> Block:
-        condition = self.evaluate(expression.arguments[0], bindings, position_count).loaded()
+        condition = self.evaluate_interpreted(
+            expression.arguments[0], bindings, position_count
+        ).loaded()
         cond_values, cond_nulls = _bool_arrays(condition)
         take_then = cond_values & ~cond_nulls
-        then_block = self.evaluate(expression.arguments[1], bindings, position_count).loaded()
+        then_block = self.evaluate_interpreted(
+            expression.arguments[1], bindings, position_count
+        ).loaded()
         if len(expression.arguments) > 2:
-            else_block = self.evaluate(expression.arguments[2], bindings, position_count).loaded()
+            else_block = self.evaluate_interpreted(
+                expression.arguments[2], bindings, position_count
+            ).loaded()
         else:
             else_block = constant_block(None, expression.type, position_count)
         values = [
@@ -383,7 +438,7 @@ class Evaluator:
         for argument in expression.arguments:
             if not remaining.any():
                 break
-            block = self.evaluate(argument, bindings, position_count).loaded()
+            block = self.evaluate_interpreted(argument, bindings, position_count).loaded()
             nulls = block.null_mask()
             for i in np.nonzero(remaining)[0]:
                 if not nulls[i]:
@@ -397,7 +452,9 @@ class Evaluator:
         bindings: dict[str, Block],
         position_count: int,
     ) -> Block:
-        base = self.evaluate(expression.arguments[0], bindings, position_count).loaded()
+        base = self.evaluate_interpreted(
+            expression.arguments[0], bindings, position_count
+        ).loaded()
         field_name_expr = expression.arguments[1]
         if not isinstance(field_name_expr, ConstantExpression):
             raise ExecutionError("DEREFERENCE field name must be constant")
@@ -414,19 +471,3 @@ class Evaluator:
             row_value = base.get(i)
             values.append(None if row_value is None else row_value.get(field_name))
         return block_from_values(expression.type, values)
-
-
-def _bool_arrays(block: Block) -> tuple[np.ndarray, np.ndarray]:
-    """Extract (values, nulls) boolean arrays from a boolean-typed block."""
-    block = block.loaded()
-    if isinstance(block, DictionaryBlock):
-        block = block.decode()
-    nulls = block.null_mask()
-    if isinstance(block, PrimitiveBlock) and block.values.dtype != object:
-        values = block.values.astype(bool)
-    else:
-        values = np.array(
-            [bool(block.get(i)) if not nulls[i] else False for i in range(block.position_count)]
-        )
-    values = np.where(nulls, False, values)
-    return values, nulls

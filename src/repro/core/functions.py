@@ -18,6 +18,7 @@ always carry a row-at-a-time fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
@@ -79,6 +80,9 @@ class ScalarFunction:
     row_fn: Callable[..., Any]
     vectorized: Optional[Callable[..., np.ndarray]] = None
     deterministic: bool = True
+    # Whether ``vectorized`` is safe over object-dtype (string/date) arrays.
+    # Numeric-only kernels keep the default and fall back per row instead.
+    vectorized_on_objects: bool = False
 
 
 @dataclass
@@ -229,8 +233,10 @@ def _mod(a: Any, b: Any) -> Any:
 
 
 def _register_builtin_scalars(registry: FunctionRegistry) -> None:
-    def scalar(name, resolve, row_fn, vectorized=None):
-        registry.register_scalar(ScalarFunction(name, resolve, row_fn, vectorized))
+    def scalar(name, resolve, row_fn, vectorized=None, objects=False):
+        registry.register_scalar(
+            ScalarFunction(name, resolve, row_fn, vectorized, vectorized_on_objects=objects)
+        )
 
     # Arithmetic
     scalar("add", _numeric_pair, lambda a, b: a + b, lambda a, b: a + b)
@@ -245,37 +251,58 @@ def _register_builtin_scalars(registry: FunctionRegistry) -> None:
         lambda a: -a,
     )
 
-    # Comparison (equals works on any comparable pair, including varchar)
-    scalar("equal", _comparable_pair, lambda a, b: a == b, lambda a, b: a == b)
-    scalar("not_equal", _comparable_pair, lambda a, b: a != b, lambda a, b: a != b)
-    scalar("less_than", _comparable_pair, lambda a, b: a < b, lambda a, b: a < b)
-    scalar("less_than_or_equal", _comparable_pair, lambda a, b: a <= b, lambda a, b: a <= b)
-    scalar("greater_than", _comparable_pair, lambda a, b: a > b, lambda a, b: a > b)
-    scalar("greater_than_or_equal", _comparable_pair, lambda a, b: a >= b, lambda a, b: a >= b)
+    # Comparison (equals works on any comparable pair, including varchar;
+    # numpy applies the rich comparison elementwise on object arrays).
+    scalar("equal", _comparable_pair, lambda a, b: a == b, lambda a, b: a == b, objects=True)
+    scalar("not_equal", _comparable_pair, lambda a, b: a != b, lambda a, b: a != b, objects=True)
+    scalar("less_than", _comparable_pair, lambda a, b: a < b, lambda a, b: a < b, objects=True)
+    scalar(
+        "less_than_or_equal", _comparable_pair, lambda a, b: a <= b, lambda a, b: a <= b, objects=True
+    )
+    scalar("greater_than", _comparable_pair, lambda a, b: a > b, lambda a, b: a > b, objects=True)
+    scalar(
+        "greater_than_or_equal", _comparable_pair, lambda a, b: a >= b, lambda a, b: a >= b, objects=True
+    )
 
     # Boolean
     scalar("not", _fixed([BOOLEAN], BOOLEAN), lambda a: not a, lambda a: ~a)
 
-    # String functions
-    scalar("lower", _fixed([VARCHAR], VARCHAR), lambda s: s.lower())
-    scalar("upper", _fixed([VARCHAR], VARCHAR), lambda s: s.upper())
-    scalar("length", _fixed([VARCHAR], BIGINT), lambda s: len(s))
-    scalar("concat", _fixed([VARCHAR, VARCHAR], VARCHAR), lambda a, b: a + b)
+    # String functions: vectorized kernels run over whole object arrays
+    # (null lanes pre-filled with a sentinel by the expression compiler).
+    scalar("lower", _fixed([VARCHAR], VARCHAR), lambda s: s.lower(), _VEC_LOWER, objects=True)
+    scalar("upper", _fixed([VARCHAR], VARCHAR), lambda s: s.upper(), _VEC_UPPER, objects=True)
+    scalar("length", _fixed([VARCHAR], BIGINT), lambda s: len(s), _VEC_LEN, objects=True)
+    scalar(
+        "concat", _fixed([VARCHAR, VARCHAR], VARCHAR), lambda a, b: a + b,
+        lambda a, b: a + b, objects=True,
+    )
     scalar(
         "substr",
         _fixed([VARCHAR, BIGINT, BIGINT], VARCHAR),
         lambda s, start, length: s[int(start) - 1 : int(start) - 1 + int(length)],
+        _vec_substr3,
+        objects=True,
     )
     scalar(
         "substr",
         _fixed([VARCHAR, BIGINT], VARCHAR),
         lambda s, start: s[int(start) - 1 :],
+        _vec_substr2,
+        objects=True,
     )
-    scalar("strpos", _fixed([VARCHAR, VARCHAR], BIGINT), lambda s, sub: s.find(sub) + 1)
+    scalar(
+        "strpos", _fixed([VARCHAR, VARCHAR], BIGINT),
+        lambda s, sub: s.find(sub) + 1, _VEC_STRPOS, objects=True,
+    )
+    scalar("trim", _fixed([VARCHAR], VARCHAR), lambda s: s.strip(), _VEC_TRIM, objects=True)
+    scalar("ltrim", _fixed([VARCHAR], VARCHAR), lambda s: s.lstrip(), _VEC_LTRIM, objects=True)
+    scalar("rtrim", _fixed([VARCHAR], VARCHAR), lambda s: s.rstrip(), _VEC_RTRIM, objects=True)
     scalar(
         "like",
         _fixed([VARCHAR, VARCHAR], BOOLEAN),
         _like_match,
+        _vec_like,
+        objects=True,
     )
 
     # Math
@@ -294,13 +321,13 @@ def _register_builtin_scalars(registry: FunctionRegistry) -> None:
 
         return resolve
 
-    scalar("cast_bigint", resolve_cast_to(BIGINT), lambda v: int(v))
-    scalar("cast_integer", resolve_cast_to(INTEGER), lambda v: int(v))
-    scalar("cast_double", resolve_cast_to(DOUBLE), lambda v: float(v))
-    scalar("cast_varchar", resolve_cast_to(VARCHAR), _cast_varchar)
-    scalar("cast_boolean", resolve_cast_to(BOOLEAN), _cast_boolean)
-    scalar("cast_date", resolve_cast_to(DATE), lambda v: str(v))
-    scalar("cast_timestamp", resolve_cast_to(TIMESTAMP), lambda v: str(v))
+    scalar("cast_bigint", resolve_cast_to(BIGINT), lambda v: int(v), _VEC_INT, objects=True)
+    scalar("cast_integer", resolve_cast_to(INTEGER), lambda v: int(v), _VEC_INT, objects=True)
+    scalar("cast_double", resolve_cast_to(DOUBLE), lambda v: float(v), _VEC_FLOAT, objects=True)
+    scalar("cast_varchar", resolve_cast_to(VARCHAR), _cast_varchar, _VEC_CAST_VARCHAR, objects=True)
+    scalar("cast_boolean", resolve_cast_to(BOOLEAN), _cast_boolean, _VEC_CAST_BOOLEAN, objects=True)
+    scalar("cast_date", resolve_cast_to(DATE), lambda v: str(v), _VEC_STR, objects=True)
+    scalar("cast_timestamp", resolve_cast_to(TIMESTAMP), lambda v: str(v), _VEC_STR, objects=True)
 
     # Collection functions
     scalar(
@@ -330,12 +357,58 @@ def _register_builtin_scalars(registry: FunctionRegistry) -> None:
     )
 
 
-def _like_match(value: str, pattern: str) -> bool:
-    """SQL LIKE: % matches any run, _ matches one character."""
+@lru_cache(maxsize=512)
+def like_regex(pattern: str):
+    """Compiled anchored regex for a SQL LIKE pattern (% = run, _ = one)."""
     import re
 
-    regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
-    return re.match(regex, value, flags=re.DOTALL) is not None
+    return re.compile(
+        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$",
+        flags=re.DOTALL,
+    )
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE: % matches any run, _ matches one character."""
+    return like_regex(pattern).match(value) is not None
+
+
+def _vec_like(values: np.ndarray, patterns: np.ndarray) -> np.ndarray:
+    return np.fromiter(
+        (like_regex(p).match(v) is not None for v, p in zip(values, patterns)),
+        dtype=bool,
+        count=len(values),
+    )
+
+
+# Object-array kernels for string functions and casts: each maps a Python
+# callable over an object array without per-position Block.get()/null checks
+# (the compiler masks nulls before and after).
+_VEC_LOWER = np.frompyfunc(str.lower, 1, 1)
+_VEC_UPPER = np.frompyfunc(str.upper, 1, 1)
+_VEC_LEN = np.frompyfunc(len, 1, 1)
+_VEC_TRIM = np.frompyfunc(str.strip, 1, 1)
+_VEC_LTRIM = np.frompyfunc(str.lstrip, 1, 1)
+_VEC_RTRIM = np.frompyfunc(str.rstrip, 1, 1)
+_VEC_STRPOS = np.frompyfunc(lambda s, sub: s.find(sub) + 1, 2, 1)
+_VEC_INT = np.frompyfunc(int, 1, 1)
+_VEC_FLOAT = np.frompyfunc(float, 1, 1)
+_VEC_STR = np.frompyfunc(str, 1, 1)
+
+
+def _vec_substr3(s: np.ndarray, start: np.ndarray, length: np.ndarray) -> np.ndarray:
+    out = np.empty(len(s), dtype=object)
+    for i, (v, b, n) in enumerate(zip(s, start, length)):
+        begin = int(b) - 1
+        out[i] = v[begin : begin + int(n)]
+    return out
+
+
+def _vec_substr2(s: np.ndarray, start: np.ndarray) -> np.ndarray:
+    out = np.empty(len(s), dtype=object)
+    for i, (v, b) in enumerate(zip(s, start)):
+        out[i] = v[int(b) - 1 :]
+    return out
 
 
 def _cast_varchar(value: Any) -> str:
@@ -355,6 +428,10 @@ def _cast_boolean(value: Any) -> bool:
             return False
         raise ValueError(f"cannot cast {value!r} to boolean")
     return bool(value)
+
+
+_VEC_CAST_VARCHAR = np.frompyfunc(_cast_varchar, 1, 1)
+_VEC_CAST_BOOLEAN = np.frompyfunc(_cast_boolean, 1, 1)
 
 
 def _resolve_element_at(ts: Sequence[PrestoType]) -> Optional[PrestoType]:

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.common.clock import SimulatedClock
 from repro.connectors.spi import Catalog
+from repro.core.compiler import EvaluatorOptions
 from repro.core.evaluator import Evaluator
 from repro.core.functions import FunctionRegistry, default_registry
 from repro.planner.analyzer import Session
@@ -39,6 +40,13 @@ class QueryStats:
     # terminally and attempts that were retried after a retryable error.
     tasks_failed: int = 0
     tasks_retried: int = 0
+    # Expression-compiler counters: positions evaluated by vectorized
+    # kernels vs positions that dropped to the row-at-a-time interpreter,
+    # and positions *not* evaluated at all thanks to dictionary-aware
+    # evaluation (rows − distinct per dictionary-encoded expression run).
+    expr_positions_vectorized: int = 0
+    expr_positions_fallback: int = 0
+    expr_positions_dictionary_saved: int = 0
     # One dict per stage: fragment id, distribution, task count, rows in/
     # out, simulated milliseconds.  Rendered by EXPLAIN ANALYZE.
     stage_summaries: list = field(default_factory=list)
@@ -64,6 +72,9 @@ class QueryStats:
             "simulated_ms": self.simulated_ms,
             "tasks_failed": self.tasks_failed,
             "tasks_retried": self.tasks_retried,
+            "expr_positions_vectorized": self.expr_positions_vectorized,
+            "expr_positions_fallback": self.expr_positions_fallback,
+            "expr_positions_dictionary_saved": self.expr_positions_dictionary_saved,
             "stage_summaries": list(self.stage_summaries),
         }
 
@@ -97,11 +108,16 @@ class ExecutionContext:
     scan_splits: Optional[dict] = None
     # Staged execution, per task: Exchange -> list of input pages.
     exchange_inputs: Optional[dict] = None
+    # Expression-evaluation lane (compiled vs interpreted oracle) and its
+    # optimization toggles; shared by every operator of the query.
+    evaluator_options: EvaluatorOptions = field(default_factory=EvaluatorOptions)
 
     _evaluator: Optional[Evaluator] = None
 
     @property
     def evaluator(self) -> Evaluator:
         if self._evaluator is None:
-            self._evaluator = Evaluator(self.registry)
+            self._evaluator = Evaluator(
+                self.registry, options=self.evaluator_options, stats=self.stats
+            )
         return self._evaluator

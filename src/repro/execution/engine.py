@@ -64,6 +64,7 @@ class PrestoEngine:
         max_task_retries: int = 3,
         retry_backoff_ms: float = 10.0,
         task_timeout_ms: Optional[float] = None,
+        evaluator_options=None,
     ) -> None:
         # The geospatial plugin registers its functions on import
         # (section VI.E: "Using the Presto plugin framework").
@@ -88,6 +89,11 @@ class PrestoEngine:
         self.max_task_retries = max_task_retries
         self.retry_backoff_ms = retry_backoff_ms
         self.task_timeout_ms = task_timeout_ms
+        # Expression-evaluation lane: compiled kernel DAGs by default,
+        # EvaluatorOptions(mode="interpreted") for the row-at-a-time oracle.
+        from repro.core.compiler import EvaluatorOptions
+
+        self.evaluator_options = evaluator_options or EvaluatorOptions()
         self._query_sequence = itertools.count()
         # Simulated control-plane costs charged per query when a clock is
         # attached: coordinator parse/plan/schedule plus result streaming.
@@ -172,6 +178,7 @@ class PrestoEngine:
             max_build_rows=self.max_build_rows,
             fragment_cache=self.fragment_result_cache,
             stats=QueryStats(query_id=f"query-{next(self._query_sequence)}"),
+            evaluator_options=self.evaluator_options,
         )
 
     def _execute_pipeline(self, plan: OutputNode) -> QueryResult:
@@ -213,6 +220,9 @@ class PrestoEngine:
             f"({stats.tasks_retried} retried, {stats.tasks_failed} failed), "
             f"{stats.rows_exchanged} rows exchanged, "
             f"{stats.simulated_ms:.2f} simulated ms",
+            f"Expressions: {stats.expr_positions_vectorized} positions vectorized, "
+            f"{stats.expr_positions_fallback} interpreter fallback, "
+            f"{stats.expr_positions_dictionary_saved} saved by dictionary evaluation",
         ]
         for summary in reversed(stats.stage_summaries):
             fragment = fragmented.fragment_by_id(summary["stage"])

@@ -22,12 +22,18 @@ def execute_filter(
     node: FilterNode, ctx: ExecutionContext, source: Iterator[Page]
 ) -> Iterator[Page]:
     outputs = node.source.outputs
+    evaluator = ctx.evaluator
+    # Hoisted per query, not per page: a predicate that constant-folds to
+    # TRUE (e.g. `WHERE 1 = 1` conjuncts) never touches the pages at all.
+    if evaluator.predicate_is_always_true(node.predicate):
+        yield from source
+        return
     for page in source:
         if page.position_count == 0:
             yield page
             continue
         bindings = bindings_for(page, outputs)
-        mask = ctx.evaluator.filter_mask(node.predicate, bindings, page.position_count)
+        mask = evaluator.filter_mask(node.predicate, bindings, page.position_count)
         selected = np.nonzero(mask)[0]
         if len(selected) == page.position_count:
             yield page

@@ -1,0 +1,270 @@
+"""Differential/property tests: compiled expression kernels vs interpreter.
+
+Random expression trees over random pages — with nulls, strings, and
+dictionary-encoded blocks — must produce identical results (values *and*
+Python types) in compiled and interpreted modes, the same convention the
+vectorized operator kernels follow (tests/execution/test_vectorized_kernels.py).
+Kleene AND/OR/NOT and NULL-in-IN get both property coverage and explicit
+exhaustive cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import DictionaryBlock, PrimitiveBlock
+from repro.core.compiler import INTERPRETED, EvaluatorOptions
+from repro.core.evaluator import Evaluator
+from repro.core.expressions import (
+    CallExpression,
+    SpecialForm,
+    SpecialFormExpression,
+    constant,
+    variable,
+)
+from repro.core.functions import default_registry
+from repro.core.types import BIGINT, BOOLEAN, VARCHAR
+
+REGISTRY = default_registry()
+
+
+def call(name, args, arg_types):
+    handle, _ = REGISTRY.resolve_scalar(name, arg_types)
+    return CallExpression(name, handle, handle.resolved_return_type(), tuple(args))
+
+
+def compiled_evaluator():
+    return Evaluator(REGISTRY)
+
+
+def interpreted_evaluator():
+    return Evaluator(REGISTRY, options=EvaluatorOptions(mode=INTERPRETED))
+
+
+def assert_identical(expression, bindings, position_count):
+    compiled = compiled_evaluator().evaluate(expression, bindings, position_count)
+    interpreted = interpreted_evaluator().evaluate(expression, bindings, position_count)
+    compiled_values = compiled.to_list()
+    interpreted_values = interpreted.to_list()
+    assert [(type(v), v) for v in compiled_values] == [
+        (type(v), v) for v in interpreted_values
+    ]
+
+
+# -- expression strategies ---------------------------------------------------
+
+SMALL_INT = st.integers(min_value=-1000, max_value=1000)
+WORDS = st.sampled_from(["air", "Airplane", "presto", "", "a%b", "x_y", "Real Time"])
+PATTERNS = st.sampled_from(["air%", "%plane", "a_b", "%", "x%y", "Real%", "a.c"])
+
+
+def int_expressions(depth):
+    base = st.one_of(
+        st.sampled_from([variable("x", BIGINT), variable("y", BIGINT)]),
+        SMALL_INT.map(lambda v: constant(v, BIGINT)),
+        st.just(constant(None, BIGINT)),
+    )
+    if depth <= 0:
+        return base
+    smaller = int_expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["add", "subtract", "multiply"]), smaller, smaller).map(
+            lambda t: call(t[0], [t[1], t[2]], [BIGINT, BIGINT])
+        ),
+        string_expressions(depth - 1).map(
+            lambda s: call("length", [s], [VARCHAR])
+        ),
+        st.tuples(bool_expressions(depth - 1), smaller, smaller).map(
+            lambda t: SpecialFormExpression(SpecialForm.IF, BIGINT, (t[0], t[1], t[2]))
+        ),
+        st.lists(smaller, min_size=2, max_size=3).map(
+            lambda args: SpecialFormExpression(SpecialForm.COALESCE, BIGINT, tuple(args))
+        ),
+    )
+
+
+def string_expressions(depth):
+    base = st.one_of(
+        st.just(variable("s", VARCHAR)),
+        WORDS.map(lambda v: constant(v, VARCHAR)),
+        st.just(constant(None, VARCHAR)),
+    )
+    if depth <= 0:
+        return base
+    smaller = string_expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["upper", "lower", "trim"]), smaller).map(
+            lambda t: call(t[0], [t[1]], [VARCHAR])
+        ),
+        st.tuples(smaller, smaller).map(
+            lambda t: call("concat", [t[0], t[1]], [VARCHAR, VARCHAR])
+        ),
+        st.tuples(smaller, st.integers(1, 4), st.integers(0, 4)).map(
+            lambda t: call(
+                "substr",
+                [t[0], constant(t[1], BIGINT), constant(t[2], BIGINT)],
+                [VARCHAR, BIGINT, BIGINT],
+            )
+        ),
+    )
+
+
+COMPARISONS = [
+    "equal",
+    "not_equal",
+    "less_than",
+    "less_than_or_equal",
+    "greater_than",
+    "greater_than_or_equal",
+]
+
+
+def bool_expressions(depth):
+    base = st.one_of(
+        st.just(variable("b", BOOLEAN)),
+        st.sampled_from([constant(True, BOOLEAN), constant(False, BOOLEAN), constant(None, BOOLEAN)]),
+    )
+    if depth <= 0:
+        return base
+    int_smaller = int_expressions(depth - 1)
+    str_smaller = string_expressions(depth - 1)
+    smaller = bool_expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(COMPARISONS), int_smaller, int_smaller).map(
+            lambda t: call(t[0], [t[1], t[2]], [BIGINT, BIGINT])
+        ),
+        st.tuples(str_smaller, PATTERNS).map(
+            lambda t: call("like", [t[0], constant(t[1], VARCHAR)], [VARCHAR, VARCHAR])
+        ),
+        st.lists(smaller, min_size=2, max_size=3).map(
+            lambda args: SpecialFormExpression(SpecialForm.AND, BOOLEAN, tuple(args))
+        ),
+        st.lists(smaller, min_size=2, max_size=3).map(
+            lambda args: SpecialFormExpression(SpecialForm.OR, BOOLEAN, tuple(args))
+        ),
+        smaller.map(
+            lambda a: SpecialFormExpression(SpecialForm.NOT, BOOLEAN, (a,))
+        ),
+        int_smaller.map(
+            lambda a: SpecialFormExpression(SpecialForm.IS_NULL, BOOLEAN, (a,))
+        ),
+        st.tuples(
+            int_smaller,
+            st.lists(st.one_of(SMALL_INT, st.none()), min_size=1, max_size=4),
+        ).map(
+            lambda t: SpecialFormExpression(
+                SpecialForm.IN,
+                BOOLEAN,
+                (t[0],) + tuple(constant(v, BIGINT) for v in t[1]),
+            )
+        ),
+    )
+
+
+# -- page strategies ---------------------------------------------------------
+
+
+@st.composite
+def pages(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    xs = draw(st.lists(st.one_of(SMALL_INT, st.none()), min_size=n, max_size=n))
+    ys = draw(st.lists(st.one_of(SMALL_INT, st.none()), min_size=n, max_size=n))
+    bs = draw(st.lists(st.one_of(st.booleans(), st.none()), min_size=n, max_size=n))
+
+    if draw(st.booleans()) and n > 0:
+        # Dictionary-encode the varchar column: ids into a small pool,
+        # id -1 meaning null.
+        pool = draw(st.lists(WORDS, min_size=1, max_size=4))
+        ids = draw(
+            st.lists(
+                st.integers(min_value=-1, max_value=len(pool) - 1),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        s_block = DictionaryBlock(
+            PrimitiveBlock.from_values(VARCHAR, pool), np.array(ids, dtype=np.int64)
+        )
+    else:
+        ss = draw(st.lists(st.one_of(WORDS, st.none()), min_size=n, max_size=n))
+        s_block = PrimitiveBlock.from_values(VARCHAR, ss)
+
+    bindings = {
+        "x": PrimitiveBlock.from_values(BIGINT, xs),
+        "y": PrimitiveBlock.from_values(BIGINT, ys),
+        "b": PrimitiveBlock.from_values(BOOLEAN, bs),
+        "s": s_block,
+    }
+    return bindings, n
+
+
+# -- property tests ----------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(expression=bool_expressions(3), page=pages())
+def test_random_predicates_identical(expression, page):
+    bindings, n = page
+    assert_identical(expression, bindings, n)
+    compiled_mask = compiled_evaluator().filter_mask(expression, bindings, n)
+    interpreted_mask = interpreted_evaluator().filter_mask(expression, bindings, n)
+    assert list(compiled_mask) == list(interpreted_mask)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expression=int_expressions(3), page=pages())
+def test_random_integer_expressions_identical(expression, page):
+    bindings, n = page
+    assert_identical(expression, bindings, n)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expression=string_expressions(3), page=pages())
+def test_random_string_expressions_identical(expression, page):
+    bindings, n = page
+    assert_identical(expression, bindings, n)
+
+
+# -- explicit edge cases -----------------------------------------------------
+
+
+def test_kleene_truth_tables_exhaustive():
+    values = [True, False, None]
+    lanes = [(a, b) for a in values for b in values]
+    a_block = PrimitiveBlock.from_values(BOOLEAN, [v for v, _ in lanes])
+    b_block = PrimitiveBlock.from_values(BOOLEAN, [v for _, v in lanes])
+    for form in (SpecialForm.AND, SpecialForm.OR):
+        expression = SpecialFormExpression(
+            form, BOOLEAN, (variable("a", BOOLEAN), variable("b", BOOLEAN))
+        )
+        assert_identical(expression, {"a": a_block, "b": b_block}, len(lanes))
+    assert_identical(
+        SpecialFormExpression(SpecialForm.NOT, BOOLEAN, (variable("a", BOOLEAN),)),
+        {"a": a_block},
+        len(lanes),
+    )
+
+
+def test_null_in_in_list():
+    x = PrimitiveBlock.from_values(BIGINT, [1, 2, None])
+    # 1 IN (1, NULL) → True;  2 IN (1, NULL) → NULL;  NULL IN (...) → NULL.
+    expression = SpecialFormExpression(
+        SpecialForm.IN,
+        BOOLEAN,
+        (variable("x", BIGINT), constant(1, BIGINT), constant(None, BIGINT)),
+    )
+    assert_identical(expression, {"x": x}, 3)
+    result = compiled_evaluator().evaluate(expression, {"x": x}, 3)
+    assert result.to_list() == [True, None, None]
+
+
+def test_empty_page():
+    expression = call(
+        "greater_than", [variable("x", BIGINT), constant(0, BIGINT)], [BIGINT, BIGINT]
+    )
+    empty = PrimitiveBlock.from_values(BIGINT, [])
+    assert_identical(expression, {"x": empty}, 0)

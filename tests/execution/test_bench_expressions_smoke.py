@@ -1,0 +1,92 @@
+"""Smoke test for benchmarks/bench_expressions.py + TPC-H lane assertion.
+
+Runs the expression benchmark in ``--smoke`` mode (tiny inputs, no speedup
+gates) and validates the ``BENCH_expressions.json`` schema; then runs the
+TPC-H-style workload end to end and asserts its filters and projections
+take the compiled vectorized lane — the interpreter-fallback counter must
+stay at zero for the whitelisted function set.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.connectors.memory import MemoryConnector
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+from repro.workloads.tpch import LINEITEM_COLUMNS, generate_lineitem
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_expressions.py"
+
+
+def test_bench_expressions_smoke(tmp_path):
+    output = tmp_path / "BENCH_expressions.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--smoke", "--output", str(output)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "expressions"
+    assert report["smoke"] is True
+
+    entries = report["benchmarks"]
+    assert {b["name"] for b in entries} == {"null_filter", "string_filter", "dictionary"}
+    for entry in entries:
+        assert entry["rows"] > 0
+        assert entry["compiled_ms"] > 0
+        assert entry["interpreted_ms"] > 0
+        assert entry["speedup"] > 0
+        assert entry["rows_per_sec"] > 0
+        # Smoke mode skips the speedup gates but never the correctness gate.
+        assert entry["identical"] is True
+
+
+@pytest.fixture(scope="module")
+def engine():
+    connector = MemoryConnector(split_size=47)
+    connector.create_table("db", "lineitem", LINEITEM_COLUMNS, generate_lineitem(300))
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"))
+    engine.register_connector("memory", connector)
+    return engine
+
+
+# TPC-H-style queries restricted to the whitelisted vectorized function
+# set: comparisons (incl. varchar dates), arithmetic, BETWEEN, IN, LIKE,
+# and the string kernels.
+TPCH_VECTORIZED_QUERIES = [
+    "SELECT returnflag, sum(quantity) FROM lineitem "
+    "WHERE shipdate <= '1998-09-02' GROUP BY returnflag",
+    "SELECT sum(extendedprice * discount) FROM lineitem "
+    "WHERE discount >= 0.03 AND quantity < 24",
+    "SELECT count(*) FROM lineitem "
+    "WHERE quantity BETWEEN 5 AND 30 AND shipmode IN ('AIR', 'MAIL')",
+    "SELECT orderkey, extendedprice * (1 - discount) FROM lineitem "
+    "WHERE shipmode LIKE 'A%' LIMIT 50",
+    "SELECT upper(shipmode), count(*) FROM lineitem GROUP BY upper(shipmode)",
+]
+
+
+@pytest.mark.parametrize("sql", TPCH_VECTORIZED_QUERIES)
+def test_tpch_workload_takes_vectorized_lane(engine, sql):
+    result = engine.execute(sql)
+    stats = result.stats
+    assert stats.expr_positions_vectorized > 0, sql
+    assert stats.expr_positions_fallback == 0, (
+        f"{sql}: {stats.expr_positions_fallback} positions fell back to the interpreter"
+    )
