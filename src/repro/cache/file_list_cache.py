@@ -17,14 +17,19 @@ from repro.storage.filesystem import FileStatus, FileSystem
 class FileListCache:
     """Caches ``listFiles`` results for sealed directories only."""
 
-    def __init__(self, filesystem: FileSystem, max_entries: int = 100_000) -> None:
+    def __init__(
+        self, filesystem: FileSystem, max_entries: int = 100_000, metrics=None
+    ) -> None:
         self._filesystem = filesystem
-        self._cache = LruCache(max_entries)
+        self._cache = LruCache(max_entries, name="file_list", metrics=metrics)
         self.open_partition_bypasses = 0
 
     @property
     def stats(self):
         return self._cache.stats
+
+    def bind_metrics(self, metrics) -> None:
+        self._cache.bind_metrics(metrics)
 
     def list_files(self, directory: str, sealed: bool) -> list[FileStatus]:
         """List a directory; served from cache only when ``sealed``.

@@ -24,10 +24,12 @@ class FileHandleAndFooterCache:
     re-read rather than served stale.
     """
 
-    def __init__(self, filesystem: FileSystem, max_entries: int = 100_000) -> None:
+    def __init__(
+        self, filesystem: FileSystem, max_entries: int = 100_000, metrics=None
+    ) -> None:
         self._filesystem = filesystem
-        self._handles = LruCache(max_entries)
-        self._footers = LruCache(max_entries)
+        self._handles = LruCache(max_entries, name="file_handle", metrics=metrics)
+        self._footers = LruCache(max_entries, name="footer", metrics=metrics)
 
     @property
     def handle_stats(self):
@@ -36,6 +38,10 @@ class FileHandleAndFooterCache:
     @property
     def footer_stats(self):
         return self._footers.stats
+
+    def bind_metrics(self, metrics) -> None:
+        self._handles.bind_metrics(metrics)
+        self._footers.bind_metrics(metrics)
 
     def get_file_info(self, path: str) -> FileStatus:
         """getFileInfo through the handle cache."""

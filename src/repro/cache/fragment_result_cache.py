@@ -16,12 +16,15 @@ from repro.core.page import Page
 class FragmentResultCache:
     """Caches per-(fragment, split) page lists."""
 
-    def __init__(self, max_entries: int = 1_000) -> None:
-        self._cache = LruCache(max_entries)
+    def __init__(self, max_entries: int = 1_000, metrics=None) -> None:
+        self._cache = LruCache(max_entries, name="fragment_result", metrics=metrics)
 
     @property
     def stats(self):
         return self._cache.stats
+
+    def bind_metrics(self, metrics) -> None:
+        self._cache.bind_metrics(metrics)
 
     def fragment_key(self, plan_description: str, split_id: str, data_version: Hashable) -> tuple:
         """Cache key: canonical fragment text + split + data version.
@@ -36,6 +39,12 @@ class FragmentResultCache:
         self, key: tuple, compute: Callable[[], Sequence[Page]]
     ) -> Sequence[Page]:
         return self._cache.get_or_load(key, lambda: list(compute()))
+
+    def get_or_compute_with_status(
+        self, key: tuple, compute: Callable[[], Sequence[Page]]
+    ) -> tuple[Sequence[Page], bool]:
+        """Like :meth:`get_or_compute` but also reports ``(pages, hit)``."""
+        return self._cache.get_or_load_with_status(key, lambda: list(compute()))
 
     def invalidate_all(self) -> None:
         self._cache.invalidate_all()

@@ -16,13 +16,18 @@ from repro.metastore.metastore import HiveMetastore, PartitionInfo, TableInfo
 class VersionedMetastoreCache:
     """Read-through cache over :class:`HiveMetastore`, version-keyed."""
 
-    def __init__(self, metastore: HiveMetastore, max_entries: int = 10_000) -> None:
+    def __init__(
+        self, metastore: HiveMetastore, max_entries: int = 10_000, metrics=None
+    ) -> None:
         self._metastore = metastore
-        self._cache = LruCache(max_entries)
+        self._cache = LruCache(max_entries, name="metastore", metrics=metrics)
 
     @property
     def stats(self):
         return self._cache.stats
+
+    def bind_metrics(self, metrics) -> None:
+        self._cache.bind_metrics(metrics)
 
     def get_table(self, database: str, name: str) -> TableInfo:
         key = ("table", self._metastore.version, database, name)

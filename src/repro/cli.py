@@ -46,6 +46,8 @@ def build_demo_engine() -> PrestoEngine:
     engine = PrestoEngine(session=Session(catalog="hive", schema="rawdata"))
     engine.register_connector("hive", HiveConnector(metastore, fs))
     engine.register_connector("mysql", MySqlConnector(mysql))
+    # Storage round-trips show up in --metrics alongside the query series.
+    fs.namenode.bind_metrics(engine.metrics)
     return engine
 
 
@@ -64,17 +66,21 @@ def render_result(result: QueryResult, out: TextIO) -> None:
     out.write(f"({len(rows)} row{'s' if len(rows) != 1 else ''})\n")
 
 
-def run_statement(engine: PrestoEngine, sql: str, out: TextIO) -> bool:
-    """Execute one statement; returns False on error."""
+def run_statement(
+    engine: PrestoEngine, sql: str, out: TextIO, show_trace: bool = False
+) -> Optional[QueryResult]:
+    """Execute one statement; returns the result, or None on error."""
     from repro.common.errors import PrestoError
 
     try:
         result = engine.execute(sql)
     except PrestoError as error:
         out.write(f"Query failed: {error}\n")
-        return False
+        return None
     render_result(result, out)
-    return True
+    if show_trace and result.trace is not None:
+        out.write(result.trace.to_json(indent=2) + "\n")
+    return result
 
 
 def main(
@@ -95,6 +101,16 @@ def main(
         metavar="SQL",
         help="execute a statement and exit (repeatable)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="after each query, dump its span tree as JSON",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="on exit, dump the engine metrics registry as JSON",
+    )
     arguments = parser.parse_args(argv)
     out = stdout or sys.stdout
     engine = engine or build_demo_engine()
@@ -102,7 +118,12 @@ def main(
     if arguments.execute:
         ok = True
         for sql in arguments.execute:
-            ok = run_statement(engine, sql, out) and ok
+            ok = (
+                run_statement(engine, sql, out, show_trace=arguments.trace)
+                is not None
+            ) and ok
+        if arguments.metrics:
+            out.write(engine.metrics.to_json(indent=2) + "\n")
         return 0 if ok else 1
 
     source = stdin or sys.stdin
@@ -126,7 +147,9 @@ def main(
             continue
         if statement.lower() in ("quit", "exit"):
             break
-        run_statement(engine, statement, out)
+        run_statement(engine, statement, out, show_trace=arguments.trace)
+    if arguments.metrics:
+        out.write(engine.metrics.to_json(indent=2) + "\n")
     return 0
 
 

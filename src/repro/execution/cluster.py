@@ -35,6 +35,7 @@ from typing import Callable, Optional
 from repro.common.clock import SimulatedClock
 from repro.common.errors import ExecutionError
 from repro.common.hashing import stable_hash
+from repro.obs.trace import QueryTrace, activate, current_tracer
 
 
 class WorkerState(enum.Enum):
@@ -144,8 +145,13 @@ class PrestoClusterSim:
         name: str = "cluster",
         affinity_scheduling: bool = False,
         cache_hit_speedup: float = 0.3,
+        metrics=None,
     ) -> None:
         self.name = name
+        # Optional observability: per-cluster counters (queries admitted,
+        # splits completed/requeued, affinity cache hits) and an
+        # active-worker gauge, labeled ``cluster=<name>``.
+        self.metrics = metrics
         self.clock = clock or SimulatedClock()
         self.coordinator = coordinator or CoordinatorModel()
         self.slots_per_worker = slots_per_worker
@@ -170,12 +176,25 @@ class PrestoClusterSim:
         for _ in range(workers):
             self.add_worker()
 
+    # -- observability --------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, cluster=self.name).inc(amount)
+
+    def _update_worker_gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("cluster_active_workers", cluster=self.name).set(
+                self.active_worker_count()
+            )
+
     # -- elasticity -----------------------------------------------------------
 
     def add_worker(self, slots: Optional[int] = None) -> Worker:
         """Expansion: a new worker registers and immediately takes tasks."""
         worker = Worker(f"{self.name}-worker-{next(self._worker_ids)}", slots or self.slots_per_worker)
         self.workers[worker.worker_id] = worker
+        self._update_worker_gauge()
         self._schedule_pending()
         return worker
 
@@ -189,6 +208,7 @@ class PrestoClusterSim:
         now = self.clock.now_ms()
         worker.state = WorkerState.SHUTTING_DOWN
         worker.shutdown_requested_at = now
+        self._update_worker_gauge()
         # After sleeping the grace period the coordinator is aware and
         # stops sending tasks to the worker.
         worker.shutdown_visible_at = now + grace_period_ms
@@ -208,6 +228,7 @@ class PrestoClusterSim:
         def finish() -> None:
             worker.state = WorkerState.SHUT_DOWN
             worker.shut_down_at = self.clock.now_ms()
+            self._update_worker_gauge()
 
         self._at(shutdown_time, finish)
 
@@ -226,6 +247,8 @@ class PrestoClusterSim:
             return []
         worker.state = WorkerState.CRASHED
         worker.crashed_at = self.clock.now_ms()
+        self._count("cluster_worker_crashes_total")
+        self._update_worker_gauge()
         self.blacklisted_workers.add(worker_id)
         worker.cached_keys.clear()
         lost = [
@@ -240,6 +263,7 @@ class PrestoClusterSim:
             del self._assignments[assignment_id]
             execution.pending.appendleft(split)
             execution.splits_requeued += 1
+            self._count("cluster_splits_requeued_total")
             requeued.append(split)
         requeued.reverse()
         worker.running = 0
@@ -284,6 +308,7 @@ class PrestoClusterSim:
             query_id, splits_total=len(split_durations_ms), submitted_at=now
         )
         self.queries[query_id] = execution
+        self._count("cluster_queries_total")
         planning = self.coordinator.planning_cost_ms(
             len([w for w in self.workers.values() if w.state is not WorkerState.SHUT_DOWN]),
             self.running_query_count() + 1,
@@ -324,7 +349,18 @@ class PrestoClusterSim:
         synthetic durations — become the cluster's work.  Returns
         ``(QueryResult, QueryExecution)``.
         """
-        result = engine.execute(sql)
+        # Run under a span so the cluster hop shows up in the query's
+        # trace: an existing active trace (a gateway submission) is
+        # reused; a standalone submission to a tracing engine gets its
+        # own tree with cluster admission at the root.
+        tracer = current_tracer()
+        if tracer is None and getattr(engine, "tracing", False):
+            tracer = QueryTrace()
+        if tracer is not None:
+            with activate(tracer), tracer.span("cluster.admission", cluster=self.name):
+                result = engine.execute(sql)
+        else:
+            result = engine.execute(sql)
         # Thread the engine's query id through (namespaced by cluster) so
         # cluster-side records (QueryExecution, SplitWork) join back to
         # the engine query that produced them.
@@ -387,6 +423,7 @@ class PrestoClusterSim:
                 if split.data_key is not None:
                     if split.data_key in worker.cached_keys:
                         worker.cache_hits += 1
+                        self._count("cluster_affinity_cache_hits_total")
                         duration *= self.cache_hit_speedup
                     else:
                         worker.cached_keys.add(split.data_key)
@@ -439,6 +476,7 @@ class PrestoClusterSim:
         worker, execution, _ = assignment
         worker.running -= 1
         worker.completed_splits += 1
+        self._count("cluster_splits_completed_total")
         execution.splits_done += 1
         if execution.splits_done == execution.splits_total and not execution.pending:
             execution.finished_at = self.clock.now_ms()

@@ -10,6 +10,8 @@ from repro.connectors.spi import Catalog
 from repro.core.compiler import EvaluatorOptions
 from repro.core.evaluator import Evaluator
 from repro.core.functions import FunctionRegistry, default_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import QueryTrace
 from repro.planner.analyzer import Session
 
 
@@ -111,6 +113,16 @@ class ExecutionContext:
     # Expression-evaluation lane (compiled vs interpreted oracle) and its
     # optimization toggles; shared by every operator of the query.
     evaluator_options: EvaluatorOptions = field(default_factory=EvaluatorOptions)
+    # Observability: the query's span tracer (one deterministic span tree
+    # per query, stamped from its own simulated clock) and the engine's
+    # metrics registry.  Both optional — None disables instrumentation.
+    tracer: Optional[QueryTrace] = None
+    metrics: Optional[MetricsRegistry] = None
+    # Per-pipeline operator row accounting: plan node id -> rows produced.
+    # The driver fills it when a tracer is attached; the scheduler (staged)
+    # or engine (direct) turns it into operator spans after the pipeline
+    # drains, so lazily-abandoned iterators (LIMIT) still account.
+    operator_rows: Optional[dict] = None
 
     _evaluator: Optional[Evaluator] = None
 

@@ -38,7 +38,54 @@ from repro.planner.plan import (
 
 
 def execute_plan(node: PlanNode, ctx: ExecutionContext) -> Iterator[Page]:
-    """Execute ``node``, yielding result pages."""
+    """Execute ``node``, yielding result pages.
+
+    With a tracer attached, every operator's output rows are accumulated
+    into ``ctx.operator_rows`` (plan node id → rows); the scheduler or
+    engine renders them as operator spans once the pipeline drains.
+    """
+    pipeline = _dispatch(node, ctx)
+    if ctx.operator_rows is None:
+        return pipeline
+    # Register eagerly so operators that are never pulled (LIMIT upstream)
+    # still appear, with zero rows, in deterministic plan order.
+    ctx.operator_rows.setdefault(node.id, 0)
+    return _counted(node, ctx, pipeline)
+
+
+def _counted(node: PlanNode, ctx: ExecutionContext, pipeline: Iterator[Page]) -> Iterator[Page]:
+    for page in pipeline:
+        ctx.operator_rows[node.id] += page.position_count
+        yield page
+
+
+def record_operator_spans(tracer, root: PlanNode, operator_rows: dict) -> None:
+    """Emit one instant operator span per plan node, in pre-order.
+
+    Spans are stamped at the current simulated time (operators do not
+    charge simulated time themselves; the task's cost model does) and
+    identified by the node's *position* in the plan, not its process-wide
+    id, so traces stay byte-identical across runs.
+    """
+    ordinal = 0
+
+    def walk(node: PlanNode) -> None:
+        nonlocal ordinal
+        if node.id in operator_rows:
+            tracer.instant(
+                "operator",
+                op=ordinal,
+                node=type(node).__name__,
+                rows=operator_rows[node.id],
+            )
+        ordinal += 1
+        for source in node.sources():
+            walk(source)
+
+    walk(root)
+
+
+def _dispatch(node: PlanNode, ctx: ExecutionContext) -> Iterator[Page]:
     if isinstance(node, TableScanNode):
         return execute_table_scan(node, ctx)
     if isinstance(node, ValuesNode):

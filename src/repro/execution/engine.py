@@ -17,7 +17,9 @@ from repro.connectors.spi import Catalog
 from repro.core.functions import FunctionRegistry, default_registry
 from repro.core.page import Page
 from repro.execution.context import ExecutionContext, QueryStats
-from repro.execution.driver import execute_plan
+from repro.execution.driver import execute_plan, record_operator_spans
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import QueryTrace, activate, current_tracer
 from repro.planner.analyzer import Analyzer, Session
 from repro.planner.optimizer import Optimizer
 from repro.planner.plan import OutputNode
@@ -31,6 +33,8 @@ class QueryResult:
     column_names: list[str]
     rows: list[tuple]
     stats: QueryStats
+    # The query's span tree (None when the engine runs with tracing off).
+    trace: Optional[QueryTrace] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -65,6 +69,8 @@ class PrestoEngine:
         retry_backoff_ms: float = 10.0,
         task_timeout_ms: Optional[float] = None,
         evaluator_options=None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracing: bool = True,
     ) -> None:
         # The geospatial plugin registers its functions on import
         # (section VI.E: "Using the Presto plugin framework").
@@ -94,6 +100,15 @@ class PrestoEngine:
         from repro.core.compiler import EvaluatorOptions
 
         self.evaluator_options = evaluator_options or EvaluatorOptions()
+        # Observability (on by default): every query gets a deterministic
+        # span tree on ``QueryResult.trace``, and the engine's components
+        # report into one shared metrics registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracing = tracing
+        if self.fragment_result_cache is not None and hasattr(
+            self.fragment_result_cache, "bind_metrics"
+        ):
+            self.fragment_result_cache.bind_metrics(self.metrics)
         self._query_sequence = itertools.count()
         # Simulated control-plane costs charged per query when a clock is
         # attached: coordinator parse/plan/schedule plus result streaming.
@@ -170,6 +185,16 @@ class PrestoEngine:
     def _fresh_context(self) -> ExecutionContext:
         if self.clock is not None:
             self.clock.advance(self.coordinator_overhead_ms)
+        tracer = None
+        if self.tracing:
+            # Inside a gateway/cluster submission the trace already exists
+            # (with routing and admission spans open); the engine's spans
+            # nest under it.  Standalone queries get their own tree.
+            tracer = current_tracer()
+            if tracer is None:
+                tracer = QueryTrace()
+        stats = QueryStats(query_id=f"query-{next(self._query_sequence)}")
+        self.metrics.counter("engine_queries_total").inc()
         return ExecutionContext(
             catalog=self.catalog,
             session=self.session,
@@ -177,16 +202,30 @@ class PrestoEngine:
             clock=self.clock,
             max_build_rows=self.max_build_rows,
             fragment_cache=self.fragment_result_cache,
-            stats=QueryStats(query_id=f"query-{next(self._query_sequence)}"),
+            stats=stats,
             evaluator_options=self.evaluator_options,
+            tracer=tracer,
+            metrics=self.metrics,
         )
 
     def _execute_pipeline(self, plan: OutputNode) -> QueryResult:
         ctx = self._fresh_context()
         rows: list[tuple] = []
-        for page in execute_plan(plan, ctx):
-            rows.extend(page.rows())
-        return QueryResult(list(plan.column_names), rows, ctx.stats)
+        if ctx.tracer is None:
+            for page in execute_plan(plan, ctx):
+                rows.extend(page.rows())
+            return QueryResult(list(plan.column_names), rows, ctx.stats)
+        tracer = ctx.tracer
+        ctx.operator_rows = {}
+        with activate(tracer), tracer.span(
+            "query", query_id=ctx.stats.query_id, path="direct"
+        ):
+            try:
+                for page in execute_plan(plan, ctx):
+                    rows.extend(page.rows())
+            finally:
+                record_operator_spans(tracer, plan, ctx.operator_rows)
+        return QueryResult(list(plan.column_names), rows, ctx.stats, trace=tracer)
 
     def _execute_staged(self, plan: OutputNode) -> QueryResult:
         from repro.execution.scheduler import StageScheduler
@@ -203,9 +242,18 @@ class PrestoEngine:
             task_timeout_ms=self.task_timeout_ms,
         )
         rows: list[tuple] = []
-        for page in scheduler.run(fragmented):
-            rows.extend(page.rows())
-        return QueryResult(list(plan.column_names), rows, ctx.stats)
+        if ctx.tracer is None:
+            for page in scheduler.run(fragmented):
+                rows.extend(page.rows())
+            return QueryResult(list(plan.column_names), rows, ctx.stats)
+        tracer = ctx.tracer
+        with activate(tracer), tracer.span(
+            "query", query_id=ctx.stats.query_id, path="staged"
+        ):
+            for page in scheduler.run(fragmented):
+                rows.extend(page.rows())
+        self.metrics.histogram("query_simulated_ms").observe(ctx.stats.simulated_ms)
+        return QueryResult(list(plan.column_names), rows, ctx.stats, trace=tracer)
 
     def explain_analyze(self, sql: str) -> str:
         """EXPLAIN ANALYZE: run staged, report per-stage execution stats."""
@@ -233,6 +281,21 @@ class PrestoEngine:
                 f"{summary['sim_ms']:.2f} simulated ms"
             )
             lines.extend("  " + line for line in fragment.root.pretty().splitlines())
+        if result.trace is not None:
+            query_spans = result.trace.find("query")
+            if query_spans:
+                entries = result.trace.critical_path(query_spans[0])
+                total = sum(entry.contribution_ms for entry in entries)
+                lines.append(f"Critical path: {total:.2f} simulated ms")
+                for entry in entries:
+                    attrs = ", ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(entry.span.attributes.items())
+                    )
+                    lines.append(
+                        f"  {entry.span.name} [{attrs}]: "
+                        f"{entry.contribution_ms:.2f} ms"
+                    )
         return "\n".join(lines)
 
 

@@ -34,12 +34,24 @@ def execute_table_scan(node: TableScanNode, ctx: ExecutionContext) -> Iterator[P
         if ctx.clock is not None:
             # Task creation/assignment RPC overhead per split.
             ctx.clock.advance(0.2)
-        for page in _split_pages(node, ctx, provider, split, columns):
+        split_rows = 0
+        pages, cache_status = _split_pages(node, ctx, provider, split, columns)
+        for page in pages:
             ctx.stats.rows_scanned += page.position_count
+            split_rows += page.position_count
             ctx.stats.pages_produced += 1
             if page.position_count or not produced_any:
                 produced_any = True
                 yield page
+        if ctx.tracer is not None:
+            span = ctx.tracer.instant(
+                "split",
+                split_id=split.split_id,
+                catalog=node.catalog,
+                rows=split_rows,
+            )
+            if cache_status is not None:
+                span.set(cache=cache_status)
 
 
 def _split_pages(node, ctx, provider, split, columns):
@@ -48,22 +60,23 @@ def _split_pages(node, ctx, provider, split, columns):
     The cache key is the scan fragment's canonical description plus the
     split id plus the split's data version; a version change (file rewrite,
     new rows) makes the old entry unreachable, so stale results are never
-    served (section VII).
+    served (section VII).  Returns ``(pages, cache_status)`` where the
+    status is ``"hit"``/``"miss"`` when the fragment cache was consulted,
+    else None.
     """
     cache = ctx.fragment_cache
     data_version = split.info_dict().get("data_version")
     if cache is None or data_version is None:
-        return provider.pages(node.handle, split, columns)
+        return provider.pages(node.handle, split, columns), None
     key = cache.fragment_key(
         node.describe() + "|" + ",".join(columns), split.split_id, data_version
     )
-    hits_before = cache.stats.hits
-    pages = cache.get_or_compute(
+    pages, hit = cache.get_or_compute_with_status(
         key, lambda: provider.pages(node.handle, split, columns)
     )
-    if cache.stats.hits > hits_before:
+    if hit:
         ctx.stats.fragment_cache_hits += 1
-    return iter(pages)
+    return iter(pages), "hit" if hit else "miss"
 
 
 def execute_values(node: ValuesNode, ctx: ExecutionContext) -> Iterator[Page]:

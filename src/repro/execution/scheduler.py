@@ -40,13 +40,14 @@ query's results are identical to a zero-fault run.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace as dc_replace
 from typing import Optional
 
 from repro.common.errors import ExecutionError, PrestoError, TaskTimeoutError
 from repro.core.page import Page
 from repro.execution.context import ExecutionContext
-from repro.execution.driver import execute_plan
+from repro.execution.driver import execute_plan, record_operator_spans
 from repro.execution.exchange import ExchangeBuffer, key_channels_for
 from repro.execution.faults import FaultInjector
 from repro.planner.fragmenter import (
@@ -146,6 +147,7 @@ class StageScheduler:
         stats = self.ctx.stats
         root_id = fragmented.root_fragment.fragment_id
 
+        tracer = self.ctx.tracer
         for fragment in fragmented.fragments:
             outgoing = [
                 e for e in consumer_exchanges if e.source_fragment == fragment.fragment_id
@@ -165,21 +167,41 @@ class StageScheduler:
             stage_rows_in = 0
             stage_rows_out = 0
             stage_sim_ms = 0.0
-            for task_index, task_plan in enumerate(tasks):
-                record, pages = self._run_task(fragment, task_index, task_plan)
-                # Commit only after success: a retried attempt never
-                # double-publishes pages.
-                if fragment.fragment_id == root_id:
-                    result_pages.extend(pages)
-                else:
-                    for buffer in out_buffers:
-                        for page in pages:
-                            buffer.add(page)
-                stats.task_records.append(record.as_dict())
-                stats.tasks_total += 1
-                stage_rows_in += record.rows_in
-                stage_rows_out += record.rows_out
-                stage_sim_ms += record.sim_ms
+            stage_span = (
+                tracer.span(
+                    "stage",
+                    stage=fragment.fragment_id,
+                    distribution=fragment.distribution,
+                    tasks=len(tasks),
+                )
+                if tracer is not None
+                else nullcontext()
+            )
+            with stage_span:
+                for task_index, task_plan in enumerate(tasks):
+                    record, pages = self._run_task(fragment, task_index, task_plan)
+                    # Commit only after success: a retried attempt never
+                    # double-publishes rows.
+                    if fragment.fragment_id == root_id:
+                        result_pages.extend(pages)
+                    else:
+                        for buffer in out_buffers:
+                            before = buffer.rows_added
+                            for page in pages:
+                                buffer.add(page)
+                            self._record_exchange(
+                                buffer, task_index, buffer.rows_added - before, pages
+                            )
+                    stats.task_records.append(record.as_dict())
+                    stats.tasks_total += 1
+                    self._count_task("scheduler_tasks_run_total", fragment.fragment_id)
+                    if self.ctx.metrics is not None:
+                        self.ctx.metrics.histogram(
+                            "scheduler_task_sim_ms", query_id=stats.query_id
+                        ).observe(record.sim_ms)
+                    stage_rows_in += record.rows_in
+                    stage_rows_out += record.rows_out
+                    stage_sim_ms += record.sim_ms
             stats.stages_total += 1
             stats.simulated_ms += stage_sim_ms
             stats.stage_summaries.append(
@@ -196,6 +218,45 @@ class StageScheduler:
         stats.rows_exchanged = sum(b.rows_added for b in buffers.values())
         return result_pages
 
+    # -- observability -------------------------------------------------------
+
+    def _count_task(self, name: str, stage: int, amount: float = 1.0) -> None:
+        if self.ctx.metrics is not None:
+            self.ctx.metrics.counter(
+                name, query_id=self.ctx.stats.query_id, stage=stage
+            ).inc(amount)
+
+    def _record_exchange(
+        self, buffer: ExchangeBuffer, task_index: int, rows: int, pages: list[Page]
+    ) -> None:
+        """Account one task's committed pages into one output exchange.
+
+        Every row of ``stats.rows_exchanged`` flows through exactly one
+        commit, so the exchange spans (and the ``exchange_rows_total``
+        series) sum back to it exactly.
+        """
+        kind = buffer.exchange.kind if buffer.exchange is not None else "GATHER"
+        size = sum(page.size_in_bytes() for page in pages)
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.instant(
+                "exchange",
+                kind=kind,
+                source_task=task_index,
+                rows=rows,
+                pages=len(pages),
+                bytes=size,
+            )
+        if self.ctx.metrics is not None:
+            query_id = self.ctx.stats.query_id
+            metrics = self.ctx.metrics
+            metrics.counter("exchange_rows_total", query_id=query_id, kind=kind).inc(rows)
+            metrics.counter("exchange_pages_total", query_id=query_id, kind=kind).inc(
+                len(pages)
+            )
+            metrics.counter("exchange_bytes_total", query_id=query_id, kind=kind).inc(
+                size
+            )
+
     # -- task execution ------------------------------------------------------
 
     def _run_task(
@@ -204,63 +265,114 @@ class StageScheduler:
         task_index: int,
         task_plan: tuple[Optional[dict], dict, str, int],
     ) -> tuple[TaskRecord, list[Page]]:
-        """Run one task to success (or terminal failure) with retries."""
+        """Run one task to success (or terminal failure) with retries.
+
+        Trace-clock accounting mirrors the cost model exactly: a failed
+        attempt advances ``task_overhead_ms``, each retry backoff advances
+        its charge, and a successful attempt advances ``work_ms`` — so the
+        task span's duration equals the task record's ``sim_ms`` and the
+        whole trace telescopes to ``stats.simulated_ms``.
+        """
         scan_splits, exchange_inputs, data_key, split_count = task_plan
         stats = self.ctx.stats
-        query_id = stats.query_id
+        tracer = self.ctx.tracer
         stage = fragment.fragment_id
         attempts = 0
         penalty_ms = 0.0  # failed-attempt overheads + retry backoffs
-        while True:
-            attempts += 1
-            try:
-                rows_in, rows_out, pages = self._run_attempt(
-                    fragment, task_index, task_plan, attempts
+        task_span = (
+            tracer.span(
+                "task", stage=stage, task=task_index, data_key=data_key,
+                splits=split_count,
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        with task_span:
+            while True:
+                attempts += 1
+                attempt_span = (
+                    tracer.span("attempt", stage=stage, task=task_index,
+                                attempt=attempts)
+                    if tracer is not None
+                    else nullcontext()
                 )
-                work_ms = self.task_overhead_ms + self.row_cost_ms * (
-                    rows_in + rows_out
-                )
-                if self.task_timeout_ms is not None and work_ms > self.task_timeout_ms:
-                    raise TaskTimeoutError(
-                        f"task {task_index} of stage {stage} exceeded its "
-                        f"{self.task_timeout_ms}ms budget ({work_ms:.2f}ms)"
+                try:
+                    with attempt_span as span:
+                        try:
+                            rows_in, rows_out, pages = self._run_attempt(
+                                fragment, task_index, task_plan, attempts
+                            )
+                            work_ms = self.task_overhead_ms + self.row_cost_ms * (
+                                rows_in + rows_out
+                            )
+                            if (
+                                self.task_timeout_ms is not None
+                                and work_ms > self.task_timeout_ms
+                            ):
+                                raise TaskTimeoutError(
+                                    f"task {task_index} of stage {stage} exceeded its "
+                                    f"{self.task_timeout_ms}ms budget ({work_ms:.2f}ms)"
+                                )
+                        except PrestoError as error:
+                            if tracer is not None:
+                                # A failed attempt costs the task setup overhead.
+                                tracer.advance(self.task_overhead_ms)
+                                span.set(outcome="failed",
+                                         error=type(error).__name__)
+                            raise
+                        if tracer is not None:
+                            tracer.advance(work_ms)
+                            span.set(outcome="ok", rows_in=rows_in,
+                                     rows_out=rows_out)
+                    record = TaskRecord(
+                        stage=stage,
+                        task=task_index,
+                        splits=split_count,
+                        rows_in=rows_in,
+                        rows_out=rows_out,
+                        data_key=data_key,
+                        sim_ms=work_ms + penalty_ms,
+                        attempts=attempts,
                     )
-                record = TaskRecord(
-                    stage=stage,
-                    task=task_index,
-                    splits=split_count,
-                    rows_in=rows_in,
-                    rows_out=rows_out,
-                    data_key=data_key,
-                    sim_ms=work_ms + penalty_ms,
-                    attempts=attempts,
-                )
-                return record, pages
-            except PrestoError as error:
-                # A failed attempt still costs the task setup overhead.
-                penalty_ms += self.task_overhead_ms
-                if not error.retryable or attempts > self.max_task_retries:
-                    stats.tasks_failed += 1
-                    stats.simulated_ms += penalty_ms
-                    stats.task_records.append(
-                        TaskRecord(
-                            stage=stage,
-                            task=task_index,
-                            splits=split_count,
-                            rows_in=0,
-                            rows_out=0,
-                            data_key=data_key,
-                            sim_ms=penalty_ms,
-                            attempts=attempts,
-                            failed=True,
-                        ).as_dict()
+                    return record, pages
+                except PrestoError as error:
+                    # A failed attempt still costs the task setup overhead.
+                    penalty_ms += self.task_overhead_ms
+                    if not error.retryable or attempts > self.max_task_retries:
+                        stats.tasks_failed += 1
+                        self._count_task("scheduler_tasks_failed_total", stage)
+                        stats.simulated_ms += penalty_ms
+                        stats.task_records.append(
+                            TaskRecord(
+                                stage=stage,
+                                task=task_index,
+                                splits=split_count,
+                                rows_in=0,
+                                rows_out=0,
+                                data_key=data_key,
+                                sim_ms=penalty_ms,
+                                attempts=attempts,
+                                failed=True,
+                            ).as_dict()
+                        )
+                        stats.tasks_total += 1
+                        self._count_task("scheduler_tasks_run_total", stage)
+                        raise
+                    stats.tasks_retried += 1
+                    self._count_task("scheduler_tasks_retried_total", stage)
+                    # Exponential backoff, charged to the simulated clock only
+                    # (deterministic — no wall-clock sleeping).
+                    backoff_ms = self.retry_backoff_ms * (2 ** (attempts - 1))
+                    penalty_ms += backoff_ms
+                    self._count_task(
+                        "scheduler_retry_backoff_ms_total", stage, backoff_ms
                     )
-                    stats.tasks_total += 1
-                    raise
-                stats.tasks_retried += 1
-                # Exponential backoff, charged to the simulated clock only
-                # (deterministic — no wall-clock sleeping).
-                penalty_ms += self.retry_backoff_ms * (2 ** (attempts - 1))
+                    if tracer is not None:
+                        with tracer.span(
+                            "backoff", stage=stage, task=task_index,
+                            attempt=attempts, backoff_ms=backoff_ms,
+                        ):
+                            tracer.advance(backoff_ms)
 
     def _run_attempt(
         self,
@@ -286,8 +398,12 @@ class StageScheduler:
                         split.split_id,
                         attempt,
                     )
+        tracer = self.ctx.tracer
         task_ctx = dc_replace(
-            self.ctx, scan_splits=scan_splits, exchange_inputs=exchange_inputs
+            self.ctx,
+            scan_splits=scan_splits,
+            exchange_inputs=exchange_inputs,
+            operator_rows={} if tracer is not None else None,
         )
         rows_in = sum(
             page.position_count
@@ -295,7 +411,14 @@ class StageScheduler:
             for page in pages
         )
         scanned_before = stats.rows_scanned
-        pages = [page.loaded() for page in execute_plan(fragment.root, task_ctx)]
+        try:
+            pages = [page.loaded() for page in execute_plan(fragment.root, task_ctx)]
+        finally:
+            # Emit operator spans even when the pipeline fails mid-drain:
+            # the rows it did process are in QueryStats, so the spans must
+            # account for them too.
+            if tracer is not None:
+                record_operator_spans(tracer, fragment.root, task_ctx.operator_rows)
         rows_in += stats.rows_scanned - scanned_before
         rows_out = sum(page.position_count for page in pages)
         return rows_in, rows_out, pages

@@ -17,9 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from contextlib import nullcontext
+
 from repro.common.errors import GatewayError, PrestoError
 from repro.execution.cluster import PrestoClusterSim, QueryExecution
 from repro.federation.routing import RoutingTable
+from repro.obs.trace import QueryTrace, activate
 
 
 @dataclass(frozen=True)
@@ -33,13 +36,21 @@ class Redirect:
 class PrestoGateway:
     """Routing-only federation gateway over multiple cluster simulations."""
 
-    def __init__(self, routing: Optional[RoutingTable] = None) -> None:
+    def __init__(self, routing: Optional[RoutingTable] = None, metrics=None) -> None:
         self.routing = routing or RoutingTable()
         self.clusters: dict[str, PrestoClusterSim] = {}
         self._drained: set[str] = set()
         self._fallback: Optional[str] = None
         self.redirects_served = 0
         self.failovers = 0
+        # Optional observability: ``gateway_redirects_total``,
+        # ``gateway_queries_routed_total{cluster}`` and
+        # ``gateway_failovers_total{cluster}``.
+        self.metrics = metrics
+
+    def _count(self, name: str, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc()
 
     # -- cluster management -----------------------------------------------------
 
@@ -63,6 +74,7 @@ class PrestoGateway:
     def redirect(self, user: str, groups: tuple[str, ...] = ()) -> Redirect:
         """Resolve the target cluster and answer with a redirect."""
         self.redirects_served += 1
+        self._count("gateway_redirects_total")
         cluster_name = self.routing.resolve(user, groups)
         if cluster_name in self._drained:
             cluster_name = self._fallback
@@ -111,20 +123,35 @@ class PrestoGateway:
         cluster_name = redirect.cluster_name
         if max_failovers is None:
             max_failovers = len(self.clusters) - 1
+        # One trace per gateway submission, rooted at the routing hop, so
+        # a failed-over query's tree shows every cluster it touched.
+        tracer = QueryTrace() if getattr(engine, "tracing", False) else None
+        submit_span = (
+            tracer.span("gateway.submit", user=user)
+            if tracer is not None
+            else nullcontext()
+        )
         tried: list[str] = []
-        while True:
-            tried.append(cluster_name)
-            try:
-                return self.clusters[cluster_name].submit_engine_query(engine, sql)
-            except PrestoError as error:
-                if not error.retryable:
-                    raise
-                candidates = [
-                    name
-                    for name in self.clusters
-                    if name not in tried and name not in self._drained
-                ]
-                if not candidates or len(tried) > max_failovers:
-                    raise
-                self.failovers += 1
-                cluster_name = candidates[0]
+        with activate(tracer) if tracer is not None else nullcontext(), submit_span:
+            while True:
+                tried.append(cluster_name)
+                self._count("gateway_queries_routed_total", cluster=cluster_name)
+                if tracer is not None:
+                    tracer.instant(
+                        "gateway.route", cluster=cluster_name, attempt=len(tried)
+                    )
+                try:
+                    return self.clusters[cluster_name].submit_engine_query(engine, sql)
+                except PrestoError as error:
+                    if not error.retryable:
+                        raise
+                    candidates = [
+                        name
+                        for name in self.clusters
+                        if name not in tried and name not in self._drained
+                    ]
+                    if not candidates or len(tried) > max_failovers:
+                        raise
+                    self.failovers += 1
+                    self._count("gateway_failovers_total", cluster=cluster_name)
+                    cluster_name = candidates[0]

@@ -11,6 +11,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.obs.trace import current_tracer
+
+
+def observe_storage_call(
+    system: str, operation: str, sim_ms: float, metrics=None, **attributes
+) -> None:
+    """Account one simulated storage round trip.
+
+    Attaches an instant ``storage`` span to whatever query trace is active
+    (storage substrates are deep below the scheduler, so the tracer is
+    discovered rather than threaded), and mirrors the call into
+    ``storage_requests_total{system,operation}`` /
+    ``storage_simulated_ms_total{system}`` when a registry is bound.
+    """
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.instant(
+            "storage", system=system, operation=operation, sim_ms=sim_ms,
+            **attributes,
+        )
+    if metrics is not None:
+        metrics.counter(
+            "storage_requests_total", system=system, operation=operation
+        ).inc()
+        metrics.counter("storage_simulated_ms_total", system=system).inc(sim_ms)
+
 
 @dataclass(frozen=True)
 class FileStatus:

@@ -18,7 +18,13 @@ from typing import Optional
 
 from repro.common.clock import SimulatedClock
 from repro.common.errors import StorageError
-from repro.storage.filesystem import BytesInput, FileStatus, FileSystem, SeekableInput
+from repro.storage.filesystem import (
+    BytesInput,
+    FileStatus,
+    FileSystem,
+    SeekableInput,
+    observe_storage_call,
+)
 
 
 @dataclass
@@ -60,12 +66,17 @@ class NameNode:
         self.degradation_threshold_calls_per_sec = degradation_threshold_calls_per_sec
         self.degradation_factor = degradation_factor
         self.stats = NameNodeStats()
+        self.metrics = None
         # path → FileStatus for files; directories implied by prefixes
         self._files: dict[str, FileStatus] = {}
         self._data: dict[str, bytes] = {}
         from collections import deque
 
         self._recent_calls: "deque[float]" = deque()
+
+    def bind_metrics(self, metrics) -> None:
+        """Report future metadata RPCs into ``metrics``."""
+        self.metrics = metrics
 
     def _overload_multiplier(self) -> float:
         """Latency multiplier based on the last simulated second's rate."""
@@ -106,15 +117,20 @@ class NameNode:
             for path, status in sorted(self._files.items())
             if path.startswith(directory) and "/" not in path[len(directory) :]
         ]
-        self.clock.advance(
-            multiplier
-            * (self.list_files_latency_ms + self.per_entry_latency_ms * len(entries))
+        latency = multiplier * (
+            self.list_files_latency_ms + self.per_entry_latency_ms * len(entries)
+        )
+        self.clock.advance(latency)
+        observe_storage_call(
+            "hdfs", "listFiles", latency, self.metrics, entries=len(entries)
         )
         return entries
 
     def get_file_info(self, path: str) -> FileStatus:
         self.stats.get_file_info_calls += 1
-        self.clock.advance(self.get_file_info_latency_ms * self._overload_multiplier())
+        latency = self.get_file_info_latency_ms * self._overload_multiplier()
+        self.clock.advance(latency)
+        observe_storage_call("hdfs", "getFileInfo", latency, self.metrics)
         path = _normalize(path)
         status = self._files.get(path)
         if status is None:
@@ -156,7 +172,11 @@ class HdfsFileSystem(FileSystem):
     def open(self, path: str) -> SeekableInput:
         self.namenode.stats.open_calls += 1
         data = self.namenode.file_data(path)
-        self.clock.advance(self.read_latency_ms_per_mb * len(data) / 1_000_000)
+        latency = self.read_latency_ms_per_mb * len(data) / 1_000_000
+        self.clock.advance(latency)
+        observe_storage_call(
+            "hdfs", "open", latency, self.namenode.metrics, bytes=len(data)
+        )
         return BytesInput(data)
 
     def create(self, path: str, data: bytes) -> None:

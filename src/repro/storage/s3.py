@@ -14,6 +14,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.common.clock import SimulatedClock
 from repro.common.errors import StorageError
+from repro.storage.filesystem import observe_storage_call
 
 
 class S3ServerError(StorageError):
@@ -74,6 +75,7 @@ class S3Client:
         self.transfer_ms_per_mb = transfer_ms_per_mb
         self.failure_injector = failure_injector
         self.stats = S3Stats()
+        self.metrics = None
         self._objects: dict[tuple[str, str], bytes] = {}
         self._mtimes: dict[tuple[str, str], float] = {}
         self._multipart: dict[str, dict] = {}
@@ -81,14 +83,23 @@ class S3Client:
 
     # -- internals ------------------------------------------------------------
 
+    def bind_metrics(self, metrics) -> None:
+        """Report future requests into ``metrics``."""
+        self.metrics = metrics
+
     def _request(self, operation: str, payload_bytes: int = 0) -> None:
         if self.failure_injector is not None and self.failure_injector(operation):
             self.stats.failed_requests += 1
             self.clock.advance(self.request_latency_ms)
+            observe_storage_call(
+                "s3", operation, self.request_latency_ms, self.metrics, failed=True
+            )
             raise S3ServerError(f"S3 {operation}: service unavailable (injected)")
-        self.clock.advance(
+        latency = (
             self.request_latency_ms + self.transfer_ms_per_mb * payload_bytes / 1_000_000
         )
+        self.clock.advance(latency)
+        observe_storage_call("s3", operation, latency, self.metrics)
 
     def _require(self, bucket: str, key: str) -> bytes:
         data = self._objects.get((bucket, key))

@@ -9,6 +9,8 @@ from repro.core.types import BIGINT, BOOLEAN, DOUBLE, RowType, VARCHAR
 from repro.execution.engine import PrestoEngine
 from repro.planner.analyzer import Session
 
+from tests.obs.helpers import assert_query_observable
+
 
 @pytest.fixture
 def engine():
@@ -293,3 +295,21 @@ class TestExplain:
         result = engine.execute("SELECT count(*) FROM orders")
         assert result.stats.splits_scanned >= 3  # split_size=3 over 7 rows
         assert result.stats.rows_scanned == 7
+
+
+class TestObservability:
+    # Every shape this suite exercises — scans, joins, aggregations,
+    # limits — must also pass the trace/metrics invariants.
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM orders",
+            "SELECT order_id FROM orders WHERE amount > 10",
+            "SELECT city, sum(amount) FROM orders GROUP BY city",
+            "SELECT o.order_id, c.state FROM orders o JOIN cities c ON o.city = c.city",
+            "SELECT order_id FROM orders ORDER BY amount DESC LIMIT 3",
+        ],
+    )
+    def test_queries_are_observable(self, engine, sql):
+        result = engine.execute(sql)
+        assert_query_observable(result, engine.metrics)

@@ -24,6 +24,8 @@ from repro.execution.engine import PrestoEngine
 from repro.planner.analyzer import Session
 from repro.workloads.tpch import LINEITEM_COLUMNS, generate_lineitem
 
+from tests.obs.helpers import assert_query_observable
+
 TPCH_SQL = (
     "SELECT returnflag, linestatus, sum(quantity), avg(extendedprice), count(*) "
     "FROM lineitem GROUP BY returnflag, linestatus ORDER BY returnflag, linestatus"
@@ -140,6 +142,8 @@ class TestTaskRetries:
         assert normalize(result.rows) == normalize(oracle.rows)
         assert result.stats.tasks_retried > 0
         assert result.stats.tasks_failed == 0
+        # The retried run's span tree still reconciles with its stats.
+        assert_query_observable(result, faulty.metrics)
 
     def test_same_seed_produces_identical_task_records(self):
         first = make_engine(
@@ -210,6 +214,7 @@ class TestTaskRetries:
         assert normalize(result.rows) == normalize(oracle.rows)
         assert engine.fault_injector.splits_failed > 0
         assert result.stats.tasks_retried > 0
+        assert_query_observable(result, engine.metrics)
 
     def test_task_timeout_is_bounded_and_surfaces(self):
         # A 0.5ms budget is below the 1ms per-task overhead, so every

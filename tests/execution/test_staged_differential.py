@@ -16,6 +16,8 @@ from repro.planner.analyzer import Session
 from repro.workloads.tpch import LINEITEM_COLUMNS, generate_lineitem
 from repro.workloads.trips import TRIPS_BASE_TYPE, generate_trips_rows
 
+from tests.obs.helpers import assert_query_observable
+
 
 def normalize(row):
     # Partial sums merge in a different order than a sequential fold, so
@@ -40,6 +42,10 @@ def assert_same(engine, sql, ordered=False):
         assert canonical(staged.rows) == canonical(direct.rows), sql
     # The staged run really was staged: at least scan + output stages.
     assert staged.stats.stages_total >= 2, sql
+    # Every differential query also checks the observability invariants:
+    # well-formed span tree, critical path == simulated ms, span rows ==
+    # QueryStats counters == metrics registry series.
+    assert_query_observable(staged, engine.metrics)
     return staged
 
 

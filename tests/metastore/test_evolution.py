@@ -1,0 +1,120 @@
+"""Direct unit tests for the schema-evolution rules (section V.A)."""
+
+import pytest
+
+from repro.common.errors import SchemaEvolutionError
+from repro.core.types import BIGINT, DOUBLE, VARCHAR, RowField, RowType
+from repro.metastore.evolution import (
+    SchemaChange,
+    SchemaEvolutionValidator,
+    resolve_read_schema,
+)
+
+BASE = RowType([RowField("city_id", BIGINT), RowField("status", VARCHAR)])
+
+
+class TestDiff:
+    def test_no_changes(self):
+        validator = SchemaEvolutionValidator()
+        columns = [("k", BIGINT), ("base", BASE)]
+        assert validator.diff(columns, columns) == []
+
+    def test_added_column(self):
+        changes = SchemaEvolutionValidator().diff(
+            [("k", BIGINT)], [("k", BIGINT), ("v", DOUBLE)]
+        )
+        assert changes == [SchemaChange("add", "v", new_type=DOUBLE)]
+
+    def test_removed_column(self):
+        changes = SchemaEvolutionValidator().diff(
+            [("k", BIGINT), ("v", DOUBLE)], [("k", BIGINT)]
+        )
+        assert changes == [SchemaChange("remove", "v", old_type=DOUBLE)]
+
+    def test_type_change(self):
+        changes = SchemaEvolutionValidator().diff([("k", BIGINT)], [("k", VARCHAR)])
+        assert changes == [
+            SchemaChange("type_change", "k", old_type=BIGINT, new_type=VARCHAR)
+        ]
+
+    def test_nested_struct_changes_use_dotted_paths(self):
+        new_base = RowType(
+            [
+                RowField("city_id", BIGINT),
+                RowField("status", VARCHAR),
+                RowField("surge", DOUBLE),
+            ]
+        )
+        changes = SchemaEvolutionValidator().diff(
+            [("base", BASE)], [("base", new_base)]
+        )
+        assert changes == [SchemaChange("add", "base.surge", new_type=DOUBLE)]
+
+    def test_nested_removal(self):
+        pruned = RowType([RowField("city_id", BIGINT)])
+        changes = SchemaEvolutionValidator().diff(
+            [("base", BASE)], [("base", pruned)]
+        )
+        assert changes == [SchemaChange("remove", "base.status", old_type=VARCHAR)]
+
+
+class TestValidate:
+    def test_addition_and_removal_allowed(self):
+        changes = SchemaEvolutionValidator().validate(
+            [("k", BIGINT), ("old", VARCHAR)], [("k", BIGINT), ("fresh", DOUBLE)]
+        )
+        assert {c.kind for c in changes} == {"add", "remove"}
+
+    def test_type_change_rejected(self):
+        with pytest.raises(SchemaEvolutionError, match="type change"):
+            SchemaEvolutionValidator().validate([("k", BIGINT)], [("k", DOUBLE)])
+
+    def test_nested_type_change_rejected(self):
+        changed = RowType([RowField("city_id", VARCHAR), RowField("status", VARCHAR)])
+        with pytest.raises(SchemaEvolutionError, match="base.city_id"):
+            SchemaEvolutionValidator().validate([("base", BASE)], [("base", changed)])
+
+    def test_rename_detected_and_rejected(self):
+        # Same level, same type, one removed + one added: a rename attempt.
+        with pytest.raises(SchemaEvolutionError, match="rename"):
+            SchemaEvolutionValidator().validate(
+                [("old_name", BIGINT)], [("new_name", BIGINT)]
+            )
+
+    def test_nested_rename_rejected(self):
+        renamed = RowType([RowField("town_id", BIGINT), RowField("status", VARCHAR)])
+        with pytest.raises(SchemaEvolutionError, match="rename"):
+            SchemaEvolutionValidator().validate([("base", BASE)], [("base", renamed)])
+
+    def test_swap_with_different_types_is_not_a_rename(self):
+        changes = SchemaEvolutionValidator().validate(
+            [("old_name", BIGINT)], [("new_name", VARCHAR)]
+        )
+        assert {c.kind for c in changes} == {"add", "remove"}
+
+
+class TestResolveReadSchema:
+    def test_matching_columns_read(self):
+        resolution = resolve_read_schema([("k", BIGINT)], [("k", BIGINT)])
+        assert resolution == [("k", BIGINT, "read")]
+
+    def test_column_added_after_file_written_reads_null(self):
+        resolution = resolve_read_schema(
+            [("k", BIGINT)], [("k", BIGINT), ("added", DOUBLE)]
+        )
+        assert resolution == [("k", BIGINT, "read"), ("added", DOUBLE, "null")]
+
+    def test_column_removed_from_table_is_ignored(self):
+        resolution = resolve_read_schema(
+            [("k", BIGINT), ("dropped", VARCHAR)], [("k", BIGINT)]
+        )
+        assert resolution == [("k", BIGINT, "read")]
+
+    def test_struct_columns_tolerate_field_level_evolution(self):
+        old_base = RowType([RowField("city_id", BIGINT)])
+        resolution = resolve_read_schema([("base", old_base)], [("base", BASE)])
+        assert resolution == [("base", BASE, "read")]
+
+    def test_scalar_type_mismatch_raises(self):
+        with pytest.raises(SchemaEvolutionError, match="schema mismatch"):
+            resolve_read_schema([("k", BIGINT)], [("k", VARCHAR)])

@@ -1,0 +1,64 @@
+"""Determinism regression: same seed, byte-identical observability.
+
+The acceptance bar for the tracing layer: running the same seeded
+fault-injection query on two identically constructed engines produces a
+byte-identical serialized trace AND a byte-identical metrics snapshot —
+span ids, simulated timestamps, retry/backoff spans and every counter
+series included.
+"""
+
+from repro.connectors.memory import MemoryConnector
+from repro.execution.engine import PrestoEngine
+from repro.execution.faults import FaultInjector
+from repro.planner.analyzer import Session
+from repro.workloads.tpch import LINEITEM_COLUMNS, generate_lineitem
+
+TPCH_SQL = (
+    "SELECT returnflag, linestatus, sum(quantity), avg(extendedprice), count(*) "
+    "FROM lineitem GROUP BY returnflag, linestatus ORDER BY returnflag, linestatus"
+)
+
+
+def make_engine(**kwargs):
+    connector = MemoryConnector(split_size=31)
+    connector.create_table("db", "lineitem", LINEITEM_COLUMNS, generate_lineitem(250))
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"), **kwargs)
+    engine.register_connector("memory", connector)
+    return engine
+
+
+def run_seeded_query():
+    engine = make_engine(
+        fault_injector=FaultInjector(seed=7, task_failure_rate=0.1)
+    )
+    result = engine.execute(TPCH_SQL)
+    return engine, result
+
+
+class TestTraceDeterminism:
+    def test_same_seed_serializes_byte_identically(self):
+        engine_a, first = run_seeded_query()
+        engine_b, second = run_seeded_query()
+        # The injected failures really fired, so retry/backoff spans are
+        # part of what must reproduce.
+        assert first.stats.tasks_retried > 0
+        assert first.trace.to_json() == second.trace.to_json()
+        assert first.trace.to_json(indent=2) == second.trace.to_json(indent=2)
+        assert engine_a.metrics.to_json() == engine_b.metrics.to_json()
+        assert engine_a.metrics.snapshot() == engine_b.metrics.snapshot()
+
+    def test_different_seed_changes_the_trace(self):
+        _, baseline = run_seeded_query()
+        other_engine = make_engine(
+            fault_injector=FaultInjector(seed=8, task_failure_rate=0.1)
+        )
+        other = other_engine.execute(TPCH_SQL)
+        assert baseline.trace.to_json() != other.trace.to_json()
+
+    def test_clean_run_is_also_deterministic(self):
+        first_engine = make_engine()
+        second_engine = make_engine()
+        first = first_engine.execute(TPCH_SQL)
+        second = second_engine.execute(TPCH_SQL)
+        assert first.trace.to_json() == second.trace.to_json()
+        assert first_engine.metrics.to_json() == second_engine.metrics.to_json()

@@ -1,0 +1,98 @@
+"""Direct unit tests for the automatic Presto → Spark fallback runner."""
+
+import pytest
+
+from repro.common.errors import InsufficientResourcesError, SemanticError
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.planner.analyzer import Session
+from repro.spark import BatchSqlEngine, FallbackQueryRunner
+from repro.spark.fallback import RoutedResult
+
+JOIN_SQL = "SELECT count(*) FROM facts f JOIN dim d ON f.k = d.k"
+
+
+def make_runner(max_build_rows=10_000_000):
+    connector = MemoryConnector()
+    connector.create_table(
+        "db",
+        "facts",
+        [("k", BIGINT), ("v", DOUBLE)],
+        [(i % 50, float(i)) for i in range(2_000)],
+    )
+    connector.create_table(
+        "db",
+        "dim",
+        [("k", BIGINT), ("label", VARCHAR)],
+        [(i, f"label{i}") for i in range(50)],
+    )
+    presto = PrestoEngine(
+        session=Session(catalog="memory", schema="db"),
+        max_build_rows=max_build_rows,
+    )
+    presto.register_connector("memory", connector)
+    batch = BatchSqlEngine(presto.catalog, presto.session)
+    return FallbackQueryRunner(presto, batch)
+
+
+class TestRoutedResult:
+    def test_defaults(self):
+        routed = RoutedResult(result=None, engine="presto")
+        assert routed.translated_sql == ""
+
+
+class TestFallbackRunner:
+    def test_presto_serves_when_it_fits(self):
+        runner = make_runner()
+        routed = runner.execute(JOIN_SQL)
+        assert routed.engine == "presto"
+        assert routed.translated_sql == ""
+        assert routed.result.rows == [(2_000,)]
+        assert runner.fallbacks == 0
+        assert runner.batch.jobs_run == 0
+
+    def test_insufficient_resources_falls_back_to_spark(self):
+        # A 10-row build budget dooms the join on Presto; the runner
+        # translates and reruns on the batch engine transparently.
+        runner = make_runner(max_build_rows=10)
+        with pytest.raises(InsufficientResourcesError):
+            runner.presto.execute(JOIN_SQL)
+        routed = runner.execute(JOIN_SQL)
+        assert routed.engine == "spark"
+        assert routed.translated_sql  # the SQL really went through the translator
+        assert routed.result.rows == [(2_000,)]
+        assert runner.fallbacks == 1
+        assert runner.batch.jobs_run == 1
+
+    def test_fallback_result_matches_the_unconstrained_presto_result(self):
+        sql = "SELECT k, sum(v) FROM facts GROUP BY k ORDER BY k LIMIT 5"
+        oracle = make_runner().execute(sql)
+        constrained = make_runner(max_build_rows=10)
+        routed = constrained.execute(
+            "SELECT f.k, sum(f.v) FROM facts f JOIN dim d ON f.k = d.k "
+            "GROUP BY f.k ORDER BY f.k LIMIT 5"
+        )
+        assert routed.engine == "spark"
+        assert routed.result.rows == oracle.result.rows
+
+    def test_function_translation_applied_on_fallback(self):
+        runner = make_runner(max_build_rows=10)
+        routed = runner.execute(
+            "SELECT approx_distinct(f.v) FROM facts f JOIN dim d ON f.k = d.k"
+        )
+        assert routed.engine == "spark"
+        assert "approx_count_distinct" in routed.translated_sql
+
+    def test_user_errors_are_not_swallowed(self):
+        runner = make_runner()
+        with pytest.raises(SemanticError):
+            runner.execute("SELECT nope FROM facts")
+        assert runner.fallbacks == 0
+
+    def test_each_overflow_counts_a_fallback(self):
+        runner = make_runner(max_build_rows=10)
+        runner.execute(JOIN_SQL)
+        runner.execute(JOIN_SQL)
+        assert runner.fallbacks == 2
+        assert runner.batch.jobs_run == 2

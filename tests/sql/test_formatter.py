@@ -1,0 +1,145 @@
+"""Direct unit tests for the AST → SQL formatter and its dialects.
+
+The Hypothesis round-trip suite (test_formatter_roundtrip) checks
+parse(format(q)) == q; these tests pin the exact rendered text, dialect
+quoting, and function-name translation the Presto-on-Spark translator
+depends on.
+"""
+
+import pytest
+
+from repro.sql import ast, parse_sql
+from repro.sql.formatter import PRESTO, SPARK, Dialect, format_query
+
+
+def render(sql, dialect=PRESTO):
+    return format_query(parse_sql(sql), dialect)
+
+
+class TestDialect:
+    def test_function_translation_is_case_insensitive(self):
+        assert SPARK.function("APPROX_DISTINCT") == "approx_count_distinct"
+        assert SPARK.function("strpos") == "instr"
+
+    def test_unknown_functions_pass_through(self):
+        assert SPARK.function("sum") == "sum"
+        assert PRESTO.function("approx_distinct") == "approx_distinct"
+
+    def test_custom_dialect(self):
+        dialect = Dialect(name="x", quote_char="'", function_names={"f": "g"})
+        assert dialect.function("F") == "g"
+
+
+class TestPrestoRendering:
+    def test_select_where(self):
+        assert (
+            render("SELECT a, b AS x FROM t WHERE a > 1 AND b < 2")
+            == "SELECT a, b AS x FROM t WHERE ((a > 1) AND (b < 2))"
+        )
+
+    def test_group_order_limit(self):
+        assert (
+            render("SELECT count(*), count(DISTINCT k) FROM t GROUP BY k "
+                   "ORDER BY k DESC LIMIT 3")
+            == "SELECT count(*), count(DISTINCT k) FROM t "
+               "GROUP BY k ORDER BY k DESC LIMIT 3"
+        )
+
+    def test_join_condition_parenthesized(self):
+        assert (
+            render("SELECT * FROM a JOIN b ON a.id = b.id")
+            == "SELECT * FROM a JOIN b ON (a.id = b.id)"
+        )
+
+    def test_predicates(self):
+        assert (
+            render("SELECT * FROM t WHERE a IN (1, 2)")
+            == "SELECT * FROM t WHERE (a IN (1, 2))"
+        )
+        assert (
+            render("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5")
+            == "SELECT * FROM t WHERE (a NOT BETWEEN 1 AND 5)"
+        )
+        assert (
+            render("SELECT * FROM t WHERE s LIKE 'x%'")
+            == "SELECT * FROM t WHERE (s LIKE 'x%')"
+        )
+        assert (
+            render("SELECT * FROM t WHERE s IS NOT NULL")
+            == "SELECT * FROM t WHERE (s IS NOT NULL)"
+        )
+
+    def test_case_cast_subscript_lambda(self):
+        assert (
+            render("SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t")
+            == "SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t"
+        )
+        assert render("SELECT CAST(a AS double) FROM t") == (
+            "SELECT CAST(a AS double) FROM t"
+        )
+        assert render("SELECT x[1], (a, b) -> a FROM t") == (
+            "SELECT x[1], (a, b) -> a FROM t"
+        )
+
+    def test_union_all(self):
+        assert (
+            render("SELECT a FROM t UNION ALL SELECT b FROM u")
+            == "SELECT a FROM t UNION ALL SELECT b FROM u"
+        )
+
+    def test_literals(self):
+        assert (
+            render("SELECT 'it''s', NULL, TRUE, 1.5 FROM t")
+            == "SELECT 'it''s', NULL, TRUE, 1.5 FROM t"
+        )
+
+
+class TestIdentifierQuoting:
+    def test_plain_lowercase_names_unquoted(self):
+        assert render("SELECT abc_1 FROM t") == "SELECT abc_1 FROM t"
+
+    def test_non_plain_names_quoted_with_dialect_char(self):
+        sql = 'SELECT "Weird Name" FROM "My Table"'
+        assert render(sql) == 'SELECT "Weird Name" FROM "My Table"'
+        assert render(sql, SPARK) == "SELECT `Weird Name` FROM `My Table`"
+
+    def test_keywords_quoted(self):
+        # "select" as a column name must come back out quoted.
+        query = ast.Query(
+            select_items=[ast.SelectItem(ast.Identifier(("select",)))],
+            from_relation=ast.TableReference(("t",)),
+        )
+        assert format_query(query) == 'SELECT "select" FROM t'
+
+
+class TestSparkTranslation:
+    def test_function_names_rewritten(self):
+        assert (
+            render("SELECT approx_distinct(k), strpos(s, 'x') FROM facts", SPARK)
+            == "SELECT approx_count_distinct(k), instr(s, 'x') FROM facts"
+        )
+
+    def test_presto_dialect_keeps_names(self):
+        assert (
+            render("SELECT approx_distinct(k) FROM facts")
+            == "SELECT approx_distinct(k) FROM facts"
+        )
+
+    def test_spark_output_reparses(self):
+        rendered = render(
+            "SELECT k, approx_distinct(v) FROM facts GROUP BY k", SPARK
+        )
+        assert parse_sql(rendered)  # valid SQL in our grammar
+
+
+class TestErrors:
+    def test_unknown_relation_type_rejected(self):
+        class FakeRelation(ast.Relation):
+            pass
+
+        query = ast.Query(
+            select_items=[ast.SelectItem(ast.Star())],
+            from_relation=FakeRelation(),
+        )
+        with pytest.raises(ValueError):
+            format_query(query)
