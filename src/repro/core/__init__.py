@@ -36,11 +36,14 @@ from repro.core.types import (
 from repro.core.blocks import (
     Block,
     PrimitiveBlock,
+    VarcharBlock,
     DictionaryBlock,
     RowBlock,
     ArrayBlock,
     MapBlock,
     LazyBlock,
+    object_varchar_lane,
+    varchar_blocks_enabled,
 )
 from repro.core.page import Page
 
@@ -61,10 +64,13 @@ __all__ = [
     "parse_type",
     "Block",
     "PrimitiveBlock",
+    "VarcharBlock",
     "DictionaryBlock",
     "RowBlock",
     "ArrayBlock",
     "MapBlock",
     "LazyBlock",
+    "object_varchar_lane",
+    "varchar_blocks_enabled",
     "Page",
 ]

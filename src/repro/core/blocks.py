@@ -5,6 +5,10 @@ instead of row by row" (section III).  A :class:`Block` holds one column's
 values for a batch of rows.  The variants mirror Presto's:
 
 - :class:`PrimitiveBlock` — flat scalar values over numpy storage.
+- :class:`VarcharBlock` — strings as one contiguous UTF-8 byte buffer plus
+  int64 offsets, so factorize/compare/substr run as numpy array ops over
+  bytes instead of per-element Python dispatch.  Objects materialize only
+  at the final-result boundary (and as the differential oracle).
 - :class:`DictionaryBlock` — ids into a shared dictionary; produced by the
   new Parquet reader when a column chunk is dictionary-encoded, and consumed
   by dictionary-aware operators without decoding.
@@ -20,7 +24,8 @@ Blocks are immutable once constructed; ``take`` produces new blocks.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +39,66 @@ from repro.core.types import (
     RowType,
     VARCHAR,
 )
+
+
+# When True (the default), VARCHAR columns built through block_from_values /
+# constant_block / the Parquet reader use the offsets-based VarcharBlock.
+# The legacy object-array lane stays available as the differential oracle:
+# benchmarks and tests flip this off to measure/verify against it.
+_VARCHAR_BLOCKS_ENABLED = True
+
+# Padded fixed-width views cost O(rows * max_len) transient memory; beyond
+# this width the object fallback (same as the legacy lane) is cheaper.
+_FIXED_WIDTH_CAP = 256
+
+
+def varchar_blocks_enabled() -> bool:
+    """True when VARCHAR columns natively use :class:`VarcharBlock`."""
+    return _VARCHAR_BLOCKS_ENABLED
+
+
+def set_varchar_blocks_enabled(enabled: bool) -> bool:
+    """Toggle the native varchar lane; returns the previous setting."""
+    global _VARCHAR_BLOCKS_ENABLED
+    previous = _VARCHAR_BLOCKS_ENABLED
+    _VARCHAR_BLOCKS_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def object_varchar_lane() -> Iterator[None]:
+    """Force the legacy object-array representation for VARCHAR columns.
+
+    Differential tests and the scan baseline benchmark run queries under
+    this context to compare the offsets-native lane against the oracle.
+    """
+    previous = set_varchar_blocks_enabled(False)
+    try:
+        yield
+    finally:
+        set_varchar_blocks_enabled(previous)
+
+
+def _gather_slices(
+    data: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``data[starts[i] : starts[i] + lengths[i]]`` slices.
+
+    Returns (new byte buffer, new offsets).  This is the core varchar
+    primitive: ``take``, dictionary decode, and substr are all one gather.
+    """
+    count = len(lengths)
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.uint8), offsets
+    # Absolute index = repeat(starts) + within-row position, where the
+    # within-row position is a global arange minus each row's output start.
+    index = np.repeat(
+        np.asarray(starts, dtype=np.int64) - offsets[:-1], lengths
+    ) + np.arange(total, dtype=np.int64)
+    return data[index], offsets
 
 
 def _numpy_dtype_for(presto_type: PrestoType) -> Any:
@@ -166,6 +231,322 @@ class PrimitiveBlock(Block):
         return base + (int(self.nulls.nbytes) if self.nulls is not None else 0)
 
 
+class VarcharBlock(Block):
+    """String column as one contiguous UTF-8 buffer plus int64 offsets.
+
+    Layout (Arrow/Presto VariableWidthBlock style)::
+
+        data    uint8[total_bytes]   all strings back to back, UTF-8
+        offsets int64[n + 1]         row i's bytes are data[offsets[i]:offsets[i+1]]
+        nulls   bool[n] | None       True where the row is SQL NULL
+
+    Null rows normally own zero bytes, but kernels never rely on that —
+    they mask by ``nulls``.  Because UTF-8 byte order equals code-point
+    order, byte-wise sorts and comparisons agree with Python ``str`` — the
+    kernels exploit this with padded fixed-width (``S``-dtype) views.  The
+    padding trick is unsafe when the payload itself contains NUL bytes
+    (numpy strips trailing NULs), so every padded path is guarded by
+    :meth:`has_nul` and falls back to the object oracle.
+    """
+
+    def __init__(
+        self,
+        presto_type: PrestoType,
+        data: np.ndarray,
+        offsets: np.ndarray,
+        nulls: Optional[np.ndarray] = None,
+    ) -> None:
+        self.type = presto_type
+        self.data = data
+        self.offsets = offsets
+        self.nulls = nulls
+        self.position_count = len(offsets) - 1
+        self._zero_mask: Optional[np.ndarray] = None
+        self._objects: Optional[np.ndarray] = None
+        self._factorized: Optional[tuple[np.ndarray, np.ndarray]] = None
+        self._ascii_only: Optional[bool] = None
+        self._has_nul: Optional[bool] = None
+        if nulls is not None and len(nulls) != self.position_count:
+            raise ValueError("nulls mask length mismatch")
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[Optional[str]], presto_type: PrestoType = VARCHAR
+    ) -> "VarcharBlock":
+        """Build from Python strings (``None`` for nulls)."""
+        count = len(values)
+        nulls = np.fromiter((v is None for v in values), dtype=bool, count=count)
+        encoded = [b"" if v is None else v.encode("utf-8") for v in values]
+        lengths = np.fromiter((len(e) for e in encoded), dtype=np.int64, count=count)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        data = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+        return cls(presto_type, data, offsets, nulls if nulls.any() else None)
+
+    @classmethod
+    def all_null(cls, count: int, presto_type: PrestoType = VARCHAR) -> "VarcharBlock":
+        return cls(
+            presto_type,
+            np.empty(0, dtype=np.uint8),
+            np.zeros(count + 1, dtype=np.int64),
+            np.ones(count, dtype=bool),
+        )
+
+    # -- row access (the object boundary) ----------------------------------
+
+    def get(self, position: int) -> Optional[str]:
+        if self.is_null(position):
+            return None
+        return self.to_object_array()[position]
+
+    def is_null(self, position: int) -> bool:
+        return bool(self.nulls is not None and self.nulls[position])
+
+    def null_mask(self) -> np.ndarray:
+        if self.nulls is None:
+            if self._zero_mask is None:
+                self._zero_mask = np.zeros(self.position_count, dtype=bool)
+            return self._zero_mask
+        return self.nulls
+
+    def to_list(self) -> list[Optional[str]]:
+        return list(self.to_object_array())
+
+    def to_object_array(self) -> np.ndarray:
+        """Decode every row to a Python string (cached).
+
+        This is the only place offsets-native data becomes objects; it runs
+        at the final-result boundary and inside oracle fallbacks.
+        """
+        if self._objects is None:
+            out = np.empty(self.position_count, dtype=object)
+            buf = self.data.tobytes()
+            offsets = self.offsets
+            nulls = self.nulls
+            for i in range(self.position_count):
+                if nulls is not None and nulls[i]:
+                    out[i] = None
+                else:
+                    out[i] = buf[offsets[i] : offsets[i + 1]].decode("utf-8")
+            self._objects = out
+        return self._objects
+
+    def to_primitive(self) -> PrimitiveBlock:
+        """Legacy object-array representation (the differential oracle)."""
+        return PrimitiveBlock(self.type, self.to_object_array(), self.nulls)
+
+    # -- vectorized structure ----------------------------------------------
+
+    def byte_lengths(self) -> np.ndarray:
+        return self.offsets[1:] - self.offsets[:-1]
+
+    def char_lengths(self) -> np.ndarray:
+        """Per-row character counts: byte length minus continuation bytes."""
+        lengths = self.byte_lengths()
+        if self.ascii_only():
+            return lengths
+        continuation = np.zeros(len(self.data) + 1, dtype=np.int64)
+        np.cumsum((self.data & 0xC0) == 0x80, out=continuation[1:])
+        return lengths - (continuation[self.offsets[1:]] - continuation[self.offsets[:-1]])
+
+    def ascii_only(self) -> bool:
+        """True when every byte is ASCII (chars == bytes, offsets slicing safe)."""
+        if self._ascii_only is None:
+            self._ascii_only = bool(self.data.size == 0 or int(self.data.max()) < 0x80)
+        return self._ascii_only
+
+    def has_nul(self) -> bool:
+        """True when the payload contains 0x00 bytes (padded views unsafe)."""
+        if self._has_nul is None:
+            self._has_nul = bool((self.data == 0).any())
+        return self._has_nul
+
+    def fixed_view(self, width: Optional[int] = None) -> Optional[np.ndarray]:
+        """Padded ``S{width}`` view of all rows (nulls read as ``b""``).
+
+        Byte-order comparisons on the view agree with ``str`` comparisons.
+        Returns None when the view would be unsafe (embedded NULs) or too
+        wide; callers then fall back to the object path.
+        """
+        lengths = self.byte_lengths()
+        if self.nulls is not None:
+            lengths = np.where(self.nulls, 0, lengths)
+        max_len = int(lengths.max()) if len(lengths) else 0
+        if width is None:
+            width = max_len
+        if width < max_len or width > _FIXED_WIDTH_CAP or self.has_nul():
+            return None
+        return _padded_view(self.data, self.offsets[:-1], lengths, width)
+
+    def factorize(self) -> tuple[np.ndarray, np.ndarray]:
+        """(codes, uniques): int64 codes with -1 at nulls; sorted distinct strings.
+
+        Matches ``np.unique`` over the object lane exactly: UTF-8 byte order
+        is code-point order, so the distinct list sorts identically.
+        """
+        if self._factorized is None:
+            codes = np.full(self.position_count, -1, dtype=np.int64)
+            non_null = ~self.null_mask()
+            if not non_null.any():
+                uniques = np.empty(0, dtype=object)
+            else:
+                starts = self.offsets[:-1][non_null]
+                lengths = self.byte_lengths()[non_null]
+                width = int(lengths.max())
+                if width <= 8 and not self.has_nul():
+                    # Narrow strings pack into big-endian unsigned ints
+                    # (zero padded, order preserving): integer np.unique
+                    # beats the S-dtype comparison sort by a wide margin.
+                    pack = 1 if width <= 1 else 2 if width <= 2 else 4 if width <= 4 else 8
+                    ints = _padded_view(self.data, starts, lengths, pack).view(
+                        f">u{pack}"
+                    )
+                    if pack <= 2:
+                        # Dense-table factorization: no sort at all.  The
+                        # flatnonzero scan emits values in ascending order,
+                        # matching np.unique's sorted-uniques contract.
+                        domain = 256 if pack == 1 else 65536
+                        wide = ints.astype(np.int64, copy=False)
+                        present = np.zeros(domain, dtype=bool)
+                        present[wide] = True
+                        uniq_ints = np.flatnonzero(present)
+                        lookup = np.zeros(domain, dtype=np.int64)
+                        lookup[uniq_ints] = np.arange(len(uniq_ints), dtype=np.int64)
+                        inverse = lookup[wide]
+                    else:
+                        uniq_ints, inverse = np.unique(ints, return_inverse=True)
+                    uniques = np.empty(len(uniq_ints), dtype=object)
+                    for i, raw in enumerate(uniq_ints):
+                        uniques[i] = (
+                            int(raw)
+                            .to_bytes(pack, "big")
+                            .rstrip(b"\x00")
+                            .decode("utf-8")
+                        )
+                elif width <= _FIXED_WIDTH_CAP and not self.has_nul():
+                    view = _padded_view(self.data, starts, lengths, width)
+                    uniq_bytes, inverse = np.unique(view, return_inverse=True)
+                    uniques = np.empty(len(uniq_bytes), dtype=object)
+                    for i, raw in enumerate(uniq_bytes):
+                        uniques[i] = raw.decode("utf-8")
+                else:
+                    uniques, inverse = np.unique(
+                        self.to_object_array()[non_null], return_inverse=True
+                    )
+                codes[non_null] = inverse
+            self._factorized = (codes, uniques)
+        return self._factorized
+
+    def exact_match(self, value: bytes) -> np.ndarray:
+        """Rows whose bytes equal ``value`` — gathers only same-length rows."""
+        count = self.position_count
+        k = len(value)
+        lengths = self.byte_lengths()
+        if self.nulls is not None:
+            lengths = np.where(self.nulls, -1, lengths)
+        candidates = lengths == k
+        if k == 0 or not candidates.any():
+            return candidates
+        if b"\x00" in value or self.has_nul():
+            return candidates & self.prefix_mask(value)
+        starts = self.offsets[:-1][candidates]
+        index = starts[:, None] + np.arange(k, dtype=np.int64)[None, :]
+        out = np.zeros(count, dtype=bool)
+        out[candidates] = self.data[index].reshape(-1).view(f"S{k}") == value
+        return out
+
+    def prefix_mask(self, prefix: bytes) -> np.ndarray:
+        """Rows whose bytes start with ``prefix`` (byte-exact ``startswith``)."""
+        count = self.position_count
+        if not prefix:
+            return ~self.null_mask()
+        k = len(prefix)
+        lengths = self.byte_lengths()
+        if self.nulls is not None:
+            lengths = np.where(self.nulls, 0, lengths)
+        candidates = lengths >= k
+        if not candidates.any() or len(self.data) == 0:
+            return np.zeros(count, dtype=bool)
+        if b"\x00" not in prefix and not self.has_nul():
+            # Candidate rows own >= k bytes, so their first k bytes gather
+            # without bounds checks; one S{k} memcmp pass decides.
+            starts = self.offsets[:-1]
+            if not candidates.all():
+                starts = starts[candidates]
+            index = starts[:, None] + np.arange(k, dtype=np.int64)[None, :]
+            hits = self.data[index].reshape(-1).view(f"S{k}") == prefix
+            if candidates.all():
+                return hits
+            out = np.zeros(count, dtype=bool)
+            out[candidates] = hits
+            return out
+        lane = np.arange(k, dtype=np.int64)
+        index = np.clip(self.offsets[:-1][:, None] + lane[None, :], 0, len(self.data) - 1)
+        target = np.frombuffer(prefix, dtype=np.uint8)
+        return candidates & (self.data[index] == target[None, :]).all(axis=1)
+
+    # -- block protocol ----------------------------------------------------
+
+    def take(self, positions: np.ndarray) -> "VarcharBlock":
+        positions = np.asarray(positions)
+        starts = self.offsets[:-1][positions]
+        lengths = self.byte_lengths()[positions]
+        data, offsets = _gather_slices(self.data, starts, lengths)
+        new_nulls = self.nulls[positions] if self.nulls is not None else None
+        return VarcharBlock(self.type, data, offsets, new_nulls)
+
+    def size_in_bytes(self) -> int:
+        total = int(self.data.nbytes) + int(self.offsets.nbytes)
+        return total + (int(self.nulls.nbytes) if self.nulls is not None else 0)
+
+
+def _padded_view(
+    data: np.ndarray, starts: np.ndarray, lengths: np.ndarray, width: int
+) -> np.ndarray:
+    """``S{width}`` array over variable-width slices, zero-padded on the right."""
+    count = len(starts)
+    if width == 0:
+        return np.zeros(count, dtype="S1")
+    lane = np.arange(width, dtype=np.int64)
+    index = np.asarray(starts, dtype=np.int64)[:, None] + lane[None, :]
+    if len(data) == 0:
+        return np.zeros(count, dtype=f"S{width}")
+    lengths = np.asarray(lengths)
+    if int(lengths.min()) >= width:
+        # Every row fills the width (fixed-width strings like dates):
+        # plain gather, no padding or bounds work at all.
+        return data[index].reshape(-1).view(f"S{width}")
+    # Rows shorter than the pad width read stray neighbor bytes; those
+    # lanes are zeroed below, the bound only keeps the gather in-range.
+    np.minimum(index, len(data) - 1, out=index)
+    matrix = data[index]
+    matrix[lane[None, :] >= lengths[:, None]] = 0
+    return matrix.reshape(-1).view(f"S{width}")
+
+
+def concat_varchar_blocks(
+    presto_type: PrestoType, blocks: Sequence[VarcharBlock]
+) -> VarcharBlock:
+    """Concatenate varchar blocks: append buffers, shift offsets, merge nulls."""
+    total_rows = sum(b.position_count for b in blocks)
+    offsets = np.zeros(total_rows + 1, dtype=np.int64)
+    row = 0
+    shift = 0
+    for block in blocks:
+        offsets[row + 1 : row + 1 + block.position_count] = block.offsets[1:] + shift
+        row += block.position_count
+        shift += int(block.offsets[-1])
+    data = (
+        np.concatenate([b.data for b in blocks])
+        if blocks
+        else np.empty(0, dtype=np.uint8)
+    )
+    nulls = None
+    if any(b.nulls is not None for b in blocks):
+        nulls = np.concatenate([b.null_mask() for b in blocks])
+    return VarcharBlock(presto_type, data, offsets, nulls)
+
+
 class DictionaryBlock(Block):
     """Ids into a shared dictionary block.
 
@@ -174,7 +555,9 @@ class DictionaryBlock(Block):
     engine decodes only when an operator needs flat values.
     """
 
-    def __init__(self, dictionary: PrimitiveBlock, ids: np.ndarray) -> None:
+    def __init__(self, dictionary: Block, ids: np.ndarray) -> None:
+        # The dictionary is flat: a PrimitiveBlock, or a VarcharBlock when
+        # the column is varchar and the native string lane is on.
         self.type = dictionary.type
         self.dictionary = dictionary
         self.ids = ids
@@ -201,12 +584,17 @@ class DictionaryBlock(Block):
     def take(self, positions: np.ndarray) -> "DictionaryBlock":
         return DictionaryBlock(self.dictionary, self.ids[positions])
 
-    def decode(self) -> PrimitiveBlock:
-        """Expand into a flat :class:`PrimitiveBlock`."""
+    def decode(self) -> Block:
+        """Expand into a flat block (Primitive or Varchar, matching the dictionary)."""
         mask = self.ids < 0
         safe_ids = np.where(mask, 0, self.ids)
-        values = self.dictionary.values[safe_ids]
         nulls = self.null_mask()
+        if isinstance(self.dictionary, VarcharBlock):
+            flat = self.dictionary.take(safe_ids)
+            return VarcharBlock(
+                self.type, flat.data, flat.offsets, nulls if nulls.any() else None
+            )
+        values = self.dictionary.values[safe_ids]
         return PrimitiveBlock(self.type, values, nulls if nulls.any() else None)
 
     def size_in_bytes(self) -> int:
@@ -230,6 +618,7 @@ class RowBlock(Block):
         self.type = row_type
         self.field_blocks = field_blocks
         self.nulls = nulls
+        self._zero_mask: Optional[np.ndarray] = None
         if position_count is not None:
             self.position_count = position_count
         elif field_blocks:
@@ -262,7 +651,9 @@ class RowBlock(Block):
 
     def null_mask(self) -> np.ndarray:
         if self.nulls is None:
-            return np.zeros(self.position_count, dtype=bool)
+            if self._zero_mask is None:
+                self._zero_mask = np.zeros(self.position_count, dtype=bool)
+            return self._zero_mask
         return self.nulls
 
     def field(self, name: str) -> Block:
@@ -296,6 +687,7 @@ class ArrayBlock(Block):
         self.offsets = offsets
         self.elements = elements
         self.nulls = nulls
+        self._zero_mask: Optional[np.ndarray] = None
         self.position_count = len(offsets) - 1
 
     @classmethod
@@ -321,7 +713,9 @@ class ArrayBlock(Block):
 
     def null_mask(self) -> np.ndarray:
         if self.nulls is None:
-            return np.zeros(self.position_count, dtype=bool)
+            if self._zero_mask is None:
+                self._zero_mask = np.zeros(self.position_count, dtype=bool)
+            return self._zero_mask
         return self.nulls
 
     def take(self, positions: np.ndarray) -> "ArrayBlock":
@@ -350,6 +744,7 @@ class MapBlock(Block):
         self.keys = keys
         self.values = values
         self.nulls = nulls
+        self._zero_mask: Optional[np.ndarray] = None
         self.position_count = len(offsets) - 1
 
     @classmethod
@@ -379,7 +774,9 @@ class MapBlock(Block):
 
     def null_mask(self) -> np.ndarray:
         if self.nulls is None:
-            return np.zeros(self.position_count, dtype=bool)
+            if self._zero_mask is None:
+                self._zero_mask = np.zeros(self.position_count, dtype=bool)
+            return self._zero_mask
         return self.nulls
 
     def take(self, positions: np.ndarray) -> "MapBlock":
@@ -449,6 +846,13 @@ def block_from_values(presto_type: PrestoType, values: Sequence[Any]) -> Block:
         return ArrayBlock.from_values(presto_type, values)
     if isinstance(presto_type, MapType):
         return MapBlock.from_values(presto_type, values)
+    if presto_type is VARCHAR and _VARCHAR_BLOCKS_ENABLED:
+        try:
+            return VarcharBlock.from_values(values, presto_type)
+        except (AttributeError, TypeError, UnicodeEncodeError):
+            # Non-string payloads (tests feed arbitrary objects through
+            # varchar columns): keep the permissive object representation.
+            pass
     return PrimitiveBlock.from_values(presto_type, values)
 
 
@@ -460,6 +864,10 @@ def constant_block(value: Any, presto_type: PrestoType, count: int) -> Block:
         return PrimitiveBlock(presto_type, storage, np.ones(count, dtype=bool))
     if presto_type.is_nested():
         return block_from_values(presto_type, [value] * count)
+    if presto_type is VARCHAR and _VARCHAR_BLOCKS_ENABLED and isinstance(value, str):
+        encoded = np.frombuffer(value.encode("utf-8"), dtype=np.uint8)
+        offsets = np.arange(count + 1, dtype=np.int64) * len(encoded)
+        return VarcharBlock(presto_type, np.tile(encoded, count), offsets)
     dtype = _numpy_dtype_for(presto_type)
     if dtype is object:
         storage = np.empty(count, dtype=object)
@@ -477,5 +885,7 @@ def with_extra_nulls(block: Block, extra_nulls: np.ndarray) -> Block:
     merged = block.null_mask() | extra_nulls
     if isinstance(block, PrimitiveBlock):
         return PrimitiveBlock(block.type, block.values, merged)
+    if isinstance(block, VarcharBlock):
+        return VarcharBlock(block.type, block.data, block.offsets, merged)
     values = [None if merged[i] else block.get(i) for i in range(block.position_count)]
     return block_from_values(block.type, values)

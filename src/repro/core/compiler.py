@@ -19,6 +19,14 @@ The compiled lane removes the interpreter's three big bail-outs:
   (length, upper/lower, substr, concat, trim, LIKE, comparisons, casts) run
   over object-dtype arrays; ``LIKE <constant>`` additionally precompiles
   its anchored regex at expression-compile time.
+- **offsets-native varchar kernels** — when arguments arrive as
+  :class:`VarcharBlock` (bytes + offsets), the hot string functions skip
+  objects entirely: ``length`` reads offset deltas (minus UTF-8
+  continuation bytes), comparisons run on padded byte views, ``substr``
+  is one gather, ``LIKE`` prunes by its literal byte prefix and only
+  decodes surviving rows for the regex, and ``IN`` decides membership
+  once per distinct string.  Functions without a native form decode the
+  block to the object lane — same results, counted as vectorized.
 - **dictionary-aware evaluation** — a deterministic, null-propagating
   subtree over a single variable evaluates on the *dictionary* of a
   :class:`DictionaryBlock` and re-wraps the ids, turning O(rows) work into
@@ -49,6 +57,8 @@ from repro.core.blocks import (
     DictionaryBlock,
     PrimitiveBlock,
     RowBlock,
+    VarcharBlock,
+    _gather_slices,
     _numpy_dtype_for,
     block_from_values,
     constant_block,
@@ -154,6 +164,146 @@ def _flat(block: Block) -> Block:
 
 
 # ---------------------------------------------------------------------------
+# Offsets-native varchar kernels
+# ---------------------------------------------------------------------------
+
+_COMPARISON_OPS = {
+    "equal": np.equal,
+    "not_equal": np.not_equal,
+    "less_than": np.less,
+    "less_than_or_equal": np.less_equal,
+    "greater_than": np.greater,
+    "greater_than_or_equal": np.greater_equal,
+}
+
+
+def _varchar_max_width(block: VarcharBlock) -> int:
+    lengths = block.byte_lengths()
+    if block.nulls is not None:
+        lengths = np.where(block.nulls, 0, lengths)
+    return int(lengths.max()) if len(lengths) else 0
+
+
+def _varchar_compare_constant(
+    fn_name: str, block: VarcharBlock, const: str, flipped: bool, nulls: np.ndarray
+) -> Optional[np.ndarray]:
+    """Compare every row against one literal without padding the literal.
+
+    Equality needs no byte matrix at all (length check + prefix scan);
+    ordering compares the block's padded view against a bytes scalar.
+    ``flipped`` means the literal was the left operand.
+    """
+    encoded = const.encode("utf-8")
+    if b"\x00" in encoded:
+        return None
+    if fn_name in ("equal", "not_equal"):
+        match = block.exact_match(encoded)
+        return match if fn_name == "equal" else ~match
+    view = block.fixed_view()
+    if view is None:
+        return None
+    if flipped:
+        return _COMPARISON_OPS[fn_name](encoded, view)
+    return _COMPARISON_OPS[fn_name](view, encoded)
+
+
+def _varchar_native(
+    fn_name: str,
+    return_type: PrestoType,
+    blocks: list[Block],
+    nulls: np.ndarray,
+    position_count: int,
+    consts: Optional[list] = None,
+) -> Optional[Block]:
+    """Offsets-native kernel for a hot string function, or None to fall back.
+
+    These run directly on the VarcharBlock bytes+offsets layout: length
+    from offset deltas (minus UTF-8 continuation bytes), comparisons on
+    padded byte views (byte order == code-point order), substr as one
+    gather over offset arithmetic.  A ``None`` return means "no native
+    form": the caller decodes to the object lane, which is also the
+    differential oracle.
+    """
+    if fn_name == "length" and len(blocks) == 1:
+        block = blocks[0]
+        if not isinstance(block, VarcharBlock):
+            return None
+        values = block.char_lengths().astype(np.int64, copy=False)
+        return PrimitiveBlock(return_type, values, nulls if nulls.any() else None)
+    if fn_name in _COMPARISON_OPS and len(blocks) == 2:
+        left, right = blocks
+        consts = consts or [None, None]
+        if isinstance(left, VarcharBlock) and isinstance(consts[1], str):
+            values = _varchar_compare_constant(fn_name, left, consts[1], False, nulls)
+            if values is not None:
+                return PrimitiveBlock(BOOLEAN, values, nulls if nulls.any() else None)
+        if isinstance(right, VarcharBlock) and isinstance(consts[0], str):
+            values = _varchar_compare_constant(fn_name, right, consts[0], True, nulls)
+            if values is not None:
+                return PrimitiveBlock(BOOLEAN, values, nulls if nulls.any() else None)
+        if not (isinstance(left, VarcharBlock) and isinstance(right, VarcharBlock)):
+            return None
+        width = max(_varchar_max_width(left), _varchar_max_width(right))
+        left_view = left.fixed_view(width)
+        right_view = right.fixed_view(width)
+        if left_view is None or right_view is None:
+            return None  # embedded NULs or too wide: object oracle decides
+        values = _COMPARISON_OPS[fn_name](left_view, right_view)
+        return PrimitiveBlock(BOOLEAN, values, nulls if nulls.any() else None)
+    if fn_name == "substr" and len(blocks) in (2, 3):
+        block = blocks[0]
+        if not isinstance(block, VarcharBlock) or not block.ascii_only():
+            return None
+        if not all(
+            isinstance(b, PrimitiveBlock) and b.values.dtype.kind in "iu"
+            for b in blocks[1:]
+        ):
+            return None
+        starts = blocks[1].values
+        valid = ~nulls
+        if bool((starts[valid] < 1).any()):
+            # Zero/negative starts hit Python's negative-slice semantics;
+            # mirror them via the object oracle instead of byte arithmetic.
+            return None
+        lengths = block.byte_lengths()
+        begin = np.where(nulls, 0, starts - 1)
+        begin = np.minimum(begin, lengths)
+        if len(blocks) == 3:
+            end = np.clip(begin + blocks[2].values, begin, lengths)
+        else:
+            end = lengths
+        data, offsets = _gather_slices(
+            block.data, block.offsets[:-1] + begin, end - begin
+        )
+        return VarcharBlock(
+            return_type, data, offsets, nulls if nulls.any() else None
+        )
+    return None
+
+
+def _varchar_in_small(block: VarcharBlock, in_list: list) -> Optional[np.ndarray]:
+    """Small IN lists: one exact-match scan per needle, OR'd together.
+
+    Cheaper than factorizing the column when the list is short; None
+    defers to the factorize path (long lists, non-string needles).
+    """
+    if len(in_list) > 8 or not all(isinstance(v, str) for v in in_list):
+        return None
+    matches = np.zeros(block.position_count, dtype=bool)
+    for needle in in_list:
+        matches |= block.exact_match(needle.encode("utf-8"))
+    return matches
+
+
+def _like_literal_prefix(pattern: str) -> tuple[str, str]:
+    """Split a LIKE pattern into (literal prefix, remainder)."""
+    for i, ch in enumerate(pattern):
+        if ch in "%_":
+            return pattern[:i], pattern[i:]
+    return pattern, ""
+
+
+# ---------------------------------------------------------------------------
 # Kernels
 # ---------------------------------------------------------------------------
 
@@ -207,6 +357,9 @@ class CallKernel(Kernel):
         self.return_type = return_type
         self.arg_kernels = arg_kernels
         self._target_dtype = _numpy_dtype_for(return_type)
+        self._const_args = [
+            k.value if isinstance(k, ConstantKernel) else None for k in arg_kernels
+        ]
 
     def run(self, bindings, position_count, stats) -> Block:
         blocks = [
@@ -218,6 +371,25 @@ class CallKernel(Kernel):
         if position_count and nulls.all():
             return constant_block(None, self.return_type, position_count)
         fn = self.fn
+        if any(isinstance(b, VarcharBlock) for b in blocks):
+            native = _varchar_native(
+                fn.name,
+                self.return_type,
+                blocks,
+                nulls,
+                position_count,
+                consts=self._const_args,
+            )
+            if native is not None:
+                if stats is not None:
+                    stats.expr_positions_vectorized += position_count
+                return native
+            # No offsets-native form: decode to the object oracle so the
+            # ``vectorized_on_objects`` kernels still run whole-array.
+            blocks = [
+                b.to_primitive() if isinstance(b, VarcharBlock) else b
+                for b in blocks
+            ]
         vector_ok = (
             fn.vectorized is not None
             and all(isinstance(b, PrimitiveBlock) for b in blocks)
@@ -260,11 +432,41 @@ class LikeConstantKernel(Kernel):
         self.value_kernel = value_kernel
         self.pattern = pattern
         self.regex = like_regex(pattern)
+        prefix, remainder = _like_literal_prefix(pattern)
+        self.prefix_bytes = prefix.encode("utf-8")
+        # remainder == "" means the pattern is a literal; "%" means a pure
+        # prefix pattern — both skip the regex entirely on VarcharBlocks.
+        self.remainder = remainder
 
     def run(self, bindings, position_count, stats) -> Block:
         block = _flat(self.value_kernel.run(bindings, position_count, stats))
         nulls = block.null_mask()
         match = self.regex.match
+        if isinstance(block, VarcharBlock):
+            # Prune by the literal prefix first (a byte-exact startswith);
+            # only surviving rows are decoded for the regex, if any.
+            candidates = block.prefix_mask(self.prefix_bytes) & ~nulls
+            if self.remainder == "":
+                values = candidates & (
+                    block.byte_lengths() == len(self.prefix_bytes)
+                )
+            elif self.remainder == "%":
+                values = candidates
+            else:
+                values = np.zeros(position_count, dtype=bool)
+                survivors = np.flatnonzero(candidates)
+                if len(survivors):
+                    decoded = block.take(survivors).to_object_array()
+                    values[survivors] = np.fromiter(
+                        (match(v) is not None for v in decoded),
+                        dtype=bool,
+                        count=len(survivors),
+                    )
+            if stats is not None:
+                stats.expr_positions_vectorized += position_count
+            return PrimitiveBlock(
+                BOOLEAN, values, nulls.copy() if nulls.any() else None
+            )
         if isinstance(block, PrimitiveBlock):
             values = np.fromiter(
                 (
@@ -362,6 +564,17 @@ class InConstantKernel(Kernel):
         nulls = block.null_mask().copy()
         if isinstance(block, PrimitiveBlock) and block.values.dtype != object:
             matches = np.isin(block.values, self.in_array)
+        elif isinstance(block, VarcharBlock):
+            matches = _varchar_in_small(block, self.in_list)
+            if matches is None:
+                # Larger lists: membership decided once per *distinct*
+                # string, then gathered.
+                codes, uniques = block.factorize()
+                in_set = self.in_set
+                table = np.zeros(len(uniques) + 1, dtype=bool)
+                for code, unique in enumerate(uniques):
+                    table[code] = unique in in_set
+                matches = table[np.where(codes < 0, len(uniques), codes)]
         elif isinstance(block, PrimitiveBlock):
             in_set = self.in_set
             matches = np.fromiter(
@@ -411,6 +624,10 @@ class IfKernel(Kernel):
         take_then = cond_values & ~cond_nulls
         then_block = _flat(self.then_kernel.run(bindings, position_count, stats))
         else_block = _flat(self.else_kernel.run(bindings, position_count, stats))
+        if isinstance(then_block, VarcharBlock):
+            then_block = then_block.to_primitive()
+        if isinstance(else_block, VarcharBlock):
+            else_block = else_block.to_primitive()
         if isinstance(then_block, PrimitiveBlock) and isinstance(
             else_block, PrimitiveBlock
         ):
@@ -447,6 +664,9 @@ class CoalesceKernel(Kernel):
     def run(self, bindings, position_count, stats) -> Block:
         blocks = [
             _flat(k.run(bindings, position_count, stats)) for k in self.arg_kernels
+        ]
+        blocks = [
+            b.to_primitive() if isinstance(b, VarcharBlock) else b for b in blocks
         ]
         if all(isinstance(b, PrimitiveBlock) for b in blocks):
             target = self._target_dtype
@@ -532,7 +752,7 @@ class DictionaryKernel(Kernel):
                 {self.variable_name: dictionary}, dictionary.position_count, stats
             )
             inner_block = _flat(inner_block)
-            if isinstance(inner_block, PrimitiveBlock):
+            if isinstance(inner_block, (PrimitiveBlock, VarcharBlock)):
                 if stats is not None:
                     stats.expr_positions_dictionary_saved += max(
                         0, position_count - dictionary.position_count

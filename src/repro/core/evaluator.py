@@ -27,6 +27,7 @@ from repro.core.blocks import (
     DictionaryBlock,
     PrimitiveBlock,
     RowBlock,
+    VarcharBlock,
     _numpy_dtype_for,
     block_from_values,
     constant_block,  # noqa: F401  (re-exported; historical home of this helper)
@@ -193,7 +194,7 @@ class Evaluator:
                     [arg_block.dictionary],
                     arg_block.dictionary.position_count,
                 )
-                if isinstance(inner, PrimitiveBlock):
+                if isinstance(inner, (PrimitiveBlock, VarcharBlock)):
                     return DictionaryBlock(inner, arg_block.ids)
 
         arg_blocks = [

@@ -16,8 +16,10 @@ from repro.core.blocks import (
     Block,
     DictionaryBlock,
     PrimitiveBlock,
+    VarcharBlock,
     _numpy_dtype_for,
     block_from_values,
+    concat_varchar_blocks,
 )
 from repro.core.types import PrestoType
 
@@ -126,6 +128,14 @@ def _concat_blocks(presto_type: PrestoType, blocks: Sequence[Block]) -> Block:
             block = block.decode()
         loaded.append(block)
     expected_dtype = _numpy_dtype_for(presto_type)
+    if loaded and all(isinstance(b, VarcharBlock) for b in loaded):
+        return concat_varchar_blocks(presto_type, loaded)
+    if any(isinstance(b, VarcharBlock) for b in loaded):
+        # Mixed representations (native pages meeting legacy object pages):
+        # normalize to the permissive object lane.
+        loaded = [
+            b.to_primitive() if isinstance(b, VarcharBlock) else b for b in loaded
+        ]
     if all(isinstance(b, PrimitiveBlock) for b in loaded) and (
         expected_dtype is object
         or all(b.values.dtype != object for b in loaded)

@@ -10,10 +10,12 @@ module is the kernel layer that keeps them columnar:
   columns of a page into one dense ``int64`` code array plus the list of
   distinct key tuples.  Dictionary-encoded columns factorize directly on
   their id arrays without decoding; primitive columns go through
-  ``np.unique``; object-dtype (varchar) columns get a null-safe
-  ``np.unique`` over the non-null values.  Unsupported block kinds (row,
-  array, map, mixed-type object columns) return ``None`` and the caller
-  falls back to the retained row-at-a-time reference path.
+  ``np.unique``; offsets-based :class:`VarcharBlock` columns factorize on
+  padded byte views (no per-element Python compares); legacy object-dtype
+  (varchar) columns get a null-safe ``np.unique`` over the non-null
+  values.  Unsupported block kinds (row, array, map, mixed-type object
+  columns) return ``None`` and the caller falls back to the retained
+  row-at-a-time reference path.
 - **Grouped accumulators**: count/sum/min/max/avg accumulate per group
   code with ``np.bincount`` / ``np.add.at`` / ``np.minimum.at`` instead
   of a per-row dict of Python states.  ``np.add.at`` applies updates in
@@ -30,9 +32,11 @@ module is the kernel layer that keeps them columnar:
   ranked last ascending, first descending — matching ``_SortKey``) fed
   to a stable ``np.lexsort``.
 
-Caveat shared by every ``np.unique``-based kernel: NaN keys collapse
-into a single group / sort rank, where the row-at-a-time reference
-treats each NaN as its own dict key.  NULL keys are handled exactly.
+NaN keys canonicalize to the null sentinel before factorization (NaN is
+not equal to itself, so ``np.unique`` grouping and dict-keyed grouping
+would otherwise disagree); :func:`canonical_key` applies the same rule to
+the row-at-a-time reference paths, so both lanes treat a NaN key exactly
+like SQL NULL.  NULL keys are handled exactly.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from repro.core.blocks import (
     Block,
     DictionaryBlock,
     PrimitiveBlock,
+    VarcharBlock,
     _numpy_dtype_for,
 )
 from repro.core.types import parse_type
@@ -54,6 +59,18 @@ EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
 
 class FallbackNeeded(Exception):
     """Raised by a vector kernel when a page needs the row-at-a-time path."""
+
+
+def canonical_key(value: Any) -> Any:
+    """Canonical form of one key component: NaN becomes the null sentinel.
+
+    Every row-at-a-time reference path that builds key tuples (group by,
+    hash join, partitioning) routes values through here so the dict-keyed
+    lanes agree with the factorized lanes, where NaN maps to code ``-1``.
+    """
+    if isinstance(value, float) and value != value:
+        return None
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -84,10 +101,15 @@ def _column_codes_raw(block: Block) -> Optional[tuple[np.ndarray, np.ndarray]]:
     block = block.loaded()
     if isinstance(block, DictionaryBlock):
         return _dictionary_codes(block)
+    if isinstance(block, VarcharBlock):
+        return block.factorize()
     if not isinstance(block, PrimitiveBlock):
         return None
     values = block.values
     nulls = block.null_mask()
+    if np.issubdtype(values.dtype, np.floating):
+        # NaN keys canonicalize to the null sentinel (module docstring).
+        nulls = nulls | np.isnan(values)
     if values.dtype == object or nulls.any():
         non_null = ~nulls
         try:
@@ -113,19 +135,16 @@ def _dictionary_codes(block: DictionaryBlock) -> Optional[tuple[np.ndarray, np.n
     dictionary is factorized once, then the remap table is applied to
     the full id array with one vectorized gather.
     """
-    dictionary = block.dictionary
-    dict_values = dictionary.values
-    dict_nulls = dictionary.null_mask()
-    non_null = ~dict_nulls
-    try:
-        uniq, inverse = np.unique(dict_values[non_null], return_inverse=True)
-    except TypeError:
+    raw = _column_codes_raw(block.dictionary)
+    if raw is None:
         return None
+    dict_codes, uniq = raw
     # remap[dict_id] -> code; the extra trailing slot catches id == -1.
-    remap = np.full(len(dict_values) + 1, -1, dtype=np.int64)
-    remap[np.flatnonzero(non_null)] = inverse
+    remap = np.empty(len(dict_codes) + 1, dtype=np.int64)
+    remap[: len(dict_codes)] = dict_codes
+    remap[len(dict_codes)] = -1
     ids = block.ids
-    safe_ids = np.where(ids < 0, len(dict_values), ids)
+    safe_ids = np.where(ids < 0, len(dict_codes), ids)
     return remap[safe_ids], uniq
 
 
@@ -158,17 +177,32 @@ def factorize_keys(blocks: Sequence[Block]) -> Optional[tuple[np.ndarray, list[t
             radix = int(combined.max()) + 1 if n else 1
         combined = combined * width + (codes + 1)
         radix *= width
-    _, first_rows, inverse = np.unique(
-        combined, return_index=True, return_inverse=True
-    )
-    # Relabel so codes follow first-appearance order (np.unique sorts by
-    # value); group output order must match the row-at-a-time reference.
-    appearance = np.argsort(first_rows, kind="stable")
-    rank = np.empty(len(appearance), dtype=np.int64)
-    rank[appearance] = np.arange(len(appearance), dtype=np.int64)
-    group_codes = rank[inverse]
+    if radix <= 65536:
+        # Small key domain: dense first-occurrence table, no sort of the
+        # row codes.  Reversed assignment leaves each slot holding the
+        # SMALLEST row index that wrote it.
+        first = np.full(radix, -1, dtype=np.int64)
+        first[combined[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+        values = np.flatnonzero(first >= 0)
+        appearance = np.argsort(first[values], kind="stable")  # #distinct only
+        rank_table = np.zeros(radix, dtype=np.int64)
+        rank_table[values[appearance]] = np.arange(len(values), dtype=np.int64)
+        group_codes = rank_table[combined]
+        reps = first[values][appearance]
+    else:
+        _, first_rows, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        # Relabel so codes follow first-appearance order (np.unique sorts
+        # by value); group output order must match the row-at-a-time
+        # reference.
+        appearance = np.argsort(first_rows, kind="stable")
+        rank = np.empty(len(appearance), dtype=np.int64)
+        rank[appearance] = np.arange(len(appearance), dtype=np.int64)
+        group_codes = rank[inverse]
+        reps = first_rows[appearance]
     uniques_out: list[tuple] = []
-    for rep in first_rows[appearance]:
+    for rep in reps:
         key = tuple(
             uniques[codes[rep]] if codes[rep] >= 0 else None
             for codes, uniques in columns
@@ -198,7 +232,7 @@ def partition_assignments(blocks: Sequence[Block], n_partitions: int) -> np.ndar
         loaded = [b.loaded() for b in blocks]
         out = np.empty(count, dtype=np.int64)
         for position in range(count):
-            key = tuple(block.get(position) for block in loaded)
+            key = tuple(canonical_key(block.get(position)) for block in loaded)
             out[position] = stable_hash(key) % n_partitions
         return out
     codes, uniques = factorized
@@ -241,7 +275,7 @@ class GroupIndex:
         group_ids = np.empty(count, dtype=np.int64)
         ids = self._ids
         for position in range(count):
-            key = tuple(block.get(position) for block in key_blocks)
+            key = tuple(canonical_key(block.get(position)) for block in key_blocks)
             group = ids.get(key)
             if group is None:
                 group = len(self.keys)
@@ -688,19 +722,36 @@ class JoinKeyIndex:
     def _map_column(self, i: int, block: Block) -> np.ndarray:
         block = block.loaded()
         if isinstance(block, DictionaryBlock):
-            dictionary = block.dictionary
-            dict_codes = self._match_values(
-                i, dictionary.values, dictionary.null_mask()
-            )
+            dict_codes = self._map_flat(i, block.dictionary)
             lookup = np.empty(len(dict_codes) + 1, dtype=np.int64)
             lookup[: len(dict_codes)] = dict_codes
             lookup[len(dict_codes)] = -1  # id == -1 (null row)
             ids = block.ids
             safe_ids = np.where(ids < 0, len(dict_codes), ids)
             return lookup[safe_ids]
+        return self._map_flat(i, block)
+
+    def _map_flat(self, i: int, block: Block) -> np.ndarray:
+        if isinstance(block, VarcharBlock):
+            # Factorize the probe page once, match only its distinct
+            # strings against the build side, then gather per row.
+            local_codes, local_uniques = block.factorize()
+            mapped = self._match_values(
+                i, local_uniques, np.zeros(len(local_uniques), dtype=bool)
+            )
+            lookup = np.empty(len(local_uniques) + 1, dtype=np.int64)
+            lookup[: len(local_uniques)] = mapped
+            lookup[len(local_uniques)] = -1
+            safe = np.where(local_codes < 0, len(local_uniques), local_codes)
+            return lookup[safe]
         if not isinstance(block, PrimitiveBlock):
             raise FallbackNeeded("unsupported probe key block")
-        return self._match_values(i, block.values, block.null_mask())
+        values = block.values
+        nulls = block.null_mask()
+        if np.issubdtype(values.dtype, np.floating):
+            # NaN probe keys canonicalize to null: they never match.
+            nulls = nulls | np.isnan(values)
+        return self._match_values(i, values, nulls)
 
     def _match_values(
         self, i: int, values: np.ndarray, nulls: np.ndarray
@@ -795,6 +846,12 @@ def take_nullable(block: Block, positions: np.ndarray, null_mask: np.ndarray) ->
             values = values.copy()
             values[null_mask] = None
         return PrimitiveBlock(block.type, values, nulls)
+    if isinstance(block, VarcharBlock):
+        if block.position_count == 0:
+            return VarcharBlock.all_null(len(positions), block.type)
+        taken = block.take(safe)
+        nulls = taken.null_mask() | null_mask
+        return VarcharBlock(block.type, taken.data, taken.offsets, nulls)
     if isinstance(block, DictionaryBlock):
         if block.position_count == 0:
             ids = np.full(len(positions), -1, dtype=np.int64)

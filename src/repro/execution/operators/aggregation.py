@@ -169,7 +169,9 @@ def execute_aggregation_rows(
             [bindings[name].loaded() for name in names] for names in agg_argument_names
         ]
         for position in range(page.position_count):
-            key = tuple(block.get(position) for block in key_blocks)
+            key = tuple(
+                kernels.canonical_key(block.get(position)) for block in key_blocks
+            )
             states = groups.get(key)
             if states is None:
                 states = new_states()

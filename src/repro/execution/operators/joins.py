@@ -238,7 +238,7 @@ def _probe_page_rows(
     right_null_row = (None,) * len(node.right.outputs)
     result_rows: list[tuple] = []
     for probe_row in page.rows():
-        key = tuple(probe_row[i] for i in left_key_indexes)
+        key = tuple(kernels.canonical_key(probe_row[i]) for i in left_key_indexes)
         if any(k is None for k in key):
             matches: Any = ()
         else:
@@ -282,9 +282,9 @@ def _hash_join_rows(
     build_rows = _build_rows(ctx, right_source, len(right_outputs))
     table: dict[tuple, list[tuple]] = {}
     for row in build_rows:
-        key = tuple(row[i] for i in right_key_indexes)
+        key = tuple(kernels.canonical_key(row[i]) for i in right_key_indexes)
         if any(k is None for k in key):
-            continue  # SQL: null keys never match
+            continue  # SQL: NULL keys (and canonicalized NaN) never match
         table.setdefault(key, []).append(row)
 
     evaluator = ctx.evaluator
@@ -297,7 +297,9 @@ def _hash_join_rows(
         page = page.loaded()
         result_rows: list[tuple] = []
         for probe_row in page.rows():
-            key = tuple(probe_row[i] for i in left_key_indexes)
+            key = tuple(
+                kernels.canonical_key(probe_row[i]) for i in left_key_indexes
+            )
             matches = [] if any(k is None for k in key) else table.get(key, [])
             matched = False
             for build_row in matches:

@@ -184,6 +184,35 @@ def decode_plain_vectorized(
     return result
 
 
+def decode_plain_varchar(data: bytes, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """PLAIN varchar decode straight into the offsets layout.
+
+    Returns ``(payload uint8 buffer, int64 offsets)`` for a
+    :class:`repro.core.blocks.VarcharBlock` — no per-value ``str`` objects.
+    The wire format ([u32 length][payload] repeated) is self-describing,
+    so the length scan is sequential; payload extraction is one vectorized
+    gather over the raw bytes.
+    """
+    lengths = np.empty(count, dtype=np.int64)
+    pos = 0
+    for i in range(count):
+        (length,) = struct.unpack_from("<I", data, pos)
+        lengths[i] = length
+        pos += 4 + length
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    # Value i's payload starts after i+1 length prefixes and i payloads.
+    starts = offsets[:-1] + 4 * np.arange(1, count + 1, dtype=np.int64)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.uint8), offsets
+    index = np.repeat(starts - offsets[:-1], lengths) + np.arange(
+        total, dtype=np.int64
+    )
+    return raw[index], offsets
+
+
 def decode_plain_scalar(data: bytes, presto_type: PrestoType, count: int) -> list[Any]:
     """Value-at-a-time decode (the pre-vectorized reader path)."""
     values: list[Any] = []

@@ -33,7 +33,9 @@ from repro.core.blocks import (
     LazyBlock,
     PrimitiveBlock,
     RowBlock,
+    VarcharBlock,
     block_from_values,
+    varchar_blocks_enabled,
 )
 from repro.core.evaluator import Evaluator
 from repro.core.expressions import (
@@ -46,13 +48,14 @@ from repro.core.expressions import (
     conjuncts,
 )
 from repro.core.page import Page
-from repro.core.types import ArrayType, MapType, PrestoType, RowType
+from repro.core.types import VARCHAR, ArrayType, MapType, PrestoType, RowType
 from repro.formats.parquet.encoding import (
     DICTIONARY,
     decode_dictionary_indices_scalar,
     decode_dictionary_indices_vectorized,
     decode_levels,
     decode_plain_scalar,
+    decode_plain_varchar,
     decode_plain_vectorized,
 )
 from repro.formats.parquet.file import ParquetFile
@@ -103,7 +106,7 @@ class NewParquetReader:
         self.predicate = predicate
         self.stats = ReaderStats()
         self._evaluator = evaluator or Evaluator()
-        self._dictionary_cache: dict[tuple[int, str], PrimitiveBlock] = {}
+        self._dictionary_cache: dict[tuple[int, str], Block] = {}
         self.columns = self._resolve_columns(columns)
         if restrict is not None and self.options.nested_column_pruning:
             self._restrict = {k: tuple(v) for k, v in restrict.items()}
@@ -259,7 +262,7 @@ class NewParquetReader:
 
     def _read_dictionary(
         self, group_index: int, path: str, chunk: ColumnChunkMetadata
-    ) -> PrimitiveBlock:
+    ) -> Block:
         """Read (and cache) a chunk's dictionary page (section V.I)."""
         key = (group_index, path)
         cached = self._dictionary_cache.get(key)
@@ -269,8 +272,14 @@ class NewParquetReader:
         data = self.file.read_segment(group_index, path, "dict")
         size = _count_varchar_entries(data)
         if self.options.vectorized:
-            values = decode_plain_vectorized(data, leaf.type, size)
-            block = PrimitiveBlock(leaf.type, np.asarray(values, dtype=object))
+            if leaf.type is VARCHAR and varchar_blocks_enabled():
+                # Dictionary page straight into the offsets layout: the
+                # dictionary under DictionaryBlock becomes a VarcharBlock.
+                dict_data, dict_offsets = decode_plain_varchar(data, size)
+                block: Block = VarcharBlock(leaf.type, dict_data, dict_offsets)
+            else:
+                values = decode_plain_vectorized(data, leaf.type, size)
+                block = PrimitiveBlock(leaf.type, np.asarray(values, dtype=object))
         else:
             block = PrimitiveBlock.from_values(leaf.type, decode_plain_scalar(data, leaf.type, size))
         self._dictionary_cache[key] = block
@@ -306,11 +315,18 @@ class NewParquetReader:
             block: Block = DictionaryBlock(dictionary, ids)
         else:
             raw = self.file.read_segment(group_index, path, "data")
-            if self.options.vectorized:
+            if (
+                self.options.vectorized
+                and leaf.type is VARCHAR
+                and varchar_blocks_enabled()
+            ):
+                block = _scatter_varchar(leaf.type, raw, nulls, count, defined_count)
+            elif self.options.vectorized:
                 defined_values = decode_plain_vectorized(raw, leaf.type, defined_count)
+                block = _scatter_block(leaf.type, defined_values, nulls, count)
             else:
                 defined_values = decode_plain_scalar(raw, leaf.type, defined_count)
-            block = _scatter_block(leaf.type, defined_values, nulls, count)
+                block = _scatter_block(leaf.type, defined_values, nulls, count)
         return _DecodedLeaf(leaf, repetition, definition, block)
 
     # -- output materialization --------------------------------------------------------
@@ -464,6 +480,24 @@ class NewParquetReader:
             nulls if nulls.any() else None,
             num_rows,
         )
+
+
+def _scatter_varchar(
+    presto_type: PrestoType, raw: bytes, nulls: np.ndarray, count: int, defined_count: int
+) -> VarcharBlock:
+    """Decode a PLAIN varchar page into an offsets-based block.
+
+    Null slots own zero bytes, so the defined payload buffer is reused
+    as-is — only the offsets are re-spread across the full slot count.
+    """
+    data, offsets = decode_plain_varchar(raw, defined_count)
+    if not nulls.any():
+        return VarcharBlock(presto_type, data, offsets)
+    lengths_full = np.zeros(count, dtype=np.int64)
+    lengths_full[~nulls] = np.diff(offsets)
+    full_offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(lengths_full, out=full_offsets[1:])
+    return VarcharBlock(presto_type, data, full_offsets, nulls)
 
 
 def _scatter_block(

@@ -27,13 +27,29 @@ from repro.core.blocks import (
     MapBlock,
     PrimitiveBlock,
     RowBlock,
+    VarcharBlock,
 )
+
+
 from repro.core.page import Page
 from repro.core.types import PrestoType, RowType
 from repro.formats.parquet import compression
 from repro.formats.parquet.file import LeafChunk, ParquetBlobWriter
 from repro.formats.parquet.schema import LeafColumn, ParquetSchema, _enumerate_leaves
 from repro.formats.parquet.shredder import shred_column
+
+
+def _flat_values(block: Block) -> Block:
+    """Decode dictionary/varchar blocks to flat ``.values`` storage.
+
+    The shredder consumes object arrays; offsets-based varchar blocks
+    decode here, at the write boundary.
+    """
+    if isinstance(block, DictionaryBlock):
+        block = block.decode()
+    if isinstance(block, VarcharBlock):
+        block = block.to_primitive()
+    return block
 
 
 class NativeParquetWriter:
@@ -66,9 +82,7 @@ class NativeParquetWriter:
     def _shred_group(self, page: Page) -> dict[str, LeafChunk]:
         chunks: dict[str, LeafChunk] = {}
         for (name, presto_type), block in zip(self.schema.columns, page.blocks):
-            block = block.loaded()
-            if isinstance(block, DictionaryBlock):
-                block = block.decode()
+            block = _flat_values(block.loaded())
             self._shred_block(name, presto_type, block, chunks)
         return chunks
 
@@ -148,9 +162,7 @@ class NativeParquetWriter:
         self, name: str, block: ArrayBlock, chunks: dict[str, LeafChunk]
     ) -> None:
         """Columnar shredding of array(scalar): levels from offsets."""
-        elements = block.elements.loaded()
-        if isinstance(elements, DictionaryBlock):
-            elements = elements.decode()
+        elements = _flat_values(block.elements.loaded())
         repetition, definition, _, element_slot = self._collection_levels(
             block.offsets, block.null_mask()
         )
@@ -170,12 +182,8 @@ class NativeParquetWriter:
         self, name: str, block: MapBlock, chunks: dict[str, LeafChunk]
     ) -> None:
         """Columnar shredding of map(scalar, scalar)."""
-        keys = block.keys.loaded()
-        values = block.values.loaded()
-        if isinstance(keys, DictionaryBlock):
-            keys = keys.decode()
-        if isinstance(values, DictionaryBlock):
-            values = values.decode()
+        keys = _flat_values(block.keys.loaded())
+        values = _flat_values(block.values.loaded())
         repetition, base_definition, _, entry_slot = self._collection_levels(
             block.offsets, block.null_mask()
         )
@@ -220,9 +228,7 @@ class NativeParquetWriter:
         count = block.position_count
         for field in row_type.fields:
             field_path = f"{path}.{field.name}"
-            field_block = block.field(field.name).loaded()
-            if isinstance(field_block, DictionaryBlock):
-                field_block = field_block.decode()
+            field_block = _flat_values(block.field(field.name).loaded())
             if isinstance(field.type, RowType):
                 child_present = present & ~field_block.null_mask()
                 child_def = definition + child_present.astype(np.int32)

@@ -1,0 +1,59 @@
+"""Smoke test for benchmarks/bench_scan_baseline.py.
+
+Runs the single-core scan baseline in ``--smoke`` mode (tiny inputs, no
+speedup gates) and validates the ``BENCH_scan_baseline.json`` schema.
+The correctness gate — both lanes return identical results — holds even
+in smoke mode; only the rows/sec targets are skipped.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_scan_baseline.py"
+
+
+def test_bench_scan_baseline_smoke(tmp_path):
+    output = tmp_path / "BENCH_scan_baseline.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--smoke", "--output", str(output)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "scan_baseline"
+    assert report["smoke"] is True
+    assert report["rows"] > 0
+
+    entries = report["benchmarks"]
+    assert {b["name"] for b in entries} == {
+        "numeric_q6",
+        "varchar_q1_groupby",
+        "varchar_filter",
+        "varchar_substr_length",
+    }
+    kinds = {b["name"]: b["kind"] for b in entries}
+    assert kinds["numeric_q6"] == "numeric"
+    assert all(k == "varchar" for n, k in kinds.items() if n != "numeric_q6")
+    for entry in entries:
+        assert entry["rows"] == report["rows"]
+        assert entry["native_ms"] > 0
+        assert entry["object_ms"] > 0
+        assert entry["native_rows_per_sec_per_core"] > 0
+        assert entry["object_rows_per_sec_per_core"] > 0
+        assert entry["speedup"] > 0
+        # Smoke mode skips the speedup gates but never the correctness gate.
+        assert entry["identical"] is True
