@@ -62,3 +62,61 @@ def geometric_mean(values: Sequence[float]) -> float:
     if not values:
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# -- committed-baseline regression guard --------------------------------------
+#
+# Each bench commits its full-mode BENCH_*.json at the repo root; the next
+# full-mode run loads that file *before* overwriting it and fails when a
+# tracked throughput metric regressed by more than the tolerance.  Smoke
+# runs (CI) skip the guard — their sizes are incomparable.
+
+
+def load_committed_baseline(path: str):
+    """The committed BENCH_*.json, or None when absent/unreadable."""
+    import json
+    import os
+
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def assert_no_regression(
+    baseline,
+    report: dict,
+    metric: str,
+    tolerance: float = 0.15,
+    key: str = "name",
+    section: str = "benchmarks",
+) -> None:
+    """Fail when any suite's ``metric`` dropped more than ``tolerance``.
+
+    Joins ``report[section]`` against ``baseline[section]`` on ``key``
+    and compares bigger-is-better metrics (rows/sec, goodput).  A None
+    or smoke-mode baseline, and suites present on only one side, are
+    skipped — the guard never blocks a brand-new benchmark.
+    """
+    if baseline is None or baseline.get("smoke") or report.get("smoke"):
+        return
+    by_key = {entry[key]: entry for entry in baseline.get(section, [])}
+    failures = []
+    for entry in report.get(section, []):
+        base = by_key.get(entry.get(key))
+        if base is None or metric not in base or metric not in entry:
+            continue
+        old, new = base[metric], entry[metric]
+        if old > 0 and new < old * (1.0 - tolerance):
+            drop = (1.0 - new / old) * 100.0
+            failures.append(
+                f"{entry[key]}: {metric} {new:,.2f} vs committed {old:,.2f} "
+                f"(-{drop:.1f}%)"
+            )
+    assert not failures, (
+        f"regression beyond {tolerance:.0%} against the committed baseline:\n  "
+        + "\n  ".join(failures)
+    )

@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from _harness import print_table
+from _harness import assert_no_regression, load_committed_baseline, print_table
 from repro.core.blocks import (
     Block,
     PrimitiveBlock,
@@ -325,6 +325,11 @@ def main() -> None:
     )
     args = parser.parse_args()
 
+    # Load the committed baseline *before* the run overwrites it: full-mode
+    # runs must not regress rows/sec-per-core by more than 15% vs what the
+    # repo last published (the ROADMAP's "track the baseline across PRs").
+    baseline = load_committed_baseline("BENCH_scan_baseline.json")
+
     report = run(args.smoke)
     print_table(
         "Single-core scan baseline: offsets-based varchar vs object lane",
@@ -350,6 +355,7 @@ def main() -> None:
 
     assert all(b["identical"] for b in report["benchmarks"]), "lanes diverged"
     if not args.smoke:
+        assert_no_regression(baseline, report, "native_rows_per_sec_per_core")
         for b in report["benchmarks"]:
             if b["kind"] == "varchar":
                 assert b["speedup"] >= 3.0, (

@@ -1,0 +1,211 @@
+"""Traffic storm: tail latency and goodput vs serving concurrency.
+
+Replays a deterministic zipfian multi-user storm (thousands of queries
+in full mode) against one simulated cluster at several resource-group
+concurrency caps, reproducing the paper's serving-layer claim: what
+separates a production engine is tail latency under concurrent
+multi-tenant load, not single-query speed.  Every query executes for
+real through the steppable engine path — the cluster event loop
+interleaves their tasks on the shared simulated clock — and queries
+whose estimated queue wait breaches the admission SLO are shed with
+retry-after, so *goodput* (completed queries per simulated second) is
+what scales with concurrency.
+
+All latencies are simulated milliseconds, so results are deterministic
+per seed and safe to regression-guard across commits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_traffic_storm.py            # full
+    PYTHONPATH=src python benchmarks/bench_traffic_storm.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from _harness import (
+    assert_no_regression,
+    load_committed_baseline,
+    percentile,
+    print_table,
+)
+from repro.common.clock import SimulatedClock
+from repro.common.errors import AdmissionRejectedError
+from repro.execution.cluster import PrestoClusterSim
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.traffic_storm import TrafficStorm, build_traffic_storm, make_storm_engine
+
+QUEUE_SLO_MS = 30_000.0
+
+
+def replay_storm(
+    storm: TrafficStorm,
+    max_running: int,
+    rows: int,
+    workers: int = 8,
+    slots_per_worker: int = 4,
+    queue_slo_ms: float = QUEUE_SLO_MS,
+    tracing: bool = False,
+) -> tuple[dict, PrestoClusterSim]:
+    """Replay the storm at one concurrency cap; returns (report, cluster)."""
+    metrics = MetricsRegistry()
+    clock = SimulatedClock()
+    cluster = PrestoClusterSim(
+        workers=workers,
+        slots_per_worker=slots_per_worker,
+        clock=clock,
+        metrics=metrics,
+        name=f"storm-c{max_running}",
+    )
+    cluster.resource_group("storm", max_running=max_running, queue_slo_ms=queue_slo_ms)
+    engine = make_storm_engine(rows=rows, tracing=tracing, metrics=metrics)
+
+    finished: list[tuple] = []  # (StormQuery, QueryHandle, QueryExecution)
+    shed: list[tuple] = []  # (StormQuery, retry_after_ms)
+    failed: list[tuple] = []
+
+    def submit(query) -> None:
+        try:
+            handle, execution = cluster.submit_engine_handle(
+                engine,
+                query.sql,
+                user=query.user,
+                resource_group=f"storm.{query.user}",
+            )
+        except AdmissionRejectedError as rejection:
+            shed.append((query, rejection.retry_after_ms))
+            return
+        finished.append((query, handle, execution))
+
+    for query in storm.queries:
+        cluster._at(query.arrival_ms, lambda q=query: submit(q))
+    cluster.run_until_idle(max_events=10_000_000)
+
+    completed = [(q, h, ex) for q, h, ex in finished if h.state == "finished"]
+    failed = [(q, h, ex) for q, h, ex in finished if h.state != "finished"]
+    latencies = [ex.latency_ms for _, _, ex in completed]
+    queued = [ex.queued_ms for _, _, ex in completed]
+    makespan_ms = clock.now_ms()
+    report = {
+        "concurrency": max_running,
+        "queries": len(storm.queries),
+        "completed": len(completed),
+        "shed": len(shed),
+        "failed": len(failed),
+        "makespan_ms": round(makespan_ms, 3),
+        "p50_ms": round(percentile(latencies, 50), 3),
+        "p95_ms": round(percentile(latencies, 95), 3),
+        "p99_ms": round(percentile(latencies, 99), 3),
+        "queued_p95_ms": round(percentile(queued, 95), 3),
+        "goodput_qps": round(len(completed) / makespan_ms * 1000.0, 3)
+        if makespan_ms > 0
+        else 0.0,
+        "max_in_flight": cluster.max_concurrent_running(),
+    }
+    return report, cluster
+
+
+def run(smoke: bool) -> dict:
+    if smoke:
+        storm = build_traffic_storm(queries=40, users=6, seed=11)
+        rows = 120
+        levels = [1, 4, 16]
+    else:
+        storm = build_traffic_storm(queries=2000, users=40, seed=11)
+        rows = 250
+        levels = [1, 8, 64]
+    results = []
+    for level in levels:
+        report, _ = replay_storm(storm, level, rows)
+        results.append(report)
+    top_user = max(storm.arrivals_by_user().items(), key=lambda item: item[1])
+    return {
+        "benchmark": "traffic_storm",
+        "paper_section": "VIII (gateway/serving) + resource management",
+        "smoke": smoke,
+        "queries": len(storm.queries),
+        "users": len(storm.users),
+        "rows": rows,
+        "seed": storm.seed,
+        "zipf_top_user": {"user": top_user[0], "queries": top_user[1]},
+        "queue_slo_ms": QUEUE_SLO_MS,
+        "levels": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny storm + skip gates (CI)"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_traffic_storm.json", help="result JSON path"
+    )
+    args = parser.parse_args()
+
+    # Load the committed baseline *before* the run overwrites it.
+    baseline = load_committed_baseline("BENCH_traffic_storm.json")
+
+    report = run(args.smoke)
+    print_table(
+        "Traffic storm: latency and goodput vs concurrency cap",
+        [
+            "concurrency",
+            "completed",
+            "shed",
+            "failed",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "queued p95",
+            "goodput q/s",
+            "max in flight",
+        ],
+        [
+            [
+                level["concurrency"],
+                level["completed"],
+                level["shed"],
+                level["failed"],
+                level["p50_ms"],
+                level["p95_ms"],
+                level["p99_ms"],
+                level["queued_p95_ms"],
+                level["goodput_qps"],
+                level["max_in_flight"],
+            ]
+            for level in report["levels"]
+        ],
+    )
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.output}")
+
+    levels = report["levels"]
+    top = levels[-1]
+    serial = levels[0]
+    # The acceptance bar: >1 query genuinely in flight at once.
+    assert top["max_in_flight"] > 1, "no query overlap at the top concurrency cap"
+    assert serial["max_in_flight"] <= 1, "cap=1 must serialize queries"
+    assert all(level["failed"] == 0 for level in levels), "queries failed"
+    if not args.smoke:
+        assert top["goodput_qps"] >= serial["goodput_qps"], (
+            "goodput did not improve with concurrency"
+        )
+        assert top["p95_ms"] <= serial["p95_ms"], (
+            "tail latency did not improve with concurrency"
+        )
+        assert_no_regression(
+            baseline, report, "goodput_qps", key="concurrency", section="levels"
+        )
+        print(
+            "targets met: overlap proven, goodput and p95 improve with "
+            "concurrency, no goodput regression vs committed baseline"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -91,6 +91,21 @@ class InsufficientResourcesError(ExecutionError):
         super().__init__(message)
 
 
+class AdmissionRejectedError(InsufficientResourcesError):
+    """The cluster shed the query at admission (queue over its SLO).
+
+    Carries ``retry_after_ms``, the estimated queue drain time — the
+    INSUFFICIENT_RESOURCES category makes the rejection non-retryable
+    through the ordinary failover path (re-routing a shed query to the
+    same overloaded fleet cannot help); clients back off and resubmit
+    after the hint instead.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class InjectedFaultError(ExecutionError):
     """A failure produced by the deterministic fault injector.
 

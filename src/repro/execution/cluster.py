@@ -21,6 +21,19 @@ A discrete-event simulation of one Presto cluster's control plane:
 Splits are scheduled FIFO (submission order), so completion order, cache
 warm-up order, and task records all follow the order work was produced.
 Time is fully simulated; `run_until_idle` drives the event loop.
+
+**Concurrent serving** (the multi-query scheduler): a cluster can also
+drive steppable engine queries — :meth:`PrestoClusterSim.submit_handle`
+admits a :class:`~repro.execution.engine.QueryHandle` through a
+:class:`ResourceGroup` tree (memory + concurrency quotas, nested by
+user/group, per the paper's resource-management section and the Twitter
+serving-layer follow-up), queues it per-user with priority/fair-share
+dequeue when its group is at quota, sheds load with
+``AdmissionRejectedError`` (INSUFFICIENT_RESOURCES + retry-after) when
+the queue exceeds its SLO, and — once admitted — *pumps* the handle's
+tasks into the ordinary split-scheduling machinery one stage at a time.
+Many admitted queries interleave on the shared simulated clock; worker
+crashes requeue in-flight splits across all of them.
 """
 
 from __future__ import annotations
@@ -33,7 +46,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.common.clock import SimulatedClock
-from repro.common.errors import ExecutionError
+from repro.common.errors import AdmissionRejectedError, ExecutionError, PrestoError
 from repro.common.hashing import stable_hash
 from repro.obs.trace import QueryTrace, activate, current_tracer
 
@@ -107,12 +120,148 @@ class QueryExecution:
     # splits go back to the front so recovered work runs first.
     pending: deque = field(default_factory=deque)
     splits_requeued: int = 0
+    # Admission-control accounting (concurrent serving): who submitted,
+    # through which resource group, and how the latency decomposes into
+    # time spent queued at admission vs. time spent actually running.
+    user: str = ""
+    resource_group: str = ""
+    queued_ms: float = 0.0
+    running_ms: float = 0.0
 
     @property
     def latency_ms(self) -> Optional[float]:
         if self.finished_at is None:
             return None
         return self.finished_at - self.submitted_at
+
+
+class QueryState(enum.Enum):
+    """Lifecycle of a concurrently-served query."""
+
+    QUEUED = "queued"  # admitted to a queue, waiting for group capacity
+    RUNNING = "running"  # holding group resources, tasks interleaving
+    FINISHED = "finished"
+    FAILED = "failed"
+    EVICTED = "evicted"  # dequeued without running (cluster drain)
+
+
+class ResourceGroup:
+    """One node of the resource-group tree (memory + CPU-slot quotas).
+
+    Mirrors Presto's nested resource groups: a query admits into a leaf
+    (conventionally ``root.<team>.<user>``), and admission must satisfy
+    the limits of *every* ancestor — ``running``/``memory_used_mb``
+    aggregate up the tree.  All limits are optional:
+
+    - ``max_running``: concurrent admitted queries (CPU-slot quota);
+    - ``memory_limit_mb``: summed reserved memory of admitted queries;
+    - ``max_queued``: queue capacity before hard load shedding;
+    - ``queue_slo_ms``: estimated-wait SLO — a submission whose estimated
+      queue time exceeds it is shed with a retry-after hint instead of
+      silently blowing its latency budget.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["ResourceGroup"] = None,
+        max_running: Optional[int] = None,
+        memory_limit_mb: Optional[float] = None,
+        max_queued: Optional[int] = None,
+        queue_slo_ms: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, "ResourceGroup"] = {}
+        self.max_running = max_running
+        self.memory_limit_mb = memory_limit_mb
+        self.max_queued = max_queued
+        self.queue_slo_ms = queue_slo_ms
+        # Live usage (this node + descendants).
+        self.running = 0
+        self.queued = 0
+        self.memory_used_mb = 0.0
+        # Lifetime accounting.
+        self.queries_completed = 0
+        self.queries_shed = 0
+
+    @property
+    def path(self) -> str:
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def child(self, name: str, **limits) -> "ResourceGroup":
+        """Get-or-create a child group; ``limits`` (re)configure it."""
+        group = self.children.get(name)
+        if group is None:
+            group = ResourceGroup(name, parent=self)
+            self.children[name] = group
+        for key, value in limits.items():
+            if not hasattr(group, key):
+                raise ExecutionError(f"unknown resource-group limit {key!r}")
+            setattr(group, key, value)
+        return group
+
+    def _chain(self):
+        group: Optional[ResourceGroup] = self
+        while group is not None:
+            yield group
+            group = group.parent
+
+    def can_admit(self, memory_mb: float) -> bool:
+        """Whether one more query fits under every limit up the tree."""
+        for group in self._chain():
+            if group.max_running is not None and group.running >= group.max_running:
+                return False
+            if (
+                group.memory_limit_mb is not None
+                and group.memory_used_mb + memory_mb > group.memory_limit_mb
+            ):
+                return False
+        return True
+
+    def effective_max_running(self) -> Optional[int]:
+        """Tightest ``max_running`` along the ancestor chain (None = ∞)."""
+        caps = [g.max_running for g in self._chain() if g.max_running is not None]
+        return min(caps) if caps else None
+
+    def acquire(self, memory_mb: float) -> None:
+        for group in self._chain():
+            group.running += 1
+            group.memory_used_mb += memory_mb
+
+    def release(self, memory_mb: float) -> None:
+        for group in self._chain():
+            group.running -= 1
+            group.memory_used_mb -= memory_mb
+
+    def enqueue(self) -> None:
+        for group in self._chain():
+            group.queued += 1
+
+    def dequeue(self) -> None:
+        for group in self._chain():
+            group.queued -= 1
+
+
+@dataclass
+class ConcurrentRun:
+    """Cluster-side state of one concurrently-served engine query."""
+
+    handle: object  # repro.execution.engine.QueryHandle
+    execution: QueryExecution
+    group: ResourceGroup
+    user: str
+    memory_mb: float
+    priority: int
+    sequence: int  # submission order; the FIFO tie-break
+    state: QueryState = QueryState.QUEUED
+    inflight: int = 0  # dispatched-but-uncompleted splits
+    last_stage: Optional[int] = None
+    admitted_at: Optional[float] = None
+    admission_span: Optional[object] = None
+    on_finish: Optional[Callable[["ConcurrentRun"], None]] = None
 
 
 @dataclass
@@ -163,6 +312,19 @@ class PrestoClusterSim:
         self._worker_ids = itertools.count()
         self._query_ids = itertools.count()
         self.queries: dict[str, QueryExecution] = {}
+        # Concurrent serving: the resource-group tree, per-query run
+        # state, and the admission queue (fair-share dequeue order is
+        # computed at dequeue time, so one list suffices).
+        self.root_group = ResourceGroup("root")
+        self._runs: dict[str, ConcurrentRun] = {}
+        self._queued_runs: list[ConcurrentRun] = []
+        self._run_sequence = itertools.count()
+        self._user_running: dict[str, int] = {}
+        self._completed_runs = 0
+        self._completed_running_ms = 0.0
+        self.queries_shed = 0
+        # Finished concurrent runs, for the cluster timeline trace.
+        self._timeline: list[dict] = []
         # Workers the coordinator will never schedule on again (crashed).
         self.blacklisted_workers: set[str] = set()
         # In-flight split assignments: id -> (worker, execution, split).
@@ -187,6 +349,40 @@ class PrestoClusterSim:
             self.metrics.gauge("cluster_active_workers", cluster=self.name).set(
                 self.active_worker_count()
             )
+
+    def _set_query_gauges(self) -> None:
+        """One deterministic update per query state transition."""
+        if self.metrics is not None:
+            self.metrics.gauge("cluster_queries_running", cluster=self.name).set(
+                self.running_query_count()
+            )
+            self.metrics.gauge("cluster_queries_queued", cluster=self.name).set(
+                self.queued_query_count()
+            )
+
+    def _set_slot_gauge(self) -> None:
+        """Busy worker slots; updated once per scheduling/completion event."""
+        if self.metrics is not None:
+            busy = sum(
+                w.running
+                for w in self.workers.values()
+                if w.state in (WorkerState.ACTIVE, WorkerState.SHUTTING_DOWN)
+            )
+            self.metrics.gauge("cluster_busy_slots", cluster=self.name).set(busy)
+
+    def _set_group_gauges(self, group: ResourceGroup) -> None:
+        """Refresh gauges for ``group`` and every ancestor it rolls into."""
+        if self.metrics is None:
+            return
+        node: Optional[ResourceGroup] = group
+        while node is not None:
+            labels = {"cluster": self.name, "group": node.path}
+            self.metrics.gauge("resource_group_running", **labels).set(node.running)
+            self.metrics.gauge("resource_group_queued", **labels).set(node.queued)
+            self.metrics.gauge("resource_group_memory_mb", **labels).set(
+                node.memory_used_mb
+            )
+            node = node.parent
 
     # -- elasticity -----------------------------------------------------------
 
@@ -297,18 +493,14 @@ class PrestoClusterSim:
         query_id = query_id or f"{self.name}-q{next(self._query_ids)}"
         # Engine-assigned ids can repeat across engines (or gateway
         # failovers); keep cluster-side records unambiguous.
-        if query_id in self.queries:
-            base = query_id
-            for retry in itertools.count(1):
-                query_id = f"{base}-r{retry}"
-                if query_id not in self.queries:
-                    break
+        query_id = self._unique_query_id(query_id)
         now = self.clock.now_ms()
         execution = QueryExecution(
             query_id, splits_total=len(split_durations_ms), submitted_at=now
         )
         self.queries[query_id] = execution
         self._count("cluster_queries_total")
+        self._set_query_gauges()
         planning = self.coordinator.planning_cost_ms(
             len([w for w in self.workers.values() if w.state is not WorkerState.SHUT_DOWN]),
             self.running_query_count() + 1,
@@ -385,7 +577,410 @@ class PrestoClusterSim:
         return result, execution
 
     def running_query_count(self) -> int:
-        return sum(1 for q in self.queries.values() if q.finished_at is None)
+        """Admitted-and-unfinished queries (planning or executing).
+
+        Queries sitting in an admission queue are *not* running — they
+        hold no resources and no coordinator attention; count them with
+        :meth:`queued_query_count`.  (Legacy ``submit_query`` admissions
+        are admitted immediately, so their semantics are unchanged.)
+        """
+        running = 0
+        for execution in self.queries.values():
+            if execution.finished_at is not None:
+                continue
+            run = self._runs.get(execution.query_id)
+            if run is not None and run.state is not QueryState.RUNNING:
+                continue
+            running += 1
+        return running
+
+    def queued_query_count(self) -> int:
+        """Queries admitted to a queue but not yet holding resources."""
+        return len(self._queued_runs)
+
+    # -- concurrent serving ---------------------------------------------------
+
+    def resource_group(self, path: str, **limits) -> ResourceGroup:
+        """Get-or-create a nested group by dotted path under the root.
+
+        ``limits`` apply to the final segment: e.g.
+        ``cluster.resource_group("etl.nightly", max_running=2)``.
+        """
+        group = self.root_group
+        parts = [part for part in path.split(".") if part]
+        if not parts:
+            return self.root_group
+        for part in parts[:-1]:
+            group = group.child(part)
+        return group.child(parts[-1], **limits)
+
+    def _unique_query_id(self, base: str) -> str:
+        if base not in self.queries:
+            return base
+        for retry in itertools.count(1):
+            candidate = f"{base}-r{retry}"
+            if candidate not in self.queries:
+                return candidate
+        raise AssertionError("unreachable")
+
+    def _avg_running_ms(self) -> float:
+        """Mean observed running time, seeding the queue-wait estimate."""
+        if self._completed_runs:
+            return self._completed_running_ms / self._completed_runs
+        return 500.0
+
+    def _estimated_wait_ms(self, group: ResourceGroup) -> float:
+        """How long a new arrival would wait behind ``group``'s queue.
+
+        Uses the *bottleneck* ancestor — the tightest ``max_running`` up
+        the chain — and its aggregated queue, since siblings under that
+        cap compete for the same slots.
+        """
+        cap: Optional[int] = None
+        bottleneck = group
+        for node in group._chain():
+            if node.max_running is not None and (
+                cap is None or node.max_running < cap
+            ):
+                cap = node.max_running
+                bottleneck = node
+        if cap is None:
+            return 0.0
+        waves = bottleneck.queued // cap + 1
+        return waves * self._avg_running_ms()
+
+    def submit_handle(
+        self,
+        handle,
+        user: str = "anonymous",
+        resource_group=None,
+        memory_mb: float = 100.0,
+        priority: int = 0,
+        on_finish: Optional[Callable[[ConcurrentRun], None]] = None,
+    ) -> QueryExecution:
+        """Admit a steppable engine query for concurrent execution.
+
+        ``handle`` is a :meth:`repro.execution.engine.PrestoEngine.submit`
+        result.  Returns immediately with the cluster-side
+        :class:`QueryExecution`; drive :meth:`run_until_idle` (or keep
+        submitting) and collect the result from ``handle.result()``.
+
+        ``resource_group`` is a dotted path, a :class:`ResourceGroup`, or
+        None for the per-user default queue ``root.<user>``.  If the
+        group is at quota the query queues (fair-share dequeue); if the
+        queue itself is over capacity or the estimated wait breaches the
+        group's SLO, the query is shed with
+        :class:`~repro.common.errors.AdmissionRejectedError` carrying a
+        retry-after hint — never silently dropped.
+        """
+        if isinstance(resource_group, ResourceGroup):
+            group = resource_group
+        else:
+            group = self.resource_group(resource_group or user)
+        now = self.clock.now_ms()
+        # Queue behind earlier arrivals of the same group — direct
+        # admission while the group has a backlog would reorder peers.
+        must_queue = group.queued > 0 or not group.can_admit(memory_mb)
+        if must_queue:
+            estimated = self._estimated_wait_ms(group)
+            # Queue capacity and SLO are enforced along the whole chain:
+            # a parent's limit protects it from the sum of its children.
+            over_capacity = any(
+                node.max_queued is not None and node.queued >= node.max_queued
+                for node in group._chain()
+            )
+            over_slo = any(
+                node.queue_slo_ms is not None and estimated > node.queue_slo_ms
+                for node in group._chain()
+            )
+            if over_capacity or over_slo:
+                group.queries_shed += 1
+                self.queries_shed += 1
+                self._count("cluster_queries_shed_total")
+                retry_after = estimated if estimated > 0 else self._avg_running_ms()
+                raise AdmissionRejectedError(
+                    f"{self.name}: resource group {group.path} "
+                    + ("queue full" if over_capacity else "queue over SLO")
+                    + f" ({group.queued} queued)",
+                    retry_after_ms=retry_after,
+                )
+        query_id = self._unique_query_id(f"{self.name}-{handle.query_id}")
+        execution = QueryExecution(
+            query_id,
+            splits_total=0,
+            submitted_at=now,
+            user=user,
+            resource_group=group.path,
+        )
+        self.queries[query_id] = execution
+        run = ConcurrentRun(
+            handle=handle,
+            execution=execution,
+            group=group,
+            user=user,
+            memory_mb=memory_mb,
+            priority=priority,
+            sequence=next(self._run_sequence),
+            on_finish=on_finish,
+        )
+        self._runs[query_id] = run
+        self._count("cluster_queries_total")
+        if must_queue:
+            run.state = QueryState.QUEUED
+            group.enqueue()
+            self._queued_runs.append(run)
+            self._count("cluster_queries_queued_total")
+            self._set_query_gauges()
+            self._set_group_gauges(group)
+        else:
+            self._admit(run)
+        return execution
+
+    def submit_engine_handle(
+        self, engine, sql: str, **admission
+    ) -> tuple[object, QueryExecution]:
+        """Plan ``sql`` on ``engine`` and admit its handle; non-blocking.
+
+        The concurrent counterpart of :meth:`submit_engine_query`:
+        returns ``(QueryHandle, QueryExecution)`` before any task has
+        run.  ``admission`` keywords pass through to
+        :meth:`submit_handle`.
+        """
+        handle = engine.submit(sql)
+        execution = self.submit_handle(handle, **admission)
+        return handle, execution
+
+    def _admit(self, run: ConcurrentRun) -> None:
+        """Grant resources and schedule the first pump after planning."""
+        now = self.clock.now_ms()
+        execution = run.execution
+        run.state = QueryState.RUNNING
+        run.admitted_at = now
+        run.group.acquire(run.memory_mb)
+        self._user_running[run.user] = self._user_running.get(run.user, 0) + 1
+        execution.queued_ms = now - execution.submitted_at
+        tracer = getattr(run.handle, "trace", None)
+        if tracer is not None:
+            run.admission_span = tracer.open_span(
+                "cluster.admission",
+                cluster=self.name,
+                group=run.group.path,
+                user=run.user,
+                queued_ms=execution.queued_ms,
+            )
+        if self.metrics is not None:
+            self.metrics.histogram("cluster_queued_ms", cluster=self.name).observe(
+                execution.queued_ms
+            )
+        # planning_cost_ms's concurrent_queries argument sees the *real*
+        # number of in-flight queries (this one included).
+        planning = self.coordinator.planning_cost_ms(
+            len(
+                [
+                    w
+                    for w in self.workers.values()
+                    if w.state is not WorkerState.SHUT_DOWN
+                ]
+            ),
+            self.running_query_count(),
+        )
+        execution.started_at = now + planning
+        self._set_query_gauges()
+        self._set_group_gauges(run.group)
+        self._at(execution.started_at, lambda: self._pump(run))
+
+    def _pump(self, run: ConcurrentRun) -> None:
+        """Advance one query: dispatch its ready tasks as split work.
+
+        Steps the handle through the current stage, turning each executed
+        task into a :class:`SplitWork` on the ordinary FIFO/affinity
+        scheduling path (so worker crashes requeue concurrent queries'
+        splits exactly like legacy ones).  Stops at stage barriers — the
+        next stage's tasks are not planned until every dispatched split
+        of the current stage has drained through the workers.
+        """
+        if run.state is not QueryState.RUNNING:
+            return
+        handle = run.handle
+        execution = run.execution
+        dispatched = False
+        while not handle.done:
+            next_stage = handle.peek_stage()
+            if (
+                run.last_stage is not None
+                and next_stage != run.last_stage
+                and run.inflight > 0
+            ):
+                break  # stage barrier: previous stage still in flight
+            try:
+                step = handle.step()
+            except PrestoError:
+                self._finish_run(run, failed=True)
+                return
+            if step is None:
+                break
+            run.last_stage = step.stage
+            run.inflight += 1
+            execution.splits_total += 1
+            execution.pending.append(
+                SplitWork(execution.query_id, step.sim_ms, step.data_key)
+            )
+            dispatched = True
+        if handle.done and run.inflight == 0 and not execution.pending:
+            self._finish_run(run)
+            return
+        if dispatched:
+            self._schedule_pending()
+
+    def _cancel_splits(self, execution: QueryExecution) -> None:
+        """Withdraw a failed query's dispatched-but-unfinished splits."""
+        stale = [
+            assignment_id
+            for assignment_id, (_, owner, _) in self._assignments.items()
+            if owner is execution
+        ]
+        for assignment_id in stale:
+            worker, _, _ = self._assignments.pop(assignment_id)
+            worker.running -= 1
+        execution.pending.clear()
+        self._set_slot_gauge()
+
+    def _finish_run(self, run: ConcurrentRun, failed: bool = False) -> None:
+        if run.state is not QueryState.RUNNING:
+            return
+        now = self.clock.now_ms()
+        execution = run.execution
+        run.state = QueryState.FAILED if failed else QueryState.FINISHED
+        if failed:
+            self._cancel_splits(execution)
+            self._count("cluster_queries_failed_total")
+        execution.finished_at = now
+        admitted = run.admitted_at if run.admitted_at is not None else now
+        execution.running_ms = now - admitted
+        run.group.release(run.memory_mb)
+        run.group.queries_completed += 1
+        self._user_running[run.user] -= 1
+        self._completed_runs += 1
+        self._completed_running_ms += execution.running_ms
+        tracer = getattr(run.handle, "trace", None)
+        if tracer is not None and run.admission_span is not None:
+            run.admission_span.set(
+                running_ms=execution.running_ms, state=run.state.value
+            )
+            tracer.close_span(run.admission_span)
+        if self.metrics is not None:
+            self.metrics.histogram("cluster_running_ms", cluster=self.name).observe(
+                execution.running_ms
+            )
+        self._timeline.append(
+            {
+                "query_id": execution.query_id,
+                "user": run.user,
+                "group": run.group.path,
+                "state": run.state.value,
+                "submitted_ms": execution.submitted_at,
+                "admitted_ms": run.admitted_at,
+                "finished_ms": now,
+                "queued_ms": execution.queued_ms,
+                "running_ms": execution.running_ms,
+            }
+        )
+        self._set_query_gauges()
+        self._set_group_gauges(run.group)
+        if run.on_finish is not None:
+            run.on_finish(run)
+        self._dequeue_next()
+
+    def _dequeue_next(self) -> None:
+        """Admit queued queries while capacity lasts (fair-share order).
+
+        Pick order: highest priority first, then the user with the
+        fewest queries currently running (fair share), then submission
+        order — all deterministic.
+        """
+        while self._queued_runs:
+            candidates = [
+                run for run in self._queued_runs if run.group.can_admit(run.memory_mb)
+            ]
+            if not candidates:
+                return
+            chosen = min(
+                candidates,
+                key=lambda run: (
+                    -run.priority,
+                    self._user_running.get(run.user, 0),
+                    run.sequence,
+                ),
+            )
+            self._queued_runs.remove(chosen)
+            chosen.group.dequeue()
+            self._admit(chosen)
+
+    def evict_queued(self) -> list[ConcurrentRun]:
+        """Drop every queued (never-admitted) query, e.g. for a drain.
+
+        The runs never executed a task — no split was dispatched and no
+        page published — so a gateway can resubmit their handles to
+        another cluster without any double-publish risk.  Returns the
+        evicted runs in queue order.
+        """
+        evicted = list(self._queued_runs)
+        self._queued_runs.clear()
+        now = self.clock.now_ms()
+        for run in evicted:
+            run.group.dequeue()
+            run.state = QueryState.EVICTED
+            run.execution.finished_at = now
+            run.execution.queued_ms = now - run.execution.submitted_at
+            del self._runs[run.execution.query_id]
+            self._count("cluster_queries_evicted_total")
+            self._set_group_gauges(run.group)
+        self._set_query_gauges()
+        return evicted
+
+    # -- cluster timeline -----------------------------------------------------
+
+    def timeline_trace(self) -> QueryTrace:
+        """The cluster-wide query timeline on the shared simulated clock.
+
+        Unlike a per-query trace (private clock anchored at 0), these
+        spans carry cluster-clock timestamps — overlapping ``cluster
+        .query`` spans are the visible proof that more than one query was
+        in flight at once.
+        """
+        trace = QueryTrace()
+        root = trace.add_span(
+            "cluster.timeline", 0.0, self.clock.now_ms(), cluster=self.name
+        )
+        for record in sorted(
+            self._timeline, key=lambda r: (r["admitted_ms"], r["query_id"])
+        ):
+            trace.add_span(
+                "cluster.query",
+                record["admitted_ms"],
+                record["finished_ms"],
+                parent=root,
+                query_id=record["query_id"],
+                user=record["user"],
+                group=record["group"],
+                state=record["state"],
+                queued_ms=record["queued_ms"],
+                running_ms=record["running_ms"],
+            )
+        return trace
+
+    def max_concurrent_running(self) -> int:
+        """Peak number of concurrently-running served queries."""
+        events: list[tuple[float, int]] = []
+        for record in self._timeline:
+            events.append((record["admitted_ms"], 1))
+            events.append((record["finished_ms"], -1))
+        events.sort()
+        current = peak = 0
+        for _, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak
 
     # -- event loop -----------------------------------------------------------------
 
@@ -405,6 +1000,10 @@ class PrestoClusterSim:
                 raise ExecutionError("cluster simulation did not converge")
 
     def _schedule_pending(self) -> None:
+        self._assign_splits()
+        self._set_slot_gauge()
+
+    def _assign_splits(self) -> None:
         now = self.clock.now_ms()
         for execution in self.queries.values():
             if execution.finished_at is not None or now < execution.started_at:
@@ -478,8 +1077,19 @@ class PrestoClusterSim:
         worker.completed_splits += 1
         self._count("cluster_splits_completed_total")
         execution.splits_done += 1
-        if execution.splits_done == execution.splits_total and not execution.pending:
-            execution.finished_at = self.clock.now_ms()
+        run = self._runs.get(execution.query_id)
+        if run is None:
+            # Legacy path: all splits were known up front, so exhausting
+            # them finishes the query.
+            if execution.splits_done == execution.splits_total and not execution.pending:
+                execution.finished_at = self.clock.now_ms()
+                self._set_query_gauges()
+        else:
+            # Concurrent path: splits_total grows as stages dispatch, so
+            # completion is decided by the pump (handle done + drained).
+            run.inflight -= 1
+            if run.state is QueryState.RUNNING:
+                self._pump(run)
         if worker.state is WorkerState.SHUTTING_DOWN and worker.running == 0:
             visible = (
                 worker.shutdown_visible_at is not None

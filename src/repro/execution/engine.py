@@ -9,10 +9,12 @@ is the object examples and benchmarks interact with; distributed concerns
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.common.clock import SimulatedClock
+from repro.common.errors import ExecutionError, PrestoError
 from repro.connectors.spi import Catalog
 from repro.core.functions import FunctionRegistry, default_registry
 from repro.core.page import Page
@@ -48,6 +50,126 @@ class QueryResult:
 
     def __repr__(self) -> str:
         return f"QueryResult(columns={self.column_names}, rows={len(self.rows)})"
+
+
+class QueryHandle:
+    """A submitted-but-not-finished query: the non-blocking execute.
+
+    Returned by :meth:`PrestoEngine.submit`.  Each :meth:`step` advances
+    the underlying :class:`~repro.execution.scheduler.QueryScheduler` by
+    exactly one task, so a cluster event loop can interleave many
+    queries' tasks on the shared simulated clock.  Driving a handle to
+    completion produces a :class:`QueryResult` (and trace) byte-identical
+    to the blocking :meth:`PrestoEngine.execute` path — the handle merely
+    re-activates its tracer around each step instead of holding it active
+    across the whole query.
+    """
+
+    def __init__(self, engine: "PrestoEngine", plan, ctx, machine) -> None:
+        self._engine = engine
+        self._plan = plan
+        self.ctx = ctx
+        self._machine = machine
+        self.trace: Optional[QueryTrace] = ctx.tracer
+        self.stats: QueryStats = ctx.stats
+        self.query_id: str = ctx.stats.query_id
+        self.error: Optional[BaseException] = None
+        self._query_span = None
+        self._result: Optional[QueryResult] = None
+
+    @classmethod
+    def completed(cls, result: QueryResult) -> "QueryHandle":
+        """Wrap an already-materialized result (metadata statements)."""
+        handle = cls.__new__(cls)
+        handle._engine = None
+        handle._plan = None
+        handle.ctx = None
+        handle._machine = None
+        handle.trace = result.trace
+        handle.stats = result.stats
+        handle.query_id = result.stats.query_id
+        handle.error = None
+        handle._query_span = None
+        handle._result = result
+        return handle
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None or self.error is not None
+
+    @property
+    def state(self) -> str:
+        if self.error is not None:
+            return "failed"
+        if self._result is not None:
+            return "finished"
+        return "running"
+
+    def peek_stage(self) -> Optional[int]:
+        """Stage the next step will run in (None when nothing remains)."""
+        if self._machine is None or self.done:
+            return None
+        return self._machine.peek_stage()
+
+    # -- driving --------------------------------------------------------------
+
+    def step(self):
+        """Run one task; returns its :class:`TaskStep` (None if finished).
+
+        On terminal failure the error is recorded on :attr:`error` *and*
+        raised, mirroring the blocking path's exception behavior.
+        """
+        if self.done or self._machine is None:
+            return None
+        tracer = self.trace
+        with activate(tracer) if tracer is not None else nullcontext():
+            if tracer is not None and self._query_span is None:
+                self._query_span = tracer.open_span(
+                    "query", query_id=self.query_id, path="staged"
+                )
+            try:
+                step = self._machine.step()
+            except PrestoError as error:
+                self.error = error
+                if tracer is not None and self._query_span is not None:
+                    tracer.close_span(self._query_span)
+                raise
+        if self._machine.done:
+            self._finalize()
+        return step
+
+    def _finalize(self) -> None:
+        rows: list[tuple] = []
+        for page in self._machine.result_pages:
+            rows.extend(page.rows())
+        tracer = self.trace
+        if tracer is not None:
+            if self._query_span is not None:
+                tracer.close_span(self._query_span)
+            self._engine.metrics.histogram("query_simulated_ms").observe(
+                self.ctx.stats.simulated_ms
+            )
+        self._result = QueryResult(
+            list(self._plan.column_names), rows, self.ctx.stats, trace=tracer
+        )
+
+    def run_to_completion(self) -> QueryResult:
+        """Block until done; the legacy execute path is exactly this."""
+        while not self.done:
+            self.step()
+        return self.result()
+
+    def result(self) -> QueryResult:
+        """The materialized result; raises the query's error if it failed."""
+        if self.error is not None:
+            raise self.error
+        if self._result is None:
+            raise ExecutionError(
+                f"{self.query_id} still running; step it (or run_to_completion)"
+            )
+        return self._result
 
 
 class PrestoEngine:
@@ -180,6 +302,36 @@ class PrestoEngine:
         """Run ``sql`` through fragments, stages, tasks and exchanges."""
         return self._execute_staged(self.plan(sql))
 
+    def submit(self, sql: str) -> QueryHandle:
+        """Non-blocking submit: plan ``sql`` and return a steppable handle.
+
+        Planning/analysis runs eagerly (it is coordinator work and can
+        raise USER_ERRORs synchronously, as Presto's POST /v1/statement
+        does); execution advances only as the caller — normally a
+        cluster's event loop — steps the handle.  Metadata statements
+        complete immediately.
+        """
+        statement = _match_metadata_statement(sql)
+        if statement is not None:
+            return QueryHandle.completed(statement(self))
+        return self._submit_plan(self.plan(sql))
+
+    def _submit_plan(self, plan: OutputNode) -> QueryHandle:
+        from repro.execution.scheduler import StageScheduler
+        from repro.planner.fragmenter import Fragmenter
+
+        fragmented = Fragmenter().fragment(plan)
+        ctx = self._fresh_context()
+        scheduler = StageScheduler(
+            ctx,
+            hash_partitions=self.hash_partitions,
+            fault_injector=self.fault_injector,
+            max_task_retries=self.max_task_retries,
+            retry_backoff_ms=self.retry_backoff_ms,
+            task_timeout_ms=self.task_timeout_ms,
+        )
+        return QueryHandle(self, plan, ctx, scheduler.start(fragmented))
+
     # -- internals -----------------------------------------------------------
 
     def _fresh_context(self) -> ExecutionContext:
@@ -228,32 +380,10 @@ class PrestoEngine:
         return QueryResult(list(plan.column_names), rows, ctx.stats, trace=tracer)
 
     def _execute_staged(self, plan: OutputNode) -> QueryResult:
-        from repro.execution.scheduler import StageScheduler
-        from repro.planner.fragmenter import Fragmenter
-
-        fragmented = Fragmenter().fragment(plan)
-        ctx = self._fresh_context()
-        scheduler = StageScheduler(
-            ctx,
-            hash_partitions=self.hash_partitions,
-            fault_injector=self.fault_injector,
-            max_task_retries=self.max_task_retries,
-            retry_backoff_ms=self.retry_backoff_ms,
-            task_timeout_ms=self.task_timeout_ms,
-        )
-        rows: list[tuple] = []
-        if ctx.tracer is None:
-            for page in scheduler.run(fragmented):
-                rows.extend(page.rows())
-            return QueryResult(list(plan.column_names), rows, ctx.stats)
-        tracer = ctx.tracer
-        with activate(tracer), tracer.span(
-            "query", query_id=ctx.stats.query_id, path="staged"
-        ):
-            for page in scheduler.run(fragmented):
-                rows.extend(page.rows())
-        self.metrics.histogram("query_simulated_ms").observe(ctx.stats.simulated_ms)
-        return QueryResult(list(plan.column_names), rows, ctx.stats, trace=tracer)
+        # The blocking path is the steppable path driven to completion in
+        # one go — one code path, so traces/stats cannot drift between
+        # single-query and concurrent execution.
+        return self._submit_plan(plan).run_to_completion()
 
     def explain_analyze(self, sql: str) -> str:
         """EXPLAIN ANALYZE: run staged, report per-stage execution stats."""

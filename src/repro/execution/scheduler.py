@@ -134,89 +134,21 @@ class StageScheduler:
         self.task_timeout_ms = task_timeout_ms
 
     def run(self, fragmented: FragmentedPlan) -> list[Page]:
-        """Run every stage in dependency order; returns the root's pages."""
-        # The fragmenter appends child fragments before their consumers,
-        # so the fragment list is already topologically ordered.
-        buffers: dict[Exchange, ExchangeBuffer] = {}
-        consumer_exchanges = [
-            exchange
-            for fragment in fragmented.fragments
-            for exchange in fragment.inputs
-        ]
-        result_pages: list[Page] = []
-        stats = self.ctx.stats
-        root_id = fragmented.root_fragment.fragment_id
+        """Run every stage in dependency order; returns the root's pages.
 
-        tracer = self.ctx.tracer
-        for fragment in fragmented.fragments:
-            outgoing = [
-                e for e in consumer_exchanges if e.source_fragment == fragment.fragment_id
-            ]
-            out_buffers = []
-            for exchange in outgoing:
-                key_channels = (
-                    key_channels_for(exchange, fragment.root)
-                    if exchange.partitioned
-                    else None
-                )
-                buffer = ExchangeBuffer(exchange, self.hash_partitions, key_channels)
-                buffers[exchange] = buffer
-                out_buffers.append(buffer)
+        The blocking driver over :meth:`start`: steps the per-query state
+        machine until it is exhausted.  One query at a time — concurrent
+        serving drives many :class:`QueryScheduler` machines from the
+        cluster event loop instead.
+        """
+        query = self.start(fragmented)
+        while not query.done:
+            query.step()
+        return query.result_pages
 
-            tasks = self._plan_tasks(fragment, buffers)
-            stage_rows_in = 0
-            stage_rows_out = 0
-            stage_sim_ms = 0.0
-            stage_span = (
-                tracer.span(
-                    "stage",
-                    stage=fragment.fragment_id,
-                    distribution=fragment.distribution,
-                    tasks=len(tasks),
-                )
-                if tracer is not None
-                else nullcontext()
-            )
-            with stage_span:
-                for task_index, task_plan in enumerate(tasks):
-                    record, pages = self._run_task(fragment, task_index, task_plan)
-                    # Commit only after success: a retried attempt never
-                    # double-publishes rows.
-                    if fragment.fragment_id == root_id:
-                        result_pages.extend(pages)
-                    else:
-                        for buffer in out_buffers:
-                            before = buffer.rows_added
-                            for page in pages:
-                                buffer.add(page)
-                            self._record_exchange(
-                                buffer, task_index, buffer.rows_added - before, pages
-                            )
-                    stats.task_records.append(record.as_dict())
-                    stats.tasks_total += 1
-                    self._count_task("scheduler_tasks_run_total", fragment.fragment_id)
-                    if self.ctx.metrics is not None:
-                        self.ctx.metrics.histogram(
-                            "scheduler_task_sim_ms", query_id=stats.query_id
-                        ).observe(record.sim_ms)
-                    stage_rows_in += record.rows_in
-                    stage_rows_out += record.rows_out
-                    stage_sim_ms += record.sim_ms
-            stats.stages_total += 1
-            stats.simulated_ms += stage_sim_ms
-            stats.stage_summaries.append(
-                {
-                    "stage": fragment.fragment_id,
-                    "distribution": fragment.distribution,
-                    "tasks": len(tasks),
-                    "rows_in": stage_rows_in,
-                    "rows_out": stage_rows_out,
-                    "sim_ms": stage_sim_ms,
-                }
-            )
-
-        stats.rows_exchanged = sum(b.rows_added for b in buffers.values())
-        return result_pages
+    def start(self, fragmented: FragmentedPlan) -> "QueryScheduler":
+        """Begin steppable execution; returns the per-query state machine."""
+        return QueryScheduler(self, fragmented)
 
     # -- observability -------------------------------------------------------
 
@@ -491,6 +423,217 @@ class StageScheduler:
                 len(scans),
             )
         ]
+
+
+@dataclass
+class TaskStep:
+    """What one :meth:`QueryScheduler.step` executed, for the event loop.
+
+    ``sim_ms`` is the task's simulated engine cost — the cluster replays
+    it as split work on a worker slot.  ``stage_done``/``query_done``
+    mark barrier crossings: the scheduler will not plan the next stage's
+    tasks until every in-flight task of this stage has drained.
+    """
+
+    stage: int
+    task: int
+    data_key: str
+    sim_ms: float
+    splits: int
+    stage_done: bool
+    query_done: bool
+
+
+class QueryScheduler:
+    """Steppable per-query execution state machine.
+
+    The heart of the run-to-completion → incremental refactor: holds all
+    the state :meth:`StageScheduler.run` used to keep in local variables
+    (exchange buffers, the current fragment's planned tasks, the open
+    stage span) so that execution can be advanced one task at a time from
+    a cluster-level event loop, interleaved with other queries on the
+    shared simulated clock.
+
+    Each :meth:`step` runs exactly one task — retries, trace charging,
+    exchange commits, and stats accounting included — in the same order
+    the blocking loop did, so traces and :class:`QueryStats` stay
+    byte-identical with single-query execution.  The *ready-task
+    frontier* is the remainder of the current stage: fragments are
+    topologically ordered and a stage's tasks are planned lazily when the
+    previous stage's output buffers are complete.
+    """
+
+    def __init__(self, scheduler: StageScheduler, fragmented: FragmentedPlan) -> None:
+        self._scheduler = scheduler
+        self.fragmented = fragmented
+        self.ctx = scheduler.ctx
+        self.buffers: dict[Exchange, ExchangeBuffer] = {}
+        self._consumer_exchanges = [
+            exchange
+            for fragment in fragmented.fragments
+            for exchange in fragment.inputs
+        ]
+        self.result_pages: list[Page] = []
+        self.done = False
+        self.failed = False
+        self._fragment_index = 0
+        self._tasks: Optional[list] = None
+        self._task_index = 0
+        self._out_buffers: list[ExchangeBuffer] = []
+        self._stage_span = None
+        self._stage_rows_in = 0
+        self._stage_rows_out = 0
+        self._stage_sim_ms = 0.0
+
+    # -- frontier inspection --------------------------------------------------
+
+    def peek_stage(self) -> Optional[int]:
+        """Fragment id the next :meth:`step` will run a task of (None if done)."""
+        if self.done:
+            return None
+        return self.fragmented.fragments[self._fragment_index].fragment_id
+
+    def tasks_remaining_in_stage(self) -> Optional[int]:
+        """Unexecuted tasks of the current stage, or None before planning."""
+        if self.done or self._tasks is None:
+            return None
+        return len(self._tasks) - self._task_index
+
+    # -- stage lifecycle ------------------------------------------------------
+
+    def _begin_stage(self, fragment: PlanFragment) -> None:
+        scheduler = self._scheduler
+        outgoing = [
+            e
+            for e in self._consumer_exchanges
+            if e.source_fragment == fragment.fragment_id
+        ]
+        self._out_buffers = []
+        for exchange in outgoing:
+            key_channels = (
+                key_channels_for(exchange, fragment.root)
+                if exchange.partitioned
+                else None
+            )
+            buffer = ExchangeBuffer(
+                exchange, scheduler.hash_partitions, key_channels
+            )
+            self.buffers[exchange] = buffer
+            self._out_buffers.append(buffer)
+
+        self._tasks = scheduler._plan_tasks(fragment, self.buffers)
+        self._task_index = 0
+        self._stage_rows_in = 0
+        self._stage_rows_out = 0
+        self._stage_sim_ms = 0.0
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            self._stage_span = tracer.open_span(
+                "stage",
+                stage=fragment.fragment_id,
+                distribution=fragment.distribution,
+                tasks=len(self._tasks),
+            )
+
+    def _end_stage(self, fragment: PlanFragment) -> None:
+        stats = self.ctx.stats
+        tracer = self.ctx.tracer
+        if tracer is not None and self._stage_span is not None:
+            tracer.close_span(self._stage_span)
+        self._stage_span = None
+        stats.stages_total += 1
+        stats.simulated_ms += self._stage_sim_ms
+        stats.stage_summaries.append(
+            {
+                "stage": fragment.fragment_id,
+                "distribution": fragment.distribution,
+                "tasks": len(self._tasks or []),
+                "rows_in": self._stage_rows_in,
+                "rows_out": self._stage_rows_out,
+                "sim_ms": self._stage_sim_ms,
+            }
+        )
+        self._tasks = None
+        self._fragment_index += 1
+
+    def _fail(self) -> None:
+        """Terminal failure: close the open stage span, freeze the machine."""
+        tracer = self.ctx.tracer
+        if tracer is not None and self._stage_span is not None:
+            tracer.close_span(self._stage_span)
+        self._stage_span = None
+        self.done = True
+        self.failed = True
+
+    def _finish(self) -> None:
+        self.ctx.stats.rows_exchanged = sum(
+            b.rows_added for b in self.buffers.values()
+        )
+        self.done = True
+
+    # -- the state machine ----------------------------------------------------
+
+    def step(self) -> TaskStep:
+        """Run exactly one task (with retries) and commit its output.
+
+        Raises the task's terminal :class:`PrestoError` on unrecoverable
+        failure, leaving the machine ``done`` and ``failed``.
+        """
+        if self.done:
+            raise ExecutionError("query scheduler already finished")
+        scheduler = self._scheduler
+        stats = self.ctx.stats
+        fragments = self.fragmented.fragments
+        fragment = fragments[self._fragment_index]
+        if self._tasks is None:
+            self._begin_stage(fragment)
+        assert self._tasks is not None
+        task_index = self._task_index
+        task_plan = self._tasks[task_index]
+        try:
+            record, pages = scheduler._run_task(fragment, task_index, task_plan)
+        except PrestoError:
+            self._fail()
+            raise
+        # Commit only after success: a retried attempt never
+        # double-publishes rows.
+        if fragment.fragment_id == self.fragmented.root_fragment.fragment_id:
+            self.result_pages.extend(pages)
+        else:
+            for buffer in self._out_buffers:
+                before = buffer.rows_added
+                for page in pages:
+                    buffer.add(page)
+                scheduler._record_exchange(
+                    buffer, task_index, buffer.rows_added - before, pages
+                )
+        stats.task_records.append(record.as_dict())
+        stats.tasks_total += 1
+        scheduler._count_task("scheduler_tasks_run_total", fragment.fragment_id)
+        if self.ctx.metrics is not None:
+            self.ctx.metrics.histogram(
+                "scheduler_task_sim_ms", query_id=stats.query_id
+            ).observe(record.sim_ms)
+        self._stage_rows_in += record.rows_in
+        self._stage_rows_out += record.rows_out
+        self._stage_sim_ms += record.sim_ms
+
+        self._task_index += 1
+        stage_done = self._task_index >= len(self._tasks)
+        if stage_done:
+            self._end_stage(fragment)
+        query_done = stage_done and self._fragment_index >= len(fragments)
+        if query_done:
+            self._finish()
+        return TaskStep(
+            stage=fragment.fragment_id,
+            task=task_index,
+            data_key=record.data_key,
+            sim_ms=record.sim_ms,
+            splits=record.splits,
+            stage_done=stage_done,
+            query_done=query_done,
+        )
 
 
 def _find_table_scans(node: PlanNode) -> list[TableScanNode]:

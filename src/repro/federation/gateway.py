@@ -19,7 +19,7 @@ from typing import Optional
 
 from contextlib import nullcontext
 
-from repro.common.errors import GatewayError, PrestoError
+from repro.common.errors import AdmissionRejectedError, GatewayError, PrestoError
 from repro.execution.cluster import PrestoClusterSim, QueryExecution
 from repro.federation.routing import RoutingTable
 from repro.obs.trace import QueryTrace, activate
@@ -33,6 +33,22 @@ class Redirect:
     status_code: int = 307
 
 
+@dataclass
+class GatewaySubmission:
+    """One non-blocking gateway submission and where it currently lives.
+
+    ``cluster_name``/``execution`` are updated if the gateway later
+    re-routes the query (admission spill, drain eviction); ``handle``
+    is the engine-side query and owns the result.
+    """
+
+    user: str
+    handle: object  # repro.execution.engine.QueryHandle
+    cluster_name: str
+    execution: QueryExecution
+    attempts: int = 1
+
+
 class PrestoGateway:
     """Routing-only federation gateway over multiple cluster simulations."""
 
@@ -43,6 +59,10 @@ class PrestoGateway:
         self._fallback: Optional[str] = None
         self.redirects_served = 0
         self.failovers = 0
+        self.load_sheds = 0
+        # Live non-blocking submissions (submit_sql_async), so a drain
+        # can re-route the still-queued ones.
+        self._submissions: list[GatewaySubmission] = []
         # Optional observability: ``gateway_redirects_total``,
         # ``gateway_queries_routed_total{cluster}`` and
         # ``gateway_failovers_total{cluster}``.
@@ -60,11 +80,41 @@ class PrestoGateway:
     def drain_cluster(self, name: str, fallback: str) -> None:
         """Maintenance: stop routing to ``name``, sending traffic to
         ``fallback`` — "we will redirect traffic either to shared cluster,
-        or newly launched new cluster, to guarantee no downtime"."""
+        or newly launched new cluster, to guarantee no downtime".
+
+        Queries already *running* on the drained cluster finish in place
+        (their splits keep draining through its workers); queries still
+        sitting in its admission queue never executed a task, so the
+        gateway evicts them and resubmits their handles to ``fallback``
+        with no double-publish risk.
+        """
         if fallback not in self.clusters:
             raise GatewayError(f"fallback cluster {fallback!r} not registered")
         self._drained.add(name)
         self._fallback = fallback
+        drained = self.clusters.get(name)
+        if drained is None:
+            return
+        target = self.clusters[fallback]
+        for run in drained.evict_queued():
+            self.failovers += 1
+            self._count("gateway_failovers_total", cluster=name)
+            # A group path is cluster-local; rebuild it (minus the "root."
+            # prefix) on the fallback cluster's tree.
+            relative = run.group.path.partition(".")[2] or None
+            execution = target.submit_handle(
+                run.handle,
+                user=run.user,
+                resource_group=relative,
+                memory_mb=run.memory_mb,
+                priority=run.priority,
+                on_finish=run.on_finish,
+            )
+            for submission in self._submissions:
+                if submission.handle is run.handle:
+                    submission.cluster_name = fallback
+                    submission.execution = execution
+                    submission.attempts += 1
 
     def undrain_cluster(self, name: str) -> None:
         self._drained.discard(name)
@@ -155,3 +205,108 @@ class PrestoGateway:
                     self.failovers += 1
                     self._count("gateway_failovers_total", cluster=cluster_name)
                     cluster_name = candidates[0]
+
+    # -- non-blocking submission ------------------------------------------------
+
+    def queue_depths(self) -> dict[str, int]:
+        """Per-cluster admission-queue depth, surfaced to routing.
+
+        Also refreshes the ``gateway_cluster_queue_depth`` gauges, so
+        dashboards see what the router saw.
+        """
+        depths = {
+            name: cluster.queued_query_count()
+            for name, cluster in self.clusters.items()
+        }
+        if self.metrics is not None:
+            for name, depth in depths.items():
+                self.metrics.gauge("gateway_cluster_queue_depth", cluster=name).set(
+                    depth
+                )
+        return depths
+
+    def submit_sql_async(
+        self,
+        user: str,
+        engine,
+        sql: str,
+        groups: tuple[str, ...] = (),
+        resource_group: Optional[str] = None,
+        memory_mb: float = 100.0,
+        priority: int = 0,
+    ) -> GatewaySubmission:
+        """Route and admit ``sql`` without blocking on its execution.
+
+        The gateway resolves the route, plans the query on ``engine``
+        (coordinator work — synchronous, as in production), and admits
+        the resulting handle to the target cluster's resource groups.
+        Execution proceeds as the cluster's event loop is driven; the
+        caller collects rows from ``submission.handle.result()``.
+
+        If the routed cluster sheds the query at admission
+        (:class:`AdmissionRejectedError`), the gateway *spills*: it
+        retries the remaining undrained clusters from the shallowest
+        admission queue up — the per-cluster queue depth surfaced by
+        :meth:`queue_depths` is exactly what this decision reads.  If
+        every cluster sheds, the last rejection (with its retry-after
+        hint) propagates to the client.
+        """
+        redirect = self.redirect(user, groups)
+        handle = engine.submit(sql)
+        tracer = getattr(handle, "trace", None)
+        span = tracer.open_span("gateway.submit", user=user) if tracer is not None else None
+
+        def finished(run) -> None:
+            if tracer is not None and span is not None:
+                tracer.close_span(span)
+
+        depths = self.queue_depths()
+        spill_order = [redirect.cluster_name] + sorted(
+            (
+                name
+                for name in self.clusters
+                if name != redirect.cluster_name and name not in self._drained
+            ),
+            key=lambda name: (depths[name], name),
+        )
+        last_rejection: Optional[AdmissionRejectedError] = None
+        for attempt, cluster_name in enumerate(spill_order, start=1):
+            cluster = self.clusters[cluster_name]
+            self._count("gateway_queries_routed_total", cluster=cluster_name)
+            if tracer is not None:
+                tracer.instant(
+                    "gateway.route",
+                    cluster=cluster_name,
+                    attempt=attempt,
+                    queue_depth=cluster.queued_query_count(),
+                )
+            try:
+                execution = cluster.submit_handle(
+                    handle,
+                    user=user,
+                    resource_group=resource_group,
+                    memory_mb=memory_mb,
+                    priority=priority,
+                    on_finish=finished,
+                )
+            except AdmissionRejectedError as error:
+                last_rejection = error
+                self.load_sheds += 1
+                self._count("gateway_load_shed_total", cluster=cluster_name)
+                continue
+            if attempt > 1:
+                self.failovers += 1
+                self._count("gateway_failovers_total", cluster=spill_order[0])
+            submission = GatewaySubmission(
+                user=user,
+                handle=handle,
+                cluster_name=cluster_name,
+                execution=execution,
+                attempts=attempt,
+            )
+            self._submissions.append(submission)
+            return submission
+        if tracer is not None and span is not None:
+            tracer.close_span(span)
+        assert last_rejection is not None
+        raise last_rejection

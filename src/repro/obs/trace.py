@@ -120,6 +120,54 @@ class QueryTrace:
         span.end_ms = span.start_ms
         return span
 
+    # -- manual span management ----------------------------------------------
+    #
+    # The context-manager form assumes the span's whole lifetime fits one
+    # Python scope.  Steppable execution (the concurrent scheduler) opens a
+    # query/stage span in one step and closes it many steps later, so these
+    # expose the same push/pop the context manager performs, explicitly.
+
+    def open_span(self, name: str, **attributes: Any) -> Span:
+        """Open a span that stays open across calls; pair with close_span."""
+        span = self._open(name, attributes)
+        self._stack.append(span)
+        return span
+
+    def close_span(self, span: Span) -> Span:
+        """Close a span opened by :meth:`open_span`, stamping its end time."""
+        if span in self._stack:
+            # Normally the top of the stack; removing by identity tolerates
+            # an error path closing an outer span before inner cleanup ran.
+            self._stack.remove(span)
+        if span.end_ms is None:
+            span.end_ms = self.now_ms()
+        return span
+
+    def add_span(
+        self,
+        name: str,
+        start_ms: float,
+        end_ms: float,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record a completed span with explicit timestamps.
+
+        Unlike :meth:`span`, the interval is caller-provided, so recorded
+        spans may overlap — how the cluster timeline shows many queries in
+        flight at once on the shared simulated clock.
+        """
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            attributes=attributes,
+        )
+        self.spans.append(span)
+        return span
+
     @property
     def root(self) -> Optional[Span]:
         return self.spans[0] if self.spans else None

@@ -10,8 +10,18 @@ from repro.workloads.tpch import generate_lineitem, LINEITEM_COLUMNS, writer_ben
 from repro.workloads.trips import TRIPS_COLUMNS, generate_trips_rows, load_trips_table
 from repro.workloads.geofences import generate_cities, generate_trip_points
 from repro.workloads.druid_queries import DruidWorkload, build_druid_workload
+from repro.workloads.traffic_storm import (
+    StormQuery,
+    TrafficStorm,
+    build_traffic_storm,
+    make_storm_engine,
+)
 
 __all__ = [
+    "StormQuery",
+    "TrafficStorm",
+    "build_traffic_storm",
+    "make_storm_engine",
     "generate_lineitem",
     "LINEITEM_COLUMNS",
     "writer_benchmark_datasets",

@@ -1,0 +1,400 @@
+"""Concurrent multi-query serving: steppable scheduler + admission control.
+
+Covers the run-to-completion → incremental refactor end to end: the
+steppable :class:`QueryScheduler` state machine, the engine's
+non-blocking submit handle, resource-group quotas and nesting, per-user
+admission queues with priority/fair-share dequeue, queue-time
+accounting, load shedding, interleaved execution on the cluster event
+loop, and fault tolerance (crash requeue) across in-flight queries.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    AdmissionRejectedError,
+    ErrorCategory,
+    ExecutionError,
+    InjectedFaultError,
+)
+from repro.connectors.memory import MemoryConnector
+from repro.core.types import BIGINT
+from repro.execution.cluster import (
+    PrestoClusterSim,
+    QueryState,
+    ResourceGroup,
+    WorkerState,
+)
+from repro.execution.engine import PrestoEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.planner.analyzer import Session
+from tests.obs.helpers import assert_query_observable
+
+SQL = "SELECT b, count(*), sum(a) FROM t GROUP BY b ORDER BY b"
+
+
+def make_engine(rows=60, split_size=7, **kwargs):
+    connector = MemoryConnector(split_size=split_size)
+    connector.create_table(
+        "db", "t", [("a", BIGINT), ("b", BIGINT)], [(i, i % 3) for i in range(rows)]
+    )
+    engine = PrestoEngine(session=Session(catalog="memory", schema="db"), **kwargs)
+    engine.register_connector("memory", connector)
+    return engine
+
+
+class TestQuerySchedulerStateMachine:
+    def test_stepping_matches_blocking_run(self):
+        stepped_engine = make_engine()
+        blocking_engine = make_engine()
+        handle = stepped_engine.submit(SQL)
+        steps = []
+        while not handle.done:
+            steps.append(handle.step())
+        oracle = blocking_engine.execute(SQL)
+        result = handle.result()
+        assert result.rows == oracle.rows
+        assert result.stats.task_records == oracle.stats.task_records
+        assert result.stats.simulated_ms == oracle.stats.simulated_ms
+        # One step per task, ending with the query_done marker.
+        assert len(steps) == result.stats.tasks_total
+        assert steps[-1].query_done and steps[-1].stage_done
+        assert all(not s.query_done for s in steps[:-1])
+
+    def test_stepped_trace_is_byte_identical_to_blocking(self):
+        handle = make_engine().submit(SQL)
+        while not handle.done:
+            handle.step()
+        blocking = make_engine().execute(SQL)
+        assert handle.result().trace.to_json() == blocking.trace.to_json()
+
+    def test_peek_stage_tracks_frontier(self):
+        handle = make_engine().submit(SQL)
+        seen = []
+        while not handle.done:
+            peeked = handle.peek_stage()
+            step = handle.step()
+            assert step.stage == peeked
+            seen.append(step.stage)
+        assert handle.peek_stage() is None
+        # Stages execute in topological order: grouped, never revisited.
+        boundaries = [s for i, s in enumerate(seen) if i == 0 or seen[i - 1] != s]
+        assert len(boundaries) == len(set(boundaries))
+
+    def test_step_after_done_returns_none(self):
+        handle = make_engine().submit(SQL)
+        handle.run_to_completion()
+        assert handle.step() is None
+        assert handle.state == "finished"
+
+    def test_result_before_done_raises(self):
+        handle = make_engine().submit(SQL)
+        with pytest.raises(ExecutionError, match="still running"):
+            handle.result()
+
+    def test_metadata_statement_completes_immediately(self):
+        handle = make_engine().submit("SHOW TABLES FROM memory.db")
+        assert handle.done
+        assert handle.result().rows == [("t",)]
+
+    def test_terminal_failure_is_recorded_and_raised(self):
+        from repro.execution.faults import FaultInjector
+
+        engine = make_engine(
+            fault_injector=FaultInjector(seed=3, task_failure_rate=1.0),
+            max_task_retries=1,
+        )
+        handle = engine.submit(SQL)
+        with pytest.raises(InjectedFaultError):
+            while not handle.done:
+                handle.step()
+        assert handle.state == "failed"
+        with pytest.raises(InjectedFaultError):
+            handle.result()
+        # The trace is still well formed: every span closed.
+        assert all(s.end_ms is not None for s in handle.trace.spans)
+
+
+class TestResourceGroups:
+    def test_nested_limits_aggregate_up(self):
+        root = ResourceGroup("root", max_running=3)
+        team = root.child("team", max_running=2)
+        alice = team.child("alice", max_running=1)
+        bob = team.child("bob")
+        assert alice.path == "root.team.alice"
+        assert alice.can_admit(0.0)
+        alice.acquire(10.0)
+        assert not alice.can_admit(0.0)  # own cap
+        assert bob.can_admit(0.0)
+        bob.acquire(10.0)
+        assert not bob.can_admit(0.0)  # team cap of 2
+        assert root.running == 2 and root.memory_used_mb == 20.0
+        bob.release(10.0)
+        assert bob.can_admit(0.0)
+
+    def test_memory_limit_enforced_from_ancestors(self):
+        root = ResourceGroup("root", memory_limit_mb=100.0)
+        leaf = root.child("leaf")
+        assert leaf.can_admit(100.0)
+        assert not leaf.can_admit(100.1)
+        leaf.acquire(60.0)
+        assert not leaf.can_admit(50.0)
+        assert leaf.can_admit(40.0)
+
+    def test_cluster_resource_group_by_dotted_path(self):
+        cluster = PrestoClusterSim(workers=1)
+        group = cluster.resource_group("etl.nightly", max_running=2)
+        assert group.path == "root.etl.nightly"
+        assert cluster.resource_group("etl.nightly") is group
+        assert group.parent is cluster.resource_group("etl")
+
+
+class TestAdmissionControl:
+    def make_cluster(self, **kwargs):
+        metrics = MetricsRegistry()
+        cluster = PrestoClusterSim(
+            workers=4, slots_per_worker=2, metrics=metrics, **kwargs
+        )
+        return cluster, metrics
+
+    def test_quota_queues_and_accounts_queue_time(self):
+        cluster, metrics = self.make_cluster()
+        cluster.resource_group("g", max_running=1)
+        engine = make_engine()
+        first, ex1 = cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        second, ex2 = cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        assert cluster.running_query_count() == 1
+        assert cluster.queued_query_count() == 1
+        cluster.run_until_idle()
+        assert first.state == "finished" and second.state == "finished"
+        assert ex1.queued_ms == 0.0
+        assert ex2.queued_ms > 0.0
+        assert ex2.running_ms > 0.0
+        assert ex2.latency_ms == pytest.approx(ex2.queued_ms + ex2.running_ms)
+        # queued_ms lands in the admission span and the histogram.
+        admission = second.trace.find("cluster.admission")[0]
+        assert admission.attributes["queued_ms"] == ex2.queued_ms
+        assert metrics.total("cluster_queries_queued_total", cluster=cluster.name) == 1
+
+    def test_load_shedding_rejects_with_retry_after(self):
+        cluster, _ = self.make_cluster()
+        cluster.resource_group("g", max_running=1, max_queued=1)
+        engine = make_engine()
+        cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        with pytest.raises(AdmissionRejectedError) as rejection:
+            cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        assert rejection.value.retry_after_ms > 0
+        assert rejection.value.category is ErrorCategory.INSUFFICIENT_RESOURCES
+        assert not rejection.value.retryable
+        assert cluster.queries_shed == 1
+        # The shed query holds nothing: the other two still complete.
+        cluster.run_until_idle()
+        assert cluster.running_query_count() == 0
+
+    def test_queue_slo_shedding(self):
+        cluster, _ = self.make_cluster()
+        # SLO below one average wait: any queueing at all is over budget.
+        cluster.resource_group("g", max_running=1, queue_slo_ms=1.0)
+        engine = make_engine()
+        cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        with pytest.raises(AdmissionRejectedError, match="over SLO"):
+            cluster.submit_engine_handle(engine, SQL, resource_group="g")
+
+    def test_fair_share_dequeue_prefers_starved_user(self):
+        cluster, _ = self.make_cluster()
+        cluster.resource_group("g", max_running=2)
+        engine = make_engine()
+        # alice fills the group, then queues a third; bob queues one last.
+        cluster.submit_engine_handle(engine, SQL, user="alice", resource_group="g")
+        cluster.submit_engine_handle(engine, SQL, user="alice", resource_group="g")
+        a3, a3_ex = cluster.submit_engine_handle(
+            engine, SQL, user="alice", resource_group="g"
+        )
+        b1, b1_ex = cluster.submit_engine_handle(
+            engine, SQL, user="bob", resource_group="g"
+        )
+        assert [run.handle for run in cluster._queued_runs] == [a3, b1]
+        cluster.run_until_idle()
+        assert a3.state == b1.state == "finished"
+        # Fair share: when the first slot freed, bob (0 running) beat
+        # alice's third query (1 still running) despite arriving later.
+        b1_run = cluster._runs[b1_ex.query_id]
+        a3_run = cluster._runs[a3_ex.query_id]
+        assert b1_run.admitted_at < a3_run.admitted_at
+
+    def test_priority_beats_fair_share(self):
+        cluster, _ = self.make_cluster()
+        cluster.resource_group("g", max_running=1)
+        engine = make_engine()
+        cluster.submit_engine_handle(engine, SQL, user="alice", resource_group="g")
+        low, low_ex = cluster.submit_engine_handle(
+            engine, SQL, user="bob", resource_group="g", priority=0
+        )
+        high, high_ex = cluster.submit_engine_handle(
+            engine, SQL, user="carol", resource_group="g", priority=5
+        )
+        cluster.run_until_idle()
+        assert high.state == low.state == "finished"
+        assert high_ex.finished_at < low_ex.finished_at
+
+    def test_gauges_track_state_transitions(self):
+        cluster, metrics = self.make_cluster()
+        cluster.resource_group("g", max_running=1)
+        engine = make_engine()
+        cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        name = cluster.name
+        assert metrics.gauge("cluster_queries_running", cluster=name).value == 1
+        assert metrics.gauge("cluster_queries_queued", cluster=name).value == 1
+        assert (
+            metrics.gauge(
+                "resource_group_running", cluster=name, group="root.g"
+            ).value
+            == 1
+        )
+        assert (
+            metrics.gauge("resource_group_queued", cluster=name, group="root.g").value
+            == 1
+        )
+        cluster.run_until_idle()
+        assert metrics.gauge("cluster_queries_running", cluster=name).value == 0
+        assert metrics.gauge("cluster_queries_queued", cluster=name).value == 0
+        assert (
+            metrics.gauge(
+                "resource_group_running", cluster=name, group="root.g"
+            ).value
+            == 0
+        )
+
+    def test_planning_cost_sees_real_concurrency(self):
+        calls = []
+
+        class SpyCoordinator:
+            planning_base_ms = 50.0
+
+            def planning_cost_ms(self, workers, concurrent_queries):
+                calls.append(concurrent_queries)
+                return 1.0
+
+        cluster = PrestoClusterSim(workers=4, coordinator=SpyCoordinator())
+        engine = make_engine()
+        for _ in range(3):
+            cluster.submit_engine_handle(engine, SQL)
+        assert calls == [1, 2, 3]
+
+
+class TestInterleavedExecution:
+    def test_queries_overlap_on_the_simulated_clock(self):
+        metrics = MetricsRegistry()
+        cluster = PrestoClusterSim(workers=4, slots_per_worker=2, metrics=metrics)
+        engine = make_engine()
+        handles = [cluster.submit_engine_handle(engine, SQL)[0] for _ in range(3)]
+        assert cluster.running_query_count() == 3
+        cluster.run_until_idle()
+        assert all(h.state == "finished" for h in handles)
+        assert cluster.max_concurrent_running() > 1
+        timeline = cluster.timeline_trace()
+        spans = timeline.find("cluster.query")
+        assert len(spans) == 3
+        overlaps = [
+            (a, b)
+            for a in spans
+            for b in spans
+            if a is not b and a.start_ms < b.end_ms and b.start_ms < a.end_ms
+        ]
+        assert overlaps, "no overlapping query spans in the cluster timeline"
+
+    def test_interleaved_results_equal_sequential_execution(self):
+        concurrent_engine = make_engine()
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=1)
+        sqls = [SQL, "SELECT count(*) FROM t WHERE a < 30", SQL]
+        handles = [cluster.submit_engine_handle(concurrent_engine, s)[0] for s in sqls]
+        cluster.run_until_idle()
+        sequential_engine = make_engine()
+        for handle, sql in zip(handles, sqls):
+            assert handle.result().rows == sequential_engine.execute(sql).rows
+
+    def test_concurrent_queries_reconcile_with_observability(self):
+        metrics = MetricsRegistry()
+        cluster = PrestoClusterSim(workers=4, metrics=metrics)
+        engine = make_engine(metrics=metrics)
+        handles = [cluster.submit_engine_handle(engine, SQL)[0] for _ in range(2)]
+        cluster.run_until_idle()
+        for handle in handles:
+            assert_query_observable(handle.result(), metrics)
+
+    def test_stage_barrier_no_downstream_task_before_upstream_drains(self):
+        cluster = PrestoClusterSim(workers=1, slots_per_worker=1)
+        engine = make_engine()
+        handle, execution = cluster.submit_engine_handle(engine, SQL)
+        cluster.run_until_idle()
+        # Replay the split completion order recorded by the cluster: all
+        # of stage N's splits must complete before stage N+1 dispatches.
+        records = handle.result().stats.task_records
+        stages = [r["stage"] for r in records]
+        boundaries = [
+            s for i, s in enumerate(stages) if i == 0 or stages[i - 1] != s
+        ]
+        assert len(boundaries) == len(set(boundaries))
+        assert execution.splits_done == execution.splits_total == len(records)
+
+
+class TestCrashRecoveryAcrossQueries:
+    def test_crash_requeues_splits_of_all_inflight_queries(self):
+        cluster = PrestoClusterSim(workers=2, slots_per_worker=2)
+        engine = make_engine(rows=120, split_size=5)
+        handles = [cluster.submit_engine_handle(engine, SQL)[0] for _ in range(3)]
+        victim = next(iter(cluster.workers))
+        # Admission planning costs ~50ms, so splits are in flight shortly
+        # after; crash while all three queries have work on the workers.
+        cluster.crash_worker_at(55.0, victim)
+        cluster.run_until_idle()
+        requeued = sum(q.splits_requeued for q in cluster.queries.values())
+        assert requeued > 0
+        # Splits from more than one query were in flight on the victim.
+        assert all(h.state == "finished" for h in handles)
+        oracle = make_engine(rows=120, split_size=5)
+        expected = oracle.execute(SQL).rows
+        for handle in handles:
+            assert handle.result().rows == expected
+        for execution in cluster.queries.values():
+            assert execution.splits_done == execution.splits_total
+
+    def test_crash_does_not_block_other_queries_progress(self):
+        cluster = PrestoClusterSim(workers=3, slots_per_worker=1)
+        engine = make_engine(rows=90, split_size=6)
+        handles = [cluster.submit_engine_handle(engine, SQL)[0] for _ in range(2)]
+        victim = list(cluster.workers)[0]
+        cluster.crash_worker_at(55.0, victim)
+        cluster.run_until_idle()
+        assert all(h.state == "finished" for h in handles)
+        assert cluster.workers[victim].state is WorkerState.CRASHED
+        # Surviving workers absorbed everything.
+        survivors_completed = sum(
+            w.completed_splits
+            for w in cluster.workers.values()
+            if w.worker_id != victim
+        )
+        total_done = sum(q.splits_done for q in cluster.queries.values())
+        assert survivors_completed + cluster.workers[victim].completed_splits
+        assert total_done == sum(q.splits_total for q in cluster.queries.values())
+
+
+class TestDrainEviction:
+    def test_evict_queued_returns_unstarted_runs(self):
+        cluster = PrestoClusterSim(workers=2)
+        cluster.resource_group("g", max_running=1)
+        engine = make_engine()
+        running, _ = cluster.submit_engine_handle(engine, SQL, resource_group="g")
+        queued, queued_ex = cluster.submit_engine_handle(
+            engine, SQL, resource_group="g"
+        )
+        evicted = cluster.evict_queued()
+        assert [run.handle for run in evicted] == [queued]
+        assert evicted[0].state is QueryState.EVICTED
+        assert queued_ex.finished_at is not None
+        assert cluster.queued_query_count() == 0
+        # The evicted handle never ran a task: zero splits dispatched.
+        assert queued_ex.splits_total == 0
+        cluster.run_until_idle()
+        assert running.state == "finished"
