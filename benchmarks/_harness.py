@@ -120,3 +120,39 @@ def assert_no_regression(
         f"regression beyond {tolerance:.0%} against the committed baseline:\n  "
         + "\n  ".join(failures)
     )
+
+
+def assert_no_ratio_regression(
+    baseline,
+    report: dict,
+    metric: str = "hit_ratio",
+    tolerance_points: float = 0.03,
+    key: str = "name",
+    section: str = "benchmarks",
+) -> None:
+    """Fail when a [0, 1] ratio ``metric`` dropped by more than
+    ``tolerance_points`` *absolute* against the committed baseline.
+
+    Relative tolerances misbehave near zero (a 0.02 -> 0.01 hit ratio is
+    a 50% "regression" nobody cares about, while 0.90 -> 0.80 sails under
+    a 15% bar); ratios are compared in absolute points instead.  The
+    skip rules match :func:`assert_no_regression`.
+    """
+    if baseline is None or baseline.get("smoke") or report.get("smoke"):
+        return
+    by_key = {entry[key]: entry for entry in baseline.get(section, [])}
+    failures = []
+    for entry in report.get(section, []):
+        base = by_key.get(entry.get(key))
+        if base is None or metric not in base or metric not in entry:
+            continue
+        old, new = base[metric], entry[metric]
+        if new < old - tolerance_points:
+            failures.append(
+                f"{entry[key]}: {metric} {new:.4f} vs committed {old:.4f} "
+                f"(-{(old - new):.4f} points)"
+            )
+    assert not failures, (
+        f"ratio regression beyond {tolerance_points:.2f} points against the "
+        "committed baseline:\n  " + "\n  ".join(failures)
+    )

@@ -7,6 +7,9 @@
 - :mod:`repro.cache.metastore_cache` — versioned metastore cache.
 - :mod:`repro.cache.fragment_result_cache` — caches the results of plan
   fragments keyed by their canonical description.
+- :mod:`repro.cache.data_cache` — worker-local tiered data cache (hot
+  memory + simulated SSD) for parquet row-group bytes, with pluggable
+  admission/eviction policies and a shadow cache for sizing.
 - :mod:`repro.cache.lru` — the shared LRU core.
 """
 
@@ -15,6 +18,12 @@ from repro.cache.file_list_cache import FileListCache
 from repro.cache.footer_cache import FileHandleAndFooterCache
 from repro.cache.metastore_cache import VersionedMetastoreCache
 from repro.cache.fragment_result_cache import FragmentResultCache
+from repro.cache.data_cache import (
+    CacheRead,
+    DataCacheConfig,
+    ShadowCache,
+    TieredDataCache,
+)
 
 __all__ = [
     "LruCache",
@@ -22,4 +31,8 @@ __all__ = [
     "FileHandleAndFooterCache",
     "VersionedMetastoreCache",
     "FragmentResultCache",
+    "CacheRead",
+    "DataCacheConfig",
+    "ShadowCache",
+    "TieredDataCache",
 ]

@@ -73,6 +73,7 @@ class HiveConnector(Connector):
         reader_options: Optional[ReaderOptions] = None,
         file_list_cache: Optional[FileListCache] = None,
         footer_cache: Optional[FileHandleAndFooterCache] = None,
+        data_cache=None,
     ) -> None:
         if reader not in (OLD_READER, NEW_READER):
             raise ValueError(f"unknown reader kind {reader!r}")
@@ -82,6 +83,9 @@ class HiveConnector(Connector):
         self.reader_options = reader_options or ReaderOptions()
         self.file_list_cache = file_list_cache
         self.footer_cache = footer_cache
+        # Optional worker-local TieredDataCache for raw segment bytes;
+        # attached per-file so reads skip storage IO on cache hits.
+        self.data_cache = data_cache
         self._evaluator = Evaluator()
         self._metadata = _HiveMetadata(self)
         self._split_manager = _HiveSplitManager(self)
@@ -108,11 +112,16 @@ class HiveConnector(Connector):
 
     def _open_parquet(self, path: str) -> ParquetFile:
         if self.footer_cache is not None:
-            return self.footer_cache.open_parquet(path)
-        # A worker checks the file handle (getFileInfo) before reading; the
-        # footer cache exists precisely to absorb these calls (VII.B).
-        self.filesystem.get_file_info(path)
-        return ParquetFile(self.filesystem.open(path))
+            file = self.footer_cache.open_parquet(path)
+        else:
+            # A worker checks the file handle (getFileInfo) before reading;
+            # the footer cache exists precisely to absorb these calls
+            # (VII.B).
+            self.filesystem.get_file_info(path)
+            file = ParquetFile(self.filesystem.open(path))
+        if self.data_cache is not None:
+            file.attach_data_cache(self.data_cache, path)
+        return file
 
 
 class _HiveMetadata(ConnectorMetadata):

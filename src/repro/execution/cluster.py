@@ -45,9 +45,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.cache.data_cache import DataCacheConfig, TieredDataCache
 from repro.common.clock import SimulatedClock
 from repro.common.errors import AdmissionRejectedError, ExecutionError, PrestoError
-from repro.common.hashing import stable_hash
+from repro.common.ring import ConsistentHashRing
 from repro.obs.trace import QueryTrace, activate, current_tracer
 
 
@@ -67,12 +68,16 @@ class SplitWork:
 
     ``data_key`` identifies the underlying data (e.g. a file path); with
     affinity scheduling, splits with the same key prefer the same worker,
-    whose local data cache then serves repeat reads faster.
+    whose local tiered data cache then serves repeat reads faster.
+    ``data_size_bytes`` is how much data the split reads — what the cache
+    charges against its tier capacities (None uses the cache's default
+    entry estimate).
     """
 
     query_id: str
     duration_ms: float
     data_key: Optional[str] = None
+    data_size_bytes: Optional[int] = None
 
 
 @dataclass
@@ -86,9 +91,10 @@ class Worker:
     shutdown_visible_at: Optional[float] = None  # coordinator aware
     shut_down_at: Optional[float] = None
     crashed_at: Optional[float] = None
-    # Local data cache (affinity scheduling): keys of split data this
-    # worker has read before.
-    cached_keys: set = field(default_factory=set)
+    # Worker-local tiered data cache (affinity scheduling): split data
+    # this worker holds in its hot/SSD tiers.  Bounded — unlike the old
+    # unbounded key set, a key can be evicted and miss again later.
+    data_cache: Optional[TieredDataCache] = None
     cache_hits: int = 0
 
     def has_capacity(self) -> bool:
@@ -294,6 +300,8 @@ class PrestoClusterSim:
         name: str = "cluster",
         affinity_scheduling: bool = False,
         cache_hit_speedup: float = 0.3,
+        ssd_hit_speedup: float = 0.65,
+        data_cache: Optional[DataCacheConfig] = None,
         metrics=None,
     ) -> None:
         self.name = name
@@ -305,9 +313,19 @@ class PrestoClusterSim:
         self.coordinator = coordinator or CoordinatorModel()
         self.slots_per_worker = slots_per_worker
         # Affinity scheduling (section VII, RaptorX): route splits for the
-        # same data to the same worker so its local cache gets hits.
+        # same data to the same worker so its local tiered cache gets
+        # hits.  A hot-tier hit cuts the split's remote-read work to
+        # ``cache_hit_speedup`` of its duration, an SSD-tier hit to
+        # ``ssd_hit_speedup``; each tier also charges its read latency.
         self.affinity_scheduling = affinity_scheduling
         self.cache_hit_speedup = cache_hit_speedup
+        self.ssd_hit_speedup = ssd_hit_speedup
+        self.data_cache_config = data_cache or DataCacheConfig()
+        # Placement: a consistent-hash ring of ACTIVE workers — one crash
+        # or drain remaps only ~1/N of the keyspace, so the surviving
+        # workers' caches stay warm (the old modulo pick remapped nearly
+        # every key on any membership change).
+        self.affinity_ring = ConsistentHashRing()
         self.workers: dict[str, Worker] = {}
         self._worker_ids = itertools.count()
         self._query_ids = itertools.count()
@@ -387,9 +405,18 @@ class PrestoClusterSim:
     # -- elasticity -----------------------------------------------------------
 
     def add_worker(self, slots: Optional[int] = None) -> Worker:
-        """Expansion: a new worker registers and immediately takes tasks."""
+        """Expansion: a new worker registers and immediately takes tasks.
+
+        The worker starts with cold (empty) cache tiers and claims its
+        share of the affinity ring — stealing only ~1/N of the keyspace
+        from the incumbents.
+        """
         worker = Worker(f"{self.name}-worker-{next(self._worker_ids)}", slots or self.slots_per_worker)
+        worker.data_cache = TieredDataCache(
+            self.data_cache_config, worker=worker.worker_id, metrics=self.metrics
+        )
         self.workers[worker.worker_id] = worker
+        self.affinity_ring.add(worker.worker_id)
         self._update_worker_gauge()
         self._schedule_pending()
         return worker
@@ -404,6 +431,10 @@ class PrestoClusterSim:
         now = self.clock.now_ms()
         worker.state = WorkerState.SHUTTING_DOWN
         worker.shutdown_requested_at = now
+        # Off the affinity ring immediately: a draining worker would
+        # permanently capture every key hashing to it, and those keys'
+        # caches could never re-warm elsewhere.
+        self.affinity_ring.remove(worker_id)
         self._update_worker_gauge()
         # After sleeping the grace period the coordinator is aware and
         # stops sending tasks to the worker.
@@ -434,9 +465,11 @@ class PrestoClusterSim:
         Every in-flight split on the worker requeues at the *front* of its
         query's pending work and re-runs on a surviving worker; the crashed
         worker is blacklisted (never scheduled again, out of the affinity
-        ring) and its data cache is gone.  Works in any state — a crash
-        during SHUTTING_DOWN simply preempts the drain.  Returns the
-        requeued splits.
+        ring) and both tiers of its data cache are gone.  Because
+        placement is a consistent-hash ring, only the crashed worker's
+        ~1/N share of the keyspace remaps — the survivors' caches stay
+        warm.  Works in any state — a crash during SHUTTING_DOWN simply
+        preempts the drain.  Returns the requeued splits.
         """
         worker = self.workers[worker_id]
         if worker.state in (WorkerState.SHUT_DOWN, WorkerState.CRASHED):
@@ -446,7 +479,9 @@ class PrestoClusterSim:
         self._count("cluster_worker_crashes_total")
         self._update_worker_gauge()
         self.blacklisted_workers.add(worker_id)
-        worker.cached_keys.clear()
+        self.affinity_ring.remove(worker_id)
+        if worker.data_cache is not None:
+            worker.data_cache.clear()
         lost = [
             (assignment_id, execution, split)
             for assignment_id, (w, execution, split) in self._assignments.items()
@@ -480,23 +515,53 @@ class PrestoClusterSim:
         split_durations_ms: list[float],
         query_id: Optional[str] = None,
         split_keys: Optional[list[str]] = None,
+        split_sizes: Optional[list[int]] = None,
     ) -> QueryExecution:
         """Admit a query whose work is the given split durations.
 
         ``split_keys`` (optional, parallel to the durations) name the data
-        each split reads, enabling affinity scheduling and cache hits.
+        each split reads, enabling affinity scheduling and cache hits;
+        ``split_sizes`` (optional, parallel) are the splits' data sizes in
+        bytes for cache capacity accounting.
         """
         if not split_durations_ms:
             raise ExecutionError("query needs at least one split")
         if split_keys is not None and len(split_keys) != len(split_durations_ms):
             raise ExecutionError("split_keys length must match split durations")
+        if split_sizes is not None and len(split_sizes) != len(split_durations_ms):
+            raise ExecutionError("split_sizes length must match split durations")
+        tasks = [
+            SplitWork(
+                "",
+                duration,
+                split_keys[i] if split_keys else None,
+                split_sizes[i] if split_sizes else None,
+            )
+            for i, duration in enumerate(split_durations_ms)
+        ]
+        return self.submit_tasks(tasks, query_id=query_id)
+
+    def submit_tasks(
+        self, tasks: list[SplitWork], query_id: Optional[str] = None
+    ) -> QueryExecution:
+        """Admit a query whose work is the given tasks.
+
+        Generalizes :meth:`submit_query` to pre-built :class:`SplitWork`
+        items — the shape staged execution produces (one per task, with
+        the task's simulated duration, its affinity data key, and its
+        data size for the worker caches).
+        """
+        if not tasks:
+            raise ExecutionError("query needs at least one task")
         query_id = query_id or f"{self.name}-q{next(self._query_ids)}"
         # Engine-assigned ids can repeat across engines (or gateway
         # failovers); keep cluster-side records unambiguous.
         query_id = self._unique_query_id(query_id)
+        for task in tasks:
+            task.query_id = query_id
         now = self.clock.now_ms()
         execution = QueryExecution(
-            query_id, splits_total=len(split_durations_ms), submitted_at=now
+            query_id, splits_total=len(tasks), submitted_at=now
         )
         self.queries[query_id] = execution
         self._count("cluster_queries_total")
@@ -506,31 +571,9 @@ class PrestoClusterSim:
             self.running_query_count() + 1,
         )
         execution.started_at = now + planning
-        execution.pending = deque(
-            SplitWork(query_id, d, split_keys[i] if split_keys else None)
-            for i, d in enumerate(split_durations_ms)
-        )
+        execution.pending = deque(tasks)
         self._at(execution.started_at, self._schedule_pending)
         return execution
-
-    def submit_tasks(
-        self, tasks: list[SplitWork], query_id: Optional[str] = None
-    ) -> QueryExecution:
-        """Admit a query whose work is the given tasks.
-
-        Generalizes :meth:`submit_query` to pre-built :class:`SplitWork`
-        items — the shape staged execution produces (one per task, with
-        the task's simulated duration and its affinity data key).
-        """
-        if not tasks:
-            raise ExecutionError("query needs at least one task")
-        return self.submit_query(
-            [t.duration_ms for t in tasks],
-            query_id=query_id,
-            split_keys=[t.data_key for t in tasks]
-            if any(t.data_key is not None for t in tasks)
-            else None,
-        )
 
     def submit_engine_query(self, engine, sql: str) -> tuple:
         """Run ``sql`` on ``engine`` staged, then schedule its real tasks.
@@ -566,6 +609,7 @@ class PrestoClusterSim:
                     query_id=query_id or "",
                     duration_ms=record["sim_ms"],
                     data_key=record["data_key"],
+                    data_size_bytes=record.get("data_bytes"),
                 )
                 for record in records
             ]
@@ -823,7 +867,12 @@ class PrestoClusterSim:
             run.inflight += 1
             execution.splits_total += 1
             execution.pending.append(
-                SplitWork(execution.query_id, step.sim_ms, step.data_key)
+                SplitWork(
+                    execution.query_id,
+                    step.sim_ms,
+                    step.data_key,
+                    step.data_bytes,
+                )
             )
             dispatched = True
         if handle.done and run.inflight == 0 and not execution.pending:
@@ -1019,13 +1068,22 @@ class PrestoClusterSim:
                 execution.pending.popleft()
                 worker.running += 1
                 duration = split.duration_ms
-                if split.data_key is not None:
-                    if split.data_key in worker.cached_keys:
+                if split.data_key is not None and worker.data_cache is not None:
+                    # The worker reads the split's data through its tiered
+                    # cache: a hot hit skips the remote read almost
+                    # entirely, an SSD hit costs more but still beats
+                    # remote, a miss pays full price and warms the tiers.
+                    read = worker.data_cache.read(
+                        split.data_key, split.data_size_bytes
+                    )
+                    if read.tier == "hot":
+                        duration = duration * self.cache_hit_speedup
+                    elif read.tier == "ssd":
+                        duration = duration * self.ssd_hit_speedup
+                    duration += read.latency_ms
+                    if read.hit:
                         worker.cache_hits += 1
                         self._count("cluster_affinity_cache_hits_total")
-                        duration *= self.cache_hit_speedup
-                    else:
-                        worker.cached_keys.add(split.data_key)
                 assignment_id = next(self._assignment_sequence)
                 self._assignments[assignment_id] = (worker, execution, split)
                 self._at(
@@ -1046,23 +1104,21 @@ class PrestoClusterSim:
             and split is not None
             and split.data_key is not None
         ):
-            # Soft affinity: deterministic preferred worker by key hash;
-            # fall through to least-loaded when it has no free slot.  The
-            # hash must be stable across processes (``hash()`` of a str
-            # changes with PYTHONHASHSEED, which would re-route every key
-            # on restart and empty the affinity caches).  The ring holds
-            # ACTIVE workers only — a draining or dead worker in the ring
-            # would permanently capture every key hashing to it, so those
-            # keys would fall through to least-loaded forever and their
-            # caches could never re-warm.
-            ring = sorted(
-                worker_id
-                for worker_id, worker in self.workers.items()
-                if worker.state is WorkerState.ACTIVE
-            )
-            if ring:
-                preferred = self.workers[ring[stable_hash(split.data_key) % len(ring)]]
-                if preferred.schedulable(now_ms):
+            # Soft affinity: the consistent-hash ring names the preferred
+            # worker; fall through to least-loaded when it has no free
+            # slot.  The ring hashes with CRC32 (stable across processes —
+            # ``hash()`` would re-route every key on restart) and holds
+            # ACTIVE workers only, so draining or dead workers never
+            # capture keys.  Unlike the old ``stable_hash % len(workers)``
+            # pick, ring membership changes remap only the departed
+            # worker's ~1/N key share instead of nearly all keys.
+            preferred_id = self.affinity_ring.lookup(split.data_key)
+            if preferred_id is not None:
+                preferred = self.workers[preferred_id]
+                if (
+                    preferred.state is WorkerState.ACTIVE
+                    and preferred.schedulable(now_ms)
+                ):
                     return preferred
         return min(candidates, key=lambda w: w.running / w.slots)
 

@@ -75,6 +75,7 @@ class TaskRecord:
     rows_out: int
     data_key: str
     sim_ms: float
+    data_bytes: int = 0
     attempts: int = 1
     failed: bool = False
 
@@ -87,6 +88,7 @@ class TaskRecord:
             "rows_out": self.rows_out,
             "data_key": self.data_key,
             "sim_ms": self.sim_ms,
+            "data_bytes": self.data_bytes,
             "attempts": self.attempts,
             "failed": self.failed,
         }
@@ -264,6 +266,7 @@ class StageScheduler:
                         rows_out=rows_out,
                         data_key=data_key,
                         sim_ms=work_ms + penalty_ms,
+                        data_bytes=sum(page.size_in_bytes() for page in pages),
                         attempts=attempts,
                     )
                     return record, pages
@@ -442,6 +445,7 @@ class TaskStep:
     splits: int
     stage_done: bool
     query_done: bool
+    data_bytes: int = 0
 
 
 class QueryScheduler:
@@ -633,6 +637,7 @@ class QueryScheduler:
             splits=record.splits,
             stage_done=stage_done,
             query_done=query_done,
+            data_bytes=record.data_bytes,
         )
 
 

@@ -60,6 +60,7 @@ class PrestoGateway:
         self.redirects_served = 0
         self.failovers = 0
         self.load_sheds = 0
+        self.all_sheds = 0
         # Live non-blocking submissions (submit_sql_async), so a drain
         # can re-route the still-queued ones.
         self._submissions: list[GatewaySubmission] = []
@@ -248,8 +249,10 @@ class PrestoGateway:
         retries the remaining undrained clusters from the shallowest
         admission queue up — the per-cluster queue depth surfaced by
         :meth:`queue_depths` is exactly what this decision reads.  If
-        every cluster sheds, the last rejection (with its retry-after
-        hint) propagates to the client.
+        every cluster sheds, the rejection with the *minimum*
+        ``retry_after_ms`` propagates to the client: the soonest any
+        cluster expects capacity is when the client should retry, not
+        whenever the last-tried (deepest-queued) cluster frees up.
         """
         redirect = self.redirect(user, groups)
         handle = engine.submit(sql)
@@ -269,7 +272,7 @@ class PrestoGateway:
             ),
             key=lambda name: (depths[name], name),
         )
-        last_rejection: Optional[AdmissionRejectedError] = None
+        rejections: list[AdmissionRejectedError] = []
         for attempt, cluster_name in enumerate(spill_order, start=1):
             cluster = self.clusters[cluster_name]
             self._count("gateway_queries_routed_total", cluster=cluster_name)
@@ -290,7 +293,7 @@ class PrestoGateway:
                     on_finish=finished,
                 )
             except AdmissionRejectedError as error:
-                last_rejection = error
+                rejections.append(error)
                 self.load_sheds += 1
                 self._count("gateway_load_shed_total", cluster=cluster_name)
                 continue
@@ -308,5 +311,7 @@ class PrestoGateway:
             return submission
         if tracer is not None and span is not None:
             tracer.close_span(span)
-        assert last_rejection is not None
-        raise last_rejection
+        assert rejections
+        self.all_sheds += 1
+        self._count("gateway_all_shed_total")
+        raise min(rejections, key=lambda error: error.retry_after_ms)

@@ -202,6 +202,20 @@ class ParquetFile:
         # IO accounting for the reader benchmarks.
         self.bytes_read = 0
         self.segments_read = 0
+        self._data_cache = None
+        self._data_cache_key: Optional[str] = None
+
+    def attach_data_cache(self, cache, file_key: str) -> None:
+        """Serve segment reads through a worker-local tiered data cache.
+
+        ``cache`` is a :class:`repro.cache.data_cache.TieredDataCache`
+        (duck-typed here so the formats layer stays import-free of the
+        cache package); ``file_key`` disambiguates files sharing one
+        cache.  Cached segments skip the stream read, so ``bytes_read``
+        counts only actual storage IO.
+        """
+        self._data_cache = cache
+        self._data_cache_key = file_key
 
     @property
     def metadata(self) -> FileMetadata:
@@ -220,6 +234,21 @@ class ParquetFile:
         if name not in chunk.segments:
             raise StorageError(f"chunk {path} has no segment {name!r}")
         offset, length = chunk.segments[name]
+        if self._data_cache is not None:
+            # Cache the raw compressed segment bytes (what a real data
+            # cache holds on SSD); decompression always runs, only the
+            # storage read is skipped on a hit.
+            def load() -> bytes:
+                self.bytes_read += length
+                self.segments_read += 1
+                return self._stream.read_fully(offset, length)
+
+            read = self._data_cache.read(
+                f"{self._data_cache_key}#rg{group_index}/{path}/{name}",
+                length,
+                loader=load,
+            )
+            return compression.decompress(read.value, chunk.codec)
         raw = self._stream.read_fully(offset, length)
         self.bytes_read += length
         self.segments_read += 1

@@ -108,6 +108,83 @@ def build_traffic_storm(
     return storm
 
 
+@dataclass(frozen=True)
+class KeyAccess:
+    """One data-key read in a cache storm."""
+
+    arrival_ms: float
+    key: str
+    size_bytes: int
+
+
+@dataclass
+class CacheStorm:
+    """A deterministic key-access trace for the worker data cache."""
+
+    seed: int
+    accesses: list[KeyAccess] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def unique_keys(self) -> int:
+        return len({access.key for access in self.accesses})
+
+
+def build_cache_storm(
+    accesses: int = 5000,
+    keys: int = 400,
+    seed: int = 11,
+    mean_interarrival_ms: float = 2.0,
+    zipf_s: float = 1.1,
+    scan_fraction: float = 0.2,
+    mean_entry_bytes: int = 1 << 20,
+) -> CacheStorm:
+    """Generate a data-cache storm: zipfian row-group reads plus scans.
+
+    The popular keys follow the same P(rank r) ∝ r^-s skew as the query
+    storm — a few hot row groups dominate (dashboards re-reading the
+    same partitions).  ``scan_fraction`` of accesses instead read a
+    fresh never-repeated key, modeling large batch scans streaming cold
+    data through the cache; these one-hit wonders are exactly what a
+    TinyLFU admission filter exists to keep out.  Entry sizes are
+    deterministic per key (hash-derived around ``mean_entry_bytes``), so
+    a key always costs the same bytes.
+    """
+    if accesses < 1 or keys < 1:
+        raise ValueError("accesses and keys must be positive")
+    if not 0.0 <= scan_fraction < 1.0:
+        raise ValueError("scan_fraction must be in [0, 1)")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    ranks = np.arange(1, keys + 1, dtype=np.float64)
+    weights = ranks ** -zipf_s
+    weights /= weights.sum()
+    storm = CacheStorm(seed=seed)
+    arrival = 0.0
+    scans = 0
+
+    def size_of(key: str) -> int:
+        # Deterministic per-key size in [0.5x, 1.5x] of the mean.
+        from repro.common.hashing import stable_hash
+
+        spread = (stable_hash(f"size:{key}") % 1024) / 1024.0  # [0, 1)
+        return int(mean_entry_bytes * (0.5 + spread))
+
+    for _ in range(accesses):
+        arrival += float(rng.exponential(mean_interarrival_ms))
+        if float(rng.random()) < scan_fraction:
+            key = f"scan/part-{scans}"
+            scans += 1
+        else:
+            key = f"warehouse/part-{int(rng.choice(keys, p=weights))}"
+        storm.accesses.append(
+            KeyAccess(
+                arrival_ms=round(arrival, 3), key=key, size_bytes=size_of(key)
+            )
+        )
+    return storm
+
+
 def make_storm_engine(
     rows: int = 250, split_size: int = 31, data_seed: int = 7, **engine_kwargs
 ):

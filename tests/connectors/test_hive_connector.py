@@ -18,7 +18,7 @@ BASE_TYPE = RowType.of(
 )
 
 
-def make_environment(reader="new", reader_options=None, caches=False):
+def make_environment(reader="new", reader_options=None, caches=False, data_cache=None):
     metastore = HiveMetastore()
     fs = HdfsFileSystem()
     metastore.create_table(
@@ -56,6 +56,7 @@ def make_environment(reader="new", reader_options=None, caches=False):
         reader_options=reader_options,
         file_list_cache=FileListCache(fs) if caches else None,
         footer_cache=FileHandleAndFooterCache(fs) if caches else None,
+        data_cache=data_cache,
     )
     engine = PrestoEngine(session=Session(catalog="hive", schema="rawdata"))
     engine.register_connector("hive", connector)
@@ -164,6 +165,22 @@ class TestHiveCaches:
         calls_after_first = fs.namenode.stats.get_file_info_calls
         engine.execute("SELECT count(*) FROM trips")
         assert fs.namenode.stats.get_file_info_calls == calls_after_first
+
+    def test_data_cache_serves_repeat_scans(self):
+        from repro.cache.data_cache import DataCacheConfig, TieredDataCache
+
+        cache = TieredDataCache(DataCacheConfig())
+        engine, *_ = make_environment(caches=True, data_cache=cache)
+        first = engine.execute("SELECT count(*) FROM trips")
+        assert first.rows == [(200,)]
+        misses_after_first = cache.stats.misses
+        assert misses_after_first > 0
+        assert cache.stats.hits == 0
+        # The repeat scan reads every segment out of the data cache.
+        second = engine.execute("SELECT count(*) FROM trips")
+        assert second.rows == [(200,)]
+        assert cache.stats.misses == misses_after_first
+        assert cache.stats.hits >= misses_after_first
 
     def test_open_partition_stays_fresh(self):
         engine, connector, metastore, fs = make_environment(caches=True)

@@ -10,7 +10,7 @@ the crash/drain interactions.
 import pytest
 
 from repro.common.clock import SimulatedClock
-from repro.common.hashing import stable_hash
+from repro.common.ring import ConsistentHashRing
 from repro.connectors.memory import MemoryConnector
 from repro.core.types import BIGINT, VARCHAR
 from repro.execution.cluster import PrestoClusterSim, WorkerState
@@ -47,10 +47,12 @@ class TestWorkerCrash:
         )
         cluster.submit_query([10.0] * 4, split_keys=["a", "b", "c", "d"])
         cluster.run_until_idle()
-        crashed = [w for w in cluster.workers.values() if w.cached_keys]
+        crashed = [w for w in cluster.workers.values() if len(w.data_cache) > 0]
         assert crashed
         cluster.crash_worker(crashed[0].worker_id)
-        assert crashed[0].cached_keys == set()
+        # Both tiers are gone: a restarted worker starts cold.
+        assert len(crashed[0].data_cache) == 0
+        assert crashed[0].data_cache.keys() == set()
 
     def test_stale_completion_event_ignored_after_crash(self):
         # The split's completion event fires after the crash requeued it;
@@ -126,7 +128,8 @@ class TestFifoScheduling:
         cluster.submit_query([10.0, 10.0], split_keys=["first", "second"])
         cluster.run_until_idle()
         worker = next(iter(cluster.workers.values()))
-        assert worker.cached_keys == {"first", "second"}
+        assert worker.data_cache.keys() == {"first", "second"}
+        assert worker.data_cache.tier_of("first") == "hot"
 
 
 class TestAffinityRingRehoming:
@@ -142,15 +145,17 @@ class TestAffinityRingRehoming:
         key = next(
             f"part-{i}"
             for i in range(1000)
-            if all_ids[stable_hash(f"part-{i}") % len(all_ids)] == all_ids[0]
+            if cluster.affinity_ring.lookup(f"part-{i}") == all_ids[0]
         )
         cluster.request_graceful_shutdown(all_ids[0], grace_period_ms=1.0)
         cluster.run_until_idle()  # coordinator now aware; worker drained
-        survivors = sorted(
+        survivors = [
             w_id for w_id, w in cluster.workers.items()
             if w.state is WorkerState.ACTIVE
-        )
-        expected_home = survivors[stable_hash(key) % len(survivors)]
+        ]
+        # Placement after the drain matches a ring built from survivors
+        # alone — the drained worker's points are gone, nothing else moved.
+        expected_home = ConsistentHashRing(sorted(survivors)).lookup(key)
         # Repeat rounds of the key: all land on the new home, and from the
         # second round on they hit its cache.
         for _ in range(3):
@@ -168,22 +173,45 @@ class TestAffinityRingRehoming:
         key = next(
             f"part-{i}"
             for i in range(1000)
-            if all_ids[stable_hash(f"part-{i}") % len(all_ids)] == all_ids[1]
+            if cluster.affinity_ring.lookup(f"part-{i}") == all_ids[1]
         )
         cluster.submit_query([10.0], split_keys=[key])
         cluster.run_until_idle()
         assert cluster.workers[all_ids[1]].completed_splits == 1
         cluster.crash_worker(all_ids[1])
-        survivors = sorted(
+        survivors = [
             w_id for w_id, w in cluster.workers.items()
             if w.state is WorkerState.ACTIVE
-        )
-        expected_home = survivors[stable_hash(key) % len(survivors)]
+        ]
+        expected_home = ConsistentHashRing(sorted(survivors)).lookup(key)
         for _ in range(2):
             cluster.submit_query([10.0], split_keys=[key])
             cluster.run_until_idle()
         assert cluster.workers[expected_home].completed_splits == 2
         assert cluster.workers[expected_home].cache_hits == 1
+
+    def test_single_crash_remaps_few_keys(self):
+        # The headline fix: with modulo placement a single crash remapped
+        # nearly every key; on the ring only the crashed worker's ~1/N
+        # share moves.  Bound the remap fraction at 2/N.
+        cluster = PrestoClusterSim(
+            workers=8, slots_per_worker=4, clock=SimulatedClock(), affinity_scheduling=True
+        )
+        keys = [f"part-{i}" for i in range(2000)]
+        before = {key: cluster.affinity_ring.lookup(key) for key in keys}
+        victim = sorted(cluster.workers)[3]
+        cluster.crash_worker(victim)
+        moved = 0
+        for key in keys:
+            after = cluster.affinity_ring.lookup(key)
+            if after != before[key]:
+                # Only keys homed on the victim may move, and they must
+                # land on a survivor.
+                assert before[key] == victim
+                assert after != victim
+                moved += 1
+        assert moved == sum(1 for home in before.values() if home == victim)
+        assert moved / len(keys) <= 2 / len(cluster.workers)
 
 
 class TestGracefulShutdownUnderLoad:
@@ -232,6 +260,49 @@ class TestGracefulShutdownUnderLoad:
         assert execution.finished_at is not None
         assert execution.splits_done == 4
         assert execution.splits_requeued > 0
+
+
+class TestCrashCacheConsistency:
+    def run_once(self):
+        """Affinity workload with a mid-flight crash; serialized artifacts."""
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cluster = PrestoClusterSim(
+            workers=3,
+            slots_per_worker=2,
+            clock=SimulatedClock(),
+            affinity_scheduling=True,
+            metrics=metrics,
+            name="faulty",
+        )
+        keys = [f"part-{i % 5}" for i in range(20)]
+        cluster.submit_query([25.0] * len(keys), split_keys=keys)
+        victim = sorted(cluster.workers)[1]
+        cluster.crash_worker_at(80.0, victim)
+        cluster.run_until_idle()
+        cluster.submit_query([25.0] * len(keys), split_keys=keys)
+        cluster.run_until_idle()
+        return cluster, victim, {
+            "timeline": cluster.timeline_trace().to_json(),
+            "metrics": metrics.to_json(),
+        }
+
+    def test_crashed_tiers_empty_and_replay_deterministic(self):
+        first_cluster, victim, first = self.run_once()
+        # The crashed worker's cache is empty — both tiers dropped.
+        assert len(first_cluster.workers[victim].data_cache) == 0
+        # Survivors re-warmed: the second round hit their caches.
+        assert any(
+            w.cache_hits > 0
+            for w_id, w in first_cluster.workers.items()
+            if w_id != victim
+        )
+        # Same seedless-deterministic workload, byte-identical artifacts:
+        # the cache charges only simulated time and hashes with crc32.
+        _, _, second = self.run_once()
+        assert first["timeline"] == second["timeline"]
+        assert first["metrics"] == second["metrics"]
 
 
 class TestQueryIdThreading:

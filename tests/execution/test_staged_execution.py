@@ -5,6 +5,7 @@ import pytest
 
 from repro.common.clock import SimulatedClock
 from repro.common.hashing import stable_hash
+from repro.common.ring import ConsistentHashRing
 from repro.connectors.memory import MemoryConnector
 from repro.core.types import BIGINT, VARCHAR
 from repro.execution.cluster import PrestoClusterSim, SplitWork
@@ -166,13 +167,14 @@ class TestStableAffinityHash:
         assert stable_hash("warehouse/part-0.parquet") == 953814315
         assert stable_hash(b"abc") == 891568578
 
-    def test_affinity_placement_matches_stable_hash(self):
+    def test_affinity_placement_matches_consistent_hash_ring(self):
         cluster = PrestoClusterSim(
             workers=4, slots_per_worker=4, clock=SimulatedClock(), affinity_scheduling=True
         )
         key = "events-split-3"
         cluster.submit_query([5.0], split_keys=[key])
         cluster.run_until_idle()
-        ordered = sorted(cluster.workers)
-        expected = ordered[stable_hash(key) % len(ordered)]
+        # Placement matches an independently built ring over the same
+        # membership — pure CRC32, so stable across interpreter runs.
+        expected = ConsistentHashRing(sorted(cluster.workers)).lookup(key)
         assert cluster.workers[expected].completed_splits == 1

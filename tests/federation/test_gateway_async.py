@@ -101,7 +101,32 @@ class TestSubmitAsync:
         with pytest.raises(AdmissionRejectedError) as rejection:
             gateway.submit_sql_async("bob", engine, SQL)
         assert rejection.value.retry_after_ms > 0
+        assert gateway.all_sheds == 1
         drive(gateway)  # the occupying queries still complete
+
+    def test_all_shed_raises_minimum_retry_after(self, monkeypatch):
+        # Regression: the gateway used to propagate the *last* attempted
+        # cluster's retry-after hint; the client should back off only as
+        # long as the soonest-available cluster needs.
+        metrics = MetricsRegistry()
+        gateway = make_gateway(metrics=metrics)
+        engine = make_engine()
+        hints = {"dedicated-a": 500.0, "dedicated-b": 120.0, "shared": 900.0}
+        for name, cluster in gateway.clusters.items():
+            def shed(*args, _name=name, **kwargs):
+                raise AdmissionRejectedError(
+                    f"{_name} full", retry_after_ms=hints[_name]
+                )
+            monkeypatch.setattr(cluster, "submit_handle", shed)
+        with pytest.raises(AdmissionRejectedError) as rejection:
+            # alice routes to dedicated-a first; the spill order ends on
+            # "shared" (900ms) — the old code would raise that.
+            gateway.submit_sql_async("alice", engine, SQL)
+        assert rejection.value.retry_after_ms == 120.0
+        assert gateway.all_sheds == 1
+        assert gateway.load_sheds == 3
+        assert metrics.total("gateway_all_shed_total") == 1
+        assert metrics.total("gateway_load_shed_total") == 3
 
     def test_queue_depths_surface_to_gauges(self):
         metrics = MetricsRegistry()

@@ -363,6 +363,51 @@ class TestLazyReads:
         assert reader.stats.lazy_loads_avoided == 1
 
 
+class TestSegmentDataCache:
+    def test_cached_segments_skip_storage_reads(self):
+        from repro.cache.data_cache import DataCacheConfig, TieredDataCache
+
+        blob = write_trips(30, row_group_size=30)
+        cache = TieredDataCache(DataCacheConfig())
+        file = ParquetFile(blob)
+        file.attach_data_cache(cache, "warehouse/trips.parquet")
+        reader = NewParquetReader(file, ["fare"])
+        rows = [row for p in reader.read_pages() for row in p.loaded().rows()]
+        assert [r[0] for r in rows] == [i * 1.5 for i in range(30)]
+        bytes_after_first = file.bytes_read
+        assert bytes_after_first > 0
+
+        # A second reader over the same (cached) file reads zero bytes
+        # from storage and yields identical rows.
+        second = NewParquetReader(file, ["fare"])
+        again = [row for p in second.read_pages() for row in p.loaded().rows()]
+        assert again == rows
+        assert file.bytes_read == bytes_after_first
+        assert cache.stats.hits > 0
+
+    def test_cache_keys_disambiguate_files(self):
+        from repro.cache.data_cache import DataCacheConfig, TieredDataCache
+
+        cache = TieredDataCache(DataCacheConfig())
+        first = ParquetFile(write_trips(10, row_group_size=10))
+        second = ParquetFile(write_trips(20, row_group_size=20))
+        first.attach_data_cache(cache, "a.parquet")
+        second.attach_data_cache(cache, "b.parquet")
+        rows_a = [
+            row
+            for p in NewParquetReader(first, ["fare"]).read_pages()
+            for row in p.loaded().rows()
+        ]
+        rows_b = [
+            row
+            for p in NewParquetReader(second, ["fare"]).read_pages()
+            for row in p.loaded().rows()
+        ]
+        assert len(rows_a) == 10 and len(rows_b) == 20
+        # Same segment names, different files: no key collisions.
+        assert cache.stats.hits == 0
+
+
 class TestCompressionCodecs:
     @pytest.mark.parametrize("codec", list(compression.CODECS))
     def test_round_trip(self, codec):
