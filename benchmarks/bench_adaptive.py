@@ -1,0 +1,250 @@
+"""Adaptive execution: statistics-fed join ordering + runtime dynamic filters.
+
+The paper's production optimizer is rule-based — "ignoring statistics"
+(section XII.A) — because metastore statistics could not be kept fresh.
+This bench measures what the adaptive counterpoint buys on a warehouse-
+shaped join: a large sorted-key hive fact table probed through a small
+selective dimension, with the SQL deliberately written so the naive plan
+hashes the *fact* side.
+
+Three configs run the same queries and must return identical rows:
+
+1. **off**      — no statistics, no dynamic filters, fixed partitioning;
+                  the plan is exactly what the rule-based pipeline builds.
+2. **cbo**      — ANALYZE statistics feed cost-based join reordering and
+                  broadcast selection; dynamic filters stay off.
+3. **cbo+df**   — the full adaptive stack: reordering plus runtime dynamic
+                  filters (split, row-group, and row tiers) plus adaptive
+                  exchange partition counts.
+
+Full-mode gates: the dynamic filter must skip >= 50% of probe-side row
+groups, the full stack must beat config (1) by >= 2x simulated time, a
+repeat run must reproduce rows and stats exactly, and per-config
+throughput must not regress against the committed baseline.
+
+All times are simulated milliseconds; results are deterministic per seed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py            # full
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from _harness import assert_no_regression, load_committed_baseline, print_table
+from repro.connectors.hive import HiveConnector, write_hive_partition
+from repro.connectors.memory import MemoryConnector
+from repro.core.page import Page
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.metastore.metastore import HiveMetastore
+from repro.planner.analyzer import Session
+from repro.storage.hdfs import HdfsFileSystem
+
+
+def make_environment(rows_per_partition: int, row_group_size: int, **engine_kwargs):
+    """Sorted-key hive fact table + small memory dimension tables."""
+    metastore = HiveMetastore()
+    fs = HdfsFileSystem()
+    metastore.create_table(
+        "wh",
+        "fact",
+        [("sk", BIGINT), ("v", DOUBLE)],
+        partition_keys=[("region", VARCHAR)],
+    )
+    for index, region in enumerate(["east", "west"]):
+        start = index * rows_per_partition
+        rows = [(start + i, float(start + i)) for i in range(rows_per_partition)]
+        write_hive_partition(
+            metastore,
+            fs,
+            "wh",
+            "fact",
+            [region],
+            [Page.from_rows([BIGINT, DOUBLE], rows)],
+            files=2,
+            row_group_size=row_group_size,
+        )
+    hive = HiveConnector(metastore, fs, reader="new")
+
+    # The dimension selects a narrow slice of the fact key space, so the
+    # dynamic filter's [min, max] range kills most sorted row groups.
+    dim_keys = range(rows_per_partition // 4, rows_per_partition // 4 + 64)
+    memory = MemoryConnector()
+    memory.create_table(
+        "db",
+        "dim",
+        [("k", BIGINT), ("bucket", VARCHAR)],
+        [(k, f"b{k % 4}") for k in dim_keys],
+    )
+    engine = PrestoEngine(
+        session=Session(catalog="hive", schema="wh"),
+        hash_partitions=8,
+        **engine_kwargs,
+    )
+    engine.register_connector("hive", hive)
+    engine.register_connector("memory", memory)
+    return engine
+
+
+# SQL order puts the fact table on the right: the rule-based plan builds
+# its hash table over the fact side.  CBO (once ANALYZE ran) flips it.
+QUERIES = [
+    "SELECT count(*), sum(f.v) FROM memory.db.dim d "
+    "JOIN fact f ON f.sk = d.k",
+    "SELECT d.bucket, count(*), sum(f.v) FROM memory.db.dim d "
+    "JOIN fact f ON f.sk = d.k GROUP BY d.bucket",
+]
+
+CONFIGS = [
+    ("off", {"enable_dynamic_filtering": False}, False),
+    ("cbo", {"enable_dynamic_filtering": False}, True),
+    (
+        "cbo+df",
+        {"adaptive_partitioning": True, "target_partition_rows": 4_096},
+        True,
+    ),
+]
+
+
+def run_config(name, engine_kwargs, analyzed, rows_per_partition, row_group_size):
+    engine = make_environment(rows_per_partition, row_group_size, **engine_kwargs)
+    if analyzed:
+        engine.execute("ANALYZE TABLE fact")
+        engine.execute("ANALYZE TABLE memory.db.dim")
+    entry = {
+        "name": name,
+        "simulated_ms": 0.0,
+        "rows_scanned": 0,
+        "rows_exchanged": 0,
+        "tasks_total": 0,
+        "row_groups_total": 0,
+        "row_groups_skipped_by_dynamic_filter": 0,
+        "dynamic_filter_rows_pruned": 0,
+    }
+    rows = []
+    for sql in QUERIES:
+        result = engine.execute(sql)
+        rows.append(sorted(result.rows))
+        stats = result.stats
+        entry["simulated_ms"] += stats.simulated_ms
+        for field in (
+            "rows_scanned",
+            "rows_exchanged",
+            "tasks_total",
+            "row_groups_total",
+            "row_groups_skipped_by_dynamic_filter",
+            "dynamic_filter_rows_pruned",
+        ):
+            entry[field] += getattr(stats, field)
+    entry["simulated_ms"] = round(entry["simulated_ms"], 4)
+    total = entry["row_groups_total"]
+    entry["row_group_skip_fraction"] = round(
+        entry["row_groups_skipped_by_dynamic_filter"] / total, 4
+    ) if total else 0.0
+    # Bigger-is-better speed for the committed-baseline guard (rows
+    # scanned per ms would punish a *better* filter for scanning less).
+    entry["query_sets_per_sim_sec"] = round(1000.0 / entry["simulated_ms"], 3)
+    return entry, rows
+
+
+def run(smoke: bool) -> dict:
+    rows_per_partition = 500 if smoke else 4_000
+    row_group_size = 50 if smoke else 100
+    report = {"smoke": smoke, "benchmarks": []}
+    results_by_config = {}
+    for name, engine_kwargs, analyzed in CONFIGS:
+        entry, rows = run_config(
+            name, engine_kwargs, analyzed, rows_per_partition, row_group_size
+        )
+        report["benchmarks"].append(entry)
+        results_by_config[name] = rows
+
+    # Every config must return identical rows — adaptivity is a pure
+    # performance layer, never a semantic one.
+    baseline_rows = results_by_config["off"]
+    for name, rows in results_by_config.items():
+        assert rows == baseline_rows, f"config {name!r} changed query results"
+
+    # Determinism: an identical rerun reproduces rows and every counter.
+    name, engine_kwargs, analyzed = CONFIGS[-1]
+    repeat_entry, repeat_rows = run_config(
+        name, engine_kwargs, analyzed, rows_per_partition, row_group_size
+    )
+    assert repeat_rows == results_by_config[name], "rerun changed rows"
+    assert repeat_entry == report["benchmarks"][-1], "rerun changed stats"
+    report["determinism"] = "rerun reproduced rows and stats exactly"
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny tables + skip gates (CI)"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_adaptive.json", help="result JSON path"
+    )
+    args = parser.parse_args()
+
+    # Load the committed baseline *before* the run overwrites it.
+    baseline = load_committed_baseline("BENCH_adaptive.json")
+
+    report = run(args.smoke)
+    print_table(
+        "Adaptive execution: rule-based vs statistics-fed vs full stack",
+        [
+            "config",
+            "sim ms",
+            "rows scanned",
+            "tasks",
+            "row groups",
+            "skipped (df)",
+            "skip %",
+            "rows pruned",
+        ],
+        [
+            [
+                e["name"],
+                e["simulated_ms"],
+                e["rows_scanned"],
+                e["tasks_total"],
+                e["row_groups_total"],
+                e["row_groups_skipped_by_dynamic_filter"],
+                e["row_group_skip_fraction"] * 100.0,
+                e["dynamic_filter_rows_pruned"],
+            ]
+            for e in report["benchmarks"]
+        ],
+    )
+    print(report["determinism"])
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.output}")
+
+    by_name = {e["name"]: e for e in report["benchmarks"]}
+    off, full = by_name["off"], by_name["cbo+df"]
+    if not args.smoke:
+        assert full["row_group_skip_fraction"] >= 0.5, (
+            f"dynamic filter skipped only "
+            f"{full['row_group_skip_fraction']:.0%} of probe row groups"
+        )
+        speedup = off["simulated_ms"] / full["simulated_ms"]
+        assert speedup >= 2.0, (
+            f"full adaptive stack only {speedup:.2f}x vs rule-based baseline"
+        )
+        assert_no_regression(baseline, report, metric="query_sets_per_sim_sec")
+        print(
+            f"targets met: {full['row_group_skip_fraction']:.0%} probe row "
+            f"groups skipped (>= 50%), {speedup:.2f}x vs adaptive-off "
+            f"(>= 2x), deterministic rerun, no throughput regression"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -49,11 +49,13 @@ from repro.connectors.spi import (
 )
 from repro.cache.file_list_cache import FileListCache
 from repro.cache.footer_cache import FileHandleAndFooterCache
+from repro.formats.parquet.encoding import decode_plain_scalar
 from repro.formats.parquet.file import ParquetFile, read_footer
 from repro.formats.parquet.options import ReaderOptions
 from repro.formats.parquet.reader_new import NewParquetReader
 from repro.formats.parquet.reader_old import OldParquetReader
 from repro.metastore.metastore import HiveMetastore, TableInfo
+from repro.metastore.statistics import ColumnStatisticsEntry, TableStatistics
 from repro.storage.filesystem import FileSystem
 
 OLD_READER = "old"
@@ -149,6 +151,83 @@ class _HiveMetadata(ConnectorMetadata):
             tuple(ColumnMetadata(n, t) for n, t in table.all_columns()),
         )
 
+    # -- statistics (ANALYZE TABLE) ----------------------------------------
+
+    def collect_table_statistics(
+        self, handle: ConnectorTableHandle
+    ) -> TableStatistics:
+        """Derive table statistics from parquet footers, persist, return.
+
+        Row counts, min/max and null fractions come straight from the
+        footer ``ColumnStatistics`` — no data pages are read.  NDV is
+        exact for dictionary-encoded columns (the dictionary segments are
+        unioned across files) and for partition keys; for plain-encoded
+        columns it falls back to a range heuristic for integers and the
+        non-null count otherwise.
+        """
+        connector = self._connector
+        table = connector._table(handle)
+        statistics = self._footer_statistics(table)
+        connector.metastore.set_table_statistics(
+            handle.schema_name, handle.table_name, statistics
+        )
+        return statistics
+
+    def get_table_statistics(
+        self, handle: ConnectorTableHandle
+    ) -> Optional[TableStatistics]:
+        return self._connector.metastore.get_table_statistics(
+            handle.schema_name, handle.table_name
+        )
+
+    def _footer_statistics(self, table: TableInfo) -> TableStatistics:
+        connector = self._connector
+        scalar_columns = [(n, t) for n, t in table.columns if not t.is_nested()]
+        accumulators = {name: _ColumnAccumulator(t) for name, t in scalar_columns}
+        row_count = 0
+
+        locations: list[tuple[str, tuple[str, ...], bool]] = [
+            (p.location, p.values, p.sealed) for p in table.partitions.values()
+        ]
+        if not table.partition_keys and not table.partitions:
+            locations.append((table.location, (), True))
+        for location, _, sealed in locations:
+            for status in connector._list_files(location, sealed):
+                file = connector._open_parquet(status.path)
+                for group_index, group in enumerate(file.metadata.row_groups):
+                    row_count += group.num_rows
+                    for name, _ in scalar_columns:
+                        chunk = group.columns.get(name)
+                        if chunk is None:
+                            # Schema evolution: the column postdates this
+                            # file, so every slot reads as null.
+                            accumulators[name].add_missing(group.num_rows)
+                            continue
+                        dictionary = None
+                        if chunk.has_dictionary:
+                            data = file.read_segment(group_index, name, "dict")
+                            dictionary = decode_plain_scalar(
+                                data, accumulators[name].presto_type,
+                                _count_prefixed_entries(data),
+                            )
+                        accumulators[name].add_chunk(chunk.statistics, dictionary)
+
+        columns = {
+            name: accumulator.finish() for name, accumulator in accumulators.items()
+        }
+        for index, (key, key_type) in enumerate(table.partition_keys):
+            values = [
+                _coerce(partition.values[index], key_type)
+                for partition in table.partitions.values()
+            ]
+            columns[key] = ColumnStatisticsEntry(
+                ndv=len(set(values)),
+                min_value=min(values) if values else None,
+                max_value=max(values) if values else None,
+                null_fraction=0.0,
+            )
+        return TableStatistics(row_count=row_count, columns=columns)
+
     def apply_filter(
         self, handle: ConnectorTableHandle, predicate: RowExpression
     ) -> Optional[FilterPushdownResult]:
@@ -233,6 +312,16 @@ class _HiveSplitManager(ConnectorSplitManager):
             if constraint.get("partition")
             else None
         )
+        # Runtime dynamic filters: conjuncts over partition keys prune
+        # partitions right here, before any file is even listed.
+        dynamic_partition, _ = _split_dynamic_conjuncts(
+            handle.dynamic_filter, table
+        )
+        if dynamic_partition is not None:
+            terms = (
+                [partition_predicate] if partition_predicate is not None else []
+            ) + [dynamic_partition]
+            partition_predicate = combine_conjuncts(terms)
 
         partitions = connector.metastore.list_partitions(
             handle.schema_name, handle.table_name
@@ -319,15 +408,26 @@ class _HiveRecordSetProvider(ConnectorRecordSetProvider):
         file = connector._open_parquet(path)
 
         if connector.reader == OLD_READER:
-            yield from self._pages_old_reader(
+            return self._pages_old_reader(
                 file, table, columns, data_columns, partition_values, partition_types
             )
-            return
 
         constraint = handle.constraint or {}
         predicate = (
             expression_from_dict(constraint["data"]) if constraint.get("data") else None
         )
+        # Runtime dynamic filters.  Partition-key conjuncts are evaluated
+        # against this split's partition values (they must never reach the
+        # reader's row mask — a partition key is not a file leaf, so it
+        # would decode as all-null and wrongly drop every row); the data
+        # conjuncts ride into the reader as its dynamic predicate.
+        dynamic_partition, dynamic_data = _split_dynamic_conjuncts(
+            handle.dynamic_filter, table
+        )
+        if dynamic_partition is not None and not self._partition_matches(
+            dynamic_partition, partition_values, partition_types
+        ):
+            return iter([self._empty_page(columns, table, partition_types)])
         # Schema evolution: columns added to the table after this file was
         # written are absent from the file schema and read as nulls.
         file_top_level = set(file.schema.column_names())
@@ -339,7 +439,24 @@ class _HiveRecordSetProvider(ConnectorRecordSetProvider):
             options=connector.reader_options,
             predicate=predicate,
             restrict=restrict,
+            dynamic_predicate=dynamic_data,
         )
+        return _ReaderPages(
+            self._stream_new_reader(
+                reader, columns, present, partition_values, partition_types, table
+            ),
+            reader.stats,
+        )
+
+    def _stream_new_reader(
+        self,
+        reader: NewParquetReader,
+        columns: Sequence[str],
+        present: list[str],
+        partition_values: dict,
+        partition_types: dict,
+        table: TableInfo,
+    ) -> Iterator[Page]:
         produced = False
         for page in reader.read_pages():
             produced = True
@@ -348,6 +465,21 @@ class _HiveRecordSetProvider(ConnectorRecordSetProvider):
             )
         if not produced:
             yield self._empty_page(columns, table, partition_types)
+
+    def _partition_matches(
+        self,
+        predicate: RowExpression,
+        partition_values: dict,
+        partition_types: dict,
+    ) -> bool:
+        bindings: dict[str, Block] = {
+            key: constant_block(
+                _coerce(value, partition_types[key]), partition_types[key], 1
+            )
+            for key, value in partition_values.items()
+        }
+        mask = self._connector._evaluator.filter_mask(predicate, bindings, 1)
+        return bool(mask[0])
 
     def _restriction(
         self, handle: ConnectorTableHandle, data_columns: list[str]
@@ -430,6 +562,117 @@ class _HiveRecordSetProvider(ConnectorRecordSetProvider):
     ) -> Page:
         all_types = dict(table.all_columns())
         return Page.from_columns([all_types[c] for c in columns], [[] for _ in columns])
+
+
+class _ReaderPages:
+    """Page iterator that exposes the backing reader's statistics.
+
+    The scan operator picks up ``reader_stats`` (duck-typed via getattr)
+    after draining the split, folding row-group skip counts into the
+    query stats; values are final only once iteration completes.
+    """
+
+    def __init__(self, pages: Iterator[Page], reader_stats) -> None:
+        self._pages = pages
+        self.reader_stats = reader_stats
+
+    def __iter__(self) -> "_ReaderPages":
+        return self
+
+    def __next__(self) -> Page:
+        return next(self._pages)
+
+
+def _split_dynamic_conjuncts(
+    dynamic: Optional[dict], table: TableInfo
+) -> tuple[Optional[RowExpression], Optional[RowExpression]]:
+    """Split a serialized dynamic filter into (partition, data) predicates.
+
+    Conjuncts whose variables are all partition keys go left; everything
+    else goes right (each dynamic filter conjunct targets one column, so
+    mixed conjuncts cannot occur).
+    """
+    if not dynamic:
+        return None, None
+    partition_keys = set(table.partition_key_names())
+    partition_terms: list[RowExpression] = []
+    data_terms: list[RowExpression] = []
+    for conjunct in conjuncts(expression_from_dict(dynamic)):
+        names = {v.name for v in conjunct.variables()}
+        if names and names <= partition_keys:
+            partition_terms.append(conjunct)
+        else:
+            data_terms.append(conjunct)
+    return (
+        combine_conjuncts(partition_terms) if partition_terms else None,
+        combine_conjuncts(data_terms) if data_terms else None,
+    )
+
+
+class _ColumnAccumulator:
+    """Folds per-chunk footer statistics into one column's table stats."""
+
+    def __init__(self, presto_type: PrestoType) -> None:
+        self.presto_type = presto_type
+        self.min_value: Any = None
+        self.max_value: Any = None
+        self.null_count = 0
+        self.total = 0
+        # Exact distinct values while every chunk is dictionary-encoded;
+        # None once any chunk forces the heuristic fallback.
+        self.dictionary_values: Optional[set] = set()
+
+    def add_missing(self, num_rows: int) -> None:
+        self.total += num_rows
+        self.null_count += num_rows
+
+    def add_chunk(self, statistics, dictionary: Optional[list]) -> None:
+        self.total += statistics.num_values
+        self.null_count += statistics.null_count
+        low, high = statistics.min_value, statistics.max_value
+        if low is not None and low == low:  # skip absent or NaN bounds
+            self.min_value = low if self.min_value is None else min(self.min_value, low)
+        if high is not None and high == high:
+            self.max_value = high if self.max_value is None else max(self.max_value, high)
+        if self.dictionary_values is not None:
+            if dictionary is None:
+                self.dictionary_values = None
+            else:
+                self.dictionary_values.update(dictionary)
+
+    def finish(self) -> ColumnStatisticsEntry:
+        defined = self.total - self.null_count
+        if self.dictionary_values is not None:
+            ndv = len(self.dictionary_values)
+        elif (
+            self.presto_type in (BIGINT, INTEGER)
+            and self.min_value is not None
+            and self.max_value is not None
+        ):
+            ndv = min(defined, int(self.max_value) - int(self.min_value) + 1)
+        elif self.presto_type is BOOLEAN:
+            ndv = min(defined, 2)
+        else:
+            ndv = defined
+        return ColumnStatisticsEntry(
+            ndv=max(ndv, 0),
+            min_value=self.min_value,
+            max_value=self.max_value,
+            null_fraction=(self.null_count / self.total) if self.total else 0.0,
+        )
+
+
+def _count_prefixed_entries(data: bytes) -> int:
+    """Entry count of a length-prefixed PLAIN segment (dictionary pages)."""
+    import struct
+
+    count = 0
+    pos = 0
+    while pos < len(data):
+        (length,) = struct.unpack_from("<I", data, pos)
+        pos += 4 + length
+        count += 1
+    return count
 
 
 def _dereferences_to_paths(expression: RowExpression) -> RowExpression:

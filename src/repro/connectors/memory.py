@@ -30,6 +30,10 @@ class _MemoryTable:
     def __init__(self, metadata: TableMetadata, rows: list[tuple]) -> None:
         self.metadata = metadata
         self.rows = rows
+        # ANALYZE results plus the row count they were computed at, so
+        # stale statistics are dropped after inserts rather than served.
+        self.statistics = None
+        self.statistics_row_count = -1
 
 
 class MemoryConnector(Connector):
@@ -109,6 +113,23 @@ class _MemoryMetadata(ConnectorMetadata):
         self, handle: ConnectorTableHandle, columns: Sequence[str]
     ) -> Optional[ConnectorTableHandle]:
         return handle.with_(projected_columns=tuple(columns))
+
+    def collect_table_statistics(self, handle: ConnectorTableHandle):
+        """ANALYZE: exact statistics, trivially — the rows are in memory."""
+        from repro.metastore.statistics import statistics_from_rows
+
+        table = self._connector._table(handle.schema_name, handle.table_name)
+        table.statistics = statistics_from_rows(
+            table.metadata.column_names(), table.rows
+        )
+        table.statistics_row_count = len(table.rows)
+        return table.statistics
+
+    def get_table_statistics(self, handle: ConnectorTableHandle):
+        table = self._connector._table(handle.schema_name, handle.table_name)
+        if table.statistics_row_count != len(table.rows):
+            return None  # inserts since ANALYZE: stats are stale
+        return table.statistics
 
 
 class _MemorySplitManager(ConnectorSplitManager):

@@ -74,6 +74,12 @@ class ConnectorTableHandle:
     limit: Optional[int] = None
     projected_columns: Optional[tuple[str, ...]] = None
     aggregation: Optional[dict] = None  # serialized AggregationPushdown spec
+    # Runtime dynamic filter over connector column names (serialized
+    # RowExpression), injected by the scheduler after a join's build side
+    # completes — never present in planned handles.  Connectors that
+    # understand it (hive) prune partitions/row groups with it; everyone
+    # else safely ignores it (the scan re-applies the filter to pages).
+    dynamic_filter: Optional[dict] = None
 
     def with_(self, **updates: Any) -> "ConnectorTableHandle":
         return replace(self, **updates)
@@ -156,6 +162,25 @@ class ConnectorMetadata:
 
     def get_table_metadata(self, handle: ConnectorTableHandle) -> TableMetadata:
         raise NotImplementedError
+
+    # -- statistics (cost-based planning) ----------------------------------
+
+    def collect_table_statistics(self, handle: ConnectorTableHandle):
+        """ANALYZE: compute (and persist) this table's statistics.
+
+        Returns a :class:`repro.metastore.statistics.TableStatistics` or
+        ``None`` when the connector cannot produce statistics.  Default:
+        decline.
+        """
+        return None
+
+    def get_table_statistics(self, handle: ConnectorTableHandle):
+        """Previously collected statistics, or ``None`` when unanalyzed.
+
+        Statistics are advisory — consumers must plan identically to the
+        stats-free engine when this returns ``None``.
+        """
+        return None
 
     # -- pushdown negotiation (sections IV.A / IV.B) -----------------------
 

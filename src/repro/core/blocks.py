@@ -183,7 +183,12 @@ class PrimitiveBlock(Block):
     ) -> "PrimitiveBlock":
         """Build from Python values, inferring the null mask from ``None``s."""
         count = len(values)
-        nulls = np.fromiter((v is None for v in values), dtype=bool, count=count)
+        if isinstance(values, np.ndarray) and values.dtype == object:
+            # Object-ndarray fast path (Page.from_rows column slices):
+            # elementwise identity against None without a Python loop.
+            nulls = np.asarray(np.equal(values, None), dtype=bool)
+        else:
+            nulls = np.fromiter((v is None for v in values), dtype=bool, count=count)
         has_nulls = bool(nulls.any())
         dtype = _numpy_dtype_for(presto_type)
         if dtype is object:
@@ -196,7 +201,10 @@ class PrimitiveBlock(Block):
                 for i, v in enumerate(values):
                     storage[i] = v
         elif has_nulls:
-            storage = np.array([0 if v is None else v for v in values], dtype=dtype)
+            if isinstance(values, np.ndarray):
+                storage = np.where(nulls, 0, values).astype(dtype)
+            else:
+                storage = np.array([0 if v is None else v for v in values], dtype=dtype)
         else:
             storage = np.array(values, dtype=dtype)
         return cls(presto_type, storage, nulls if has_nulls else None)

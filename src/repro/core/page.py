@@ -53,11 +53,24 @@ class Page:
 
     @classmethod
     def from_rows(cls, types: Sequence[PrestoType], rows: Sequence[Sequence[Any]]) -> "Page":
-        """Build a page from row tuples (convenience for tests/workloads)."""
+        """Build a page from row tuples (convenience for tests/workloads).
+
+        The transpose goes through one 2-D object array when the rows are
+        rectangular scalars — one bulk assignment plus column slices
+        instead of materializing a Python tuple per column.  Rows whose
+        cells are themselves sequences (arrays/maps/structs) confuse the
+        2-D assignment and fall back to ``zip``.
+        """
         if not rows:
             columns: Sequence[Sequence[Any]] = [[] for _ in types]
-        else:
+            return cls.from_columns(types, columns)
+        try:
+            transposed = np.empty((len(rows), len(types)), dtype=object)
+            transposed[:] = rows
+        except ValueError:
             columns = list(zip(*rows))
+        else:
+            columns = [transposed[:, channel] for channel in range(len(types))]
         return cls.from_columns(types, columns)
 
     @property

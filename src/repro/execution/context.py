@@ -42,6 +42,18 @@ class QueryStats:
     # terminally and attempts that were retried after a retryable error.
     tasks_failed: int = 0
     tasks_retried: int = 0
+    # Parquet row-group accounting, harvested from reader statistics by the
+    # scan operator: how many groups each skip tier eliminated.
+    row_groups_total: int = 0
+    row_groups_skipped_by_stats: int = 0
+    row_groups_skipped_by_dictionary: int = 0
+    row_groups_skipped_by_dynamic_filter: int = 0
+    # Runtime dynamic filters (adaptive execution): filters built from
+    # completed join build sides, rows pruned by page-level masking, and
+    # splits skipped outright at enumeration.
+    dynamic_filters_built: int = 0
+    dynamic_filter_rows_pruned: int = 0
+    dynamic_filter_splits_skipped: int = 0
     # Expression-compiler counters: positions evaluated by vectorized
     # kernels vs positions that dropped to the row-at-a-time interpreter,
     # and positions *not* evaluated at all thanks to dictionary-aware
@@ -74,6 +86,13 @@ class QueryStats:
             "simulated_ms": self.simulated_ms,
             "tasks_failed": self.tasks_failed,
             "tasks_retried": self.tasks_retried,
+            "row_groups_total": self.row_groups_total,
+            "row_groups_skipped_by_stats": self.row_groups_skipped_by_stats,
+            "row_groups_skipped_by_dictionary": self.row_groups_skipped_by_dictionary,
+            "row_groups_skipped_by_dynamic_filter": self.row_groups_skipped_by_dynamic_filter,
+            "dynamic_filters_built": self.dynamic_filters_built,
+            "dynamic_filter_rows_pruned": self.dynamic_filter_rows_pruned,
+            "dynamic_filter_splits_skipped": self.dynamic_filter_splits_skipped,
             "expr_positions_vectorized": self.expr_positions_vectorized,
             "expr_positions_fallback": self.expr_positions_fallback,
             "expr_positions_dictionary_saved": self.expr_positions_dictionary_saved,
@@ -110,6 +129,11 @@ class ExecutionContext:
     scan_splits: Optional[dict] = None
     # Staged execution, per task: Exchange -> list of input pages.
     exchange_inputs: Optional[dict] = None
+    # Runtime dynamic filters, shared by every task of the query:
+    # TableScanNode id -> DynamicFilterSet.  The QueryScheduler fills it
+    # when a join's build side completes, before the probe stage's tasks
+    # are planned; task contexts share the dict by reference.
+    dynamic_filters: Optional[dict] = None
     # Expression-evaluation lane (compiled vs interpreted oracle) and its
     # optimization toggles; shared by every operator of the query.
     evaluator_options: EvaluatorOptions = field(default_factory=EvaluatorOptions)

@@ -190,6 +190,9 @@ class PrestoEngine:
         max_task_retries: int = 3,
         retry_backoff_ms: float = 10.0,
         task_timeout_ms: Optional[float] = None,
+        enable_dynamic_filtering: bool = True,
+        adaptive_partitioning: bool = False,
+        target_partition_rows: Optional[int] = None,
         evaluator_options=None,
         metrics: Optional[MetricsRegistry] = None,
         tracing: bool = True,
@@ -217,6 +220,15 @@ class PrestoEngine:
         self.max_task_retries = max_task_retries
         self.retry_backoff_ms = retry_backoff_ms
         self.task_timeout_ms = task_timeout_ms
+        # Adaptive execution: push each hash join's build-side key summary
+        # into not-yet-started probe scans (staged execution only).
+        self.enable_dynamic_filtering = enable_dynamic_filtering
+        # Adaptive exchange sizing: choose each hash stage's partition
+        # count from the observed input volume instead of always running
+        # hash_partitions tasks.  Off by default — it changes task counts
+        # (and thus the simulated schedule), not results.
+        self.adaptive_partitioning = adaptive_partitioning
+        self.target_partition_rows = target_partition_rows
         # Expression-evaluation lane: compiled kernel DAGs by default,
         # EvaluatorOptions(mode="interpreted") for the row-at-a-time oracle.
         from repro.core.compiler import EvaluatorOptions
@@ -252,8 +264,23 @@ class PrestoEngine:
         return plan
 
     def explain(self, sql: str) -> str:
-        """EXPLAIN-style rendering of the optimized plan."""
-        return self.plan(sql).pretty()
+        """EXPLAIN-style rendering of the optimized plan.
+
+        Nodes whose subtree has ANALYZE statistics carry an estimated row
+        count; un-analyzed plans render exactly as before.
+        """
+        from repro.planner.cost import CostEstimator
+        from repro.planner.stats import StatsProvider
+
+        estimator = CostEstimator(StatsProvider(self.catalog))
+
+        def annotate(node) -> str:
+            estimate = estimator.estimate(node)
+            if estimate is None:
+                return ""
+            return f"{{rows: {_format_row_estimate(estimate.row_count)}}}"
+
+        return self.plan(sql).pretty(annotate=annotate)
 
     def explain_distributed(self, sql: str) -> str:
         """EXPLAIN (TYPE DISTRIBUTED): the plan divided into fragments.
@@ -329,6 +356,13 @@ class PrestoEngine:
             max_task_retries=self.max_task_retries,
             retry_backoff_ms=self.retry_backoff_ms,
             task_timeout_ms=self.task_timeout_ms,
+            dynamic_filtering=self.enable_dynamic_filtering,
+            adaptive_partitioning=self.adaptive_partitioning,
+            **(
+                {"target_partition_rows": self.target_partition_rows}
+                if self.target_partition_rows is not None
+                else {}
+            ),
         )
         return QueryHandle(self, plan, ctx, scheduler.start(fragmented))
 
@@ -402,6 +436,20 @@ class PrestoEngine:
             f"{stats.expr_positions_fallback} interpreter fallback, "
             f"{stats.expr_positions_dictionary_saved} saved by dictionary evaluation",
         ]
+        if stats.dynamic_filters_built:
+            skipped = (
+                stats.row_groups_skipped_by_stats
+                + stats.row_groups_skipped_by_dictionary
+                + stats.row_groups_skipped_by_dynamic_filter
+            )
+            lines.append(
+                f"Dynamic filters: {stats.dynamic_filters_built} built, "
+                f"{stats.dynamic_filter_splits_skipped} splits skipped, "
+                f"{stats.row_groups_skipped_by_dynamic_filter}/"
+                f"{stats.row_groups_total} row groups skipped "
+                f"({skipped} by all pruning tiers), "
+                f"{stats.dynamic_filter_rows_pruned} rows pruned at scan"
+            )
         for summary in reversed(stats.stage_summaries):
             fragment = fragmented.fragment_by_id(summary["stage"])
             lines.append(
@@ -427,6 +475,12 @@ class PrestoEngine:
                         f"{entry.contribution_ms:.2f} ms"
                     )
         return "\n".join(lines)
+
+
+def _format_row_estimate(rows: float) -> str:
+    if rows >= 100 or rows == int(rows):
+        return str(int(round(rows)))
+    return f"{rows:.2f}"
 
 
 def _match_metadata_statement(sql: str):
@@ -514,6 +568,45 @@ def _match_metadata_statement(sql: str):
             )
 
         return run_show_tables
+
+    analyze_table = re.match(
+        r"analyze\s+(?:table\s+)?([\w.\"$=]+)$", stripped, re.IGNORECASE
+    )
+    if analyze_table:
+        def run_analyze(engine: "PrestoEngine") -> QueryResult:
+            from repro.common.errors import SemanticError
+            from repro.planner.analyzer import Analyzer
+            from repro.sql import parse_sql as _parse
+
+            probe = _parse(f"SELECT count(*) FROM {analyze_table.group(1)}")
+            reference = probe.from_relation
+            analyzer = Analyzer(engine.catalog, engine.session, engine.registry)
+            catalog_name, schema_name, table_name = analyzer.qualify(reference.parts)
+            metadata = engine.catalog.connector(catalog_name).metadata()
+            handle = metadata.get_table_handle(schema_name, table_name)
+            if handle is None:
+                raise SemanticError(
+                    f"table {catalog_name}.{schema_name}.{table_name} does not exist"
+                )
+            statistics = metadata.collect_table_statistics(handle)
+            if statistics is None:
+                raise SemanticError(
+                    f"connector {catalog_name!r} does not support ANALYZE"
+                )
+            engine.metrics.counter("engine_tables_analyzed_total").inc()
+            return QueryResult(
+                ["Table", "Rows", "Columns Analyzed"],
+                [
+                    (
+                        f"{catalog_name}.{schema_name}.{table_name}",
+                        statistics.row_count,
+                        len(statistics.columns),
+                    )
+                ],
+                QueryStats(),
+            )
+
+        return run_analyze
 
     describe = re.match(r"(?:describe|desc)\s+([\w.\"$=]+)$", stripped, re.IGNORECASE)
     if describe:

@@ -37,6 +37,13 @@ class ExchangeBuffer:
     receives the whole broadcast, and non-partitioned REPARTITION (a join
     build side) because the in-process hash join needs the complete build
     table per probe task.
+
+    Partitioning is **lazy**: producer pages accumulate in arrival order
+    and are routed into partitions only at the first partitioned read.
+    That window — after the producer finished, before the consumer is
+    planned — is where adaptive execution calls
+    :meth:`set_partition_count` to right-size the downstream stage from
+    the observed row volume.
     """
 
     def __init__(
@@ -53,33 +60,56 @@ class ExchangeBuffer:
             raise ExecutionError(
                 f"partitioned exchange {exchange.kind} has no key channels"
             )
-        self.partitions: list[list[Page]] = [
-            [] for _ in range(self.partition_count)
-        ]
+        self._added: list[Page] = []
+        self._partitions: Optional[list[list[Page]]] = None
         self.rows_added = 0
 
     def add(self, page: Page) -> None:
-        """Route one producer page into the buffer."""
+        """Buffer one producer page (partitioning deferred to first read)."""
         self.rows_added += page.position_count
-        if not self.partitioned or self.partition_count == 1:
-            self.partitions[0].append(page)
+        self._added.append(page)
+        self._partitions = None  # late adds re-partition lazily
+
+    def set_partition_count(self, count: int) -> None:
+        """Adapt the downstream partition count before the first read."""
+        if count < 1:
+            raise ExecutionError("partition count must be at least 1")
+        if not self.partitioned:
             return
-        if page.position_count == 0:
-            return
-        key_blocks = [page.block(c).loaded() for c in self.key_channels]
-        assignments = kernels.partition_assignments(key_blocks, self.partition_count)
-        for partition in range(self.partition_count):
-            positions = np.nonzero(assignments == partition)[0]
-            if len(positions):
-                self.partitions[partition].append(page.take(positions))
+        self.partition_count = count
+        self._partitions = None
+
+    def _materialized(self) -> list[list[Page]]:
+        if self._partitions is None:
+            partitions: list[list[Page]] = [
+                [] for _ in range(self.partition_count)
+            ]
+            if not self.partitioned or self.partition_count == 1:
+                partitions[0] = list(self._added)
+            else:
+                for page in self._added:
+                    if page.position_count == 0:
+                        continue
+                    key_blocks = [
+                        page.block(c).loaded() for c in self.key_channels
+                    ]
+                    assignments = kernels.partition_assignments(
+                        key_blocks, self.partition_count
+                    )
+                    for partition in range(self.partition_count):
+                        positions = np.nonzero(assignments == partition)[0]
+                        if len(positions):
+                            partitions[partition].append(page.take(positions))
+            self._partitions = partitions
+        return self._partitions
 
     def pages_for_partition(self, partition: int) -> list[Page]:
         """Pages owned by one consumer task of a partitioned exchange."""
-        return list(self.partitions[partition])
+        return list(self._materialized()[partition])
 
     def all_pages(self) -> list[Page]:
         """Every buffered page, partition-major, in production order."""
-        return [page for partition in self.partitions for page in partition]
+        return [page for partition in self._materialized() for page in partition]
 
 
 def key_channels_for(exchange: Exchange, producer_root) -> list[int]:

@@ -4,14 +4,25 @@ The scan asks the connector's split manager for splits and streams every
 split's pages through the record-set provider, renaming connector columns
 to plan variables.  Splits are the unit of parallelism (section III); the
 cluster simulation layer accounts their costs across workers.
+
+When a runtime dynamic filter targets the scan (adaptive execution), the
+scan pushes its expression form into the connector handle — so readers
+can skip whole row groups — and masks every surviving page against the
+full filters (including bloom summaries the expression form cannot
+carry).  The fragment result cache is bypassed for dynamically-filtered
+scans: the cache key does not include the filter, and filtered results
+must never be served to an unfiltered run.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
+
+import numpy as np
 
 from repro.core.page import Page
 from repro.execution.context import ExecutionContext
+from repro.execution.dynamic_filters import DynamicFilterSet
 from repro.planner.plan import TableScanNode, ValuesNode
 
 
@@ -20,13 +31,31 @@ def execute_table_scan(node: TableScanNode, ctx: ExecutionContext) -> Iterator[P
     provider = connector.record_set_provider()
     columns = [column for _, column in node.assignments]
 
+    filter_set: Optional[DynamicFilterSet] = None
+    if ctx.dynamic_filters is not None:
+        filter_set = ctx.dynamic_filters.get(node.id)
+
+    handle = node.handle
+    if filter_set is not None and filter_set.expression_dict:
+        handle = handle.with_(dynamic_filter=filter_set.expression_dict)
+
     # Staged execution pins each task to its assigned splits; the direct
     # pipeline enumerates every split of the table in one pass.
     splits = None
     if ctx.scan_splits is not None:
         splits = ctx.scan_splits.get(node.id)
     if splits is None:
-        splits = connector.split_manager().get_splits(node.handle)
+        if filter_set is not None and filter_set.is_empty:
+            # An empty build side means no probe row can ever match: skip
+            # split enumeration entirely (mirrors the scheduler's staged
+            # shortcut, counted the same way).
+            skipped = len(connector.split_manager().get_splits(handle))
+            ctx.stats.dynamic_filter_splits_skipped += skipped
+            splits = []
+        else:
+            splits = connector.split_manager().get_splits(handle)
+
+    mask_channels = _dynamic_mask_channels(node, filter_set)
 
     produced_any = False
     for split in splits:
@@ -35,14 +64,19 @@ def execute_table_scan(node: TableScanNode, ctx: ExecutionContext) -> Iterator[P
             # Task creation/assignment RPC overhead per split.
             ctx.clock.advance(0.2)
         split_rows = 0
-        pages, cache_status = _split_pages(node, ctx, provider, split, columns)
+        pages, cache_status = _split_pages(
+            node, ctx, provider, handle, split, columns, filter_set
+        )
         for page in pages:
+            if mask_channels:
+                page = _apply_dynamic_mask(page, mask_channels, ctx)
             ctx.stats.rows_scanned += page.position_count
             split_rows += page.position_count
             ctx.stats.pages_produced += 1
             if page.position_count or not produced_any:
                 produced_any = True
                 yield page
+        _harvest_reader_stats(ctx, pages)
         if ctx.tracer is not None:
             span = ctx.tracer.instant(
                 "split",
@@ -54,7 +88,65 @@ def execute_table_scan(node: TableScanNode, ctx: ExecutionContext) -> Iterator[P
                 span.set(cache=cache_status)
 
 
-def _split_pages(node, ctx, provider, split, columns):
+def _dynamic_mask_channels(node, filter_set):
+    """Pairs of (page channel, filters) to mask pages with, or []."""
+    if filter_set is None or not filter_set.filters:
+        return []
+    channel_by_column = {
+        column: channel for channel, (_, column) in enumerate(node.assignments)
+    }
+    mask_channels = []
+    for column, filters in sorted(filter_set.filters.items()):
+        channel = channel_by_column.get(column)
+        if channel is not None:
+            mask_channels.append((channel, filters))
+    return mask_channels
+
+
+def _apply_dynamic_mask(page: Page, mask_channels, ctx: ExecutionContext) -> Page:
+    """Drop rows whose join keys cannot match any build-side key.
+
+    Runs before ``rows_scanned`` accounting, matching the reader's static
+    predicate (filtered rows never count as scanned); the pruned volume
+    is visible in ``dynamic_filter_rows_pruned``.
+    """
+    if page.position_count == 0:
+        return page
+    mask = np.ones(page.position_count, dtype=bool)
+    for channel, filters in mask_channels:
+        block = page.block(channel)
+        for dynamic_filter in filters:
+            mask &= dynamic_filter.mask(block)
+            if not mask.any():
+                break
+    kept = int(mask.sum())
+    if kept == page.position_count:
+        return page
+    ctx.stats.dynamic_filter_rows_pruned += page.position_count - kept
+    return page.take(np.flatnonzero(mask))
+
+
+def _harvest_reader_stats(ctx: ExecutionContext, pages) -> None:
+    """Fold a drained split's reader statistics into the query counters.
+
+    Providers that wrap a format reader (hive/parquet) expose its stats
+    as a ``reader_stats`` attribute on the returned page iterator; plain
+    generators (memory connector, cached results) simply have none.
+    """
+    reader_stats = getattr(pages, "reader_stats", None)
+    if reader_stats is None:
+        return
+    ctx.stats.row_groups_total += reader_stats.row_groups_total
+    ctx.stats.row_groups_skipped_by_stats += reader_stats.row_groups_skipped_by_stats
+    ctx.stats.row_groups_skipped_by_dictionary += (
+        reader_stats.row_groups_skipped_by_dictionary
+    )
+    ctx.stats.row_groups_skipped_by_dynamic_filter += (
+        reader_stats.row_groups_skipped_by_dynamic_filter
+    )
+
+
+def _split_pages(node, ctx, provider, handle, split, columns, filter_set):
     """One split's pages, optionally served from the fragment result cache.
 
     The cache key is the scan fragment's canonical description plus the
@@ -62,17 +154,18 @@ def _split_pages(node, ctx, provider, split, columns):
     new rows) makes the old entry unreachable, so stale results are never
     served (section VII).  Returns ``(pages, cache_status)`` where the
     status is ``"hit"``/``"miss"`` when the fragment cache was consulted,
-    else None.
+    else None.  Dynamically-filtered scans never touch the cache — the
+    key excludes the runtime filter.
     """
     cache = ctx.fragment_cache
     data_version = split.info_dict().get("data_version")
-    if cache is None or data_version is None:
-        return provider.pages(node.handle, split, columns), None
+    if cache is None or data_version is None or filter_set is not None:
+        return provider.pages(handle, split, columns), None
     key = cache.fragment_key(
         node.describe() + "|" + ",".join(columns), split.split_id, data_version
     )
     pages, hit = cache.get_or_compute_with_status(
-        key, lambda: provider.pages(node.handle, split, columns)
+        key, lambda: provider.pages(handle, split, columns)
     )
     if hit:
         ctx.stats.fragment_cache_hits += 1

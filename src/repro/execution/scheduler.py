@@ -45,9 +45,17 @@ from dataclasses import dataclass, replace as dc_replace
 from typing import Optional
 
 from repro.common.errors import ExecutionError, PrestoError, TaskTimeoutError
+from repro.core.expressions import (
+    VariableReferenceExpression,
+    combine_conjuncts,
+)
 from repro.core.page import Page
 from repro.execution.context import ExecutionContext
 from repro.execution.driver import execute_plan, record_operator_spans
+from repro.execution.dynamic_filters import (
+    DynamicFilterSet,
+    build_dynamic_filter,
+)
 from repro.execution.exchange import ExchangeBuffer, key_channels_for
 from repro.execution.faults import FaultInjector
 from repro.planner.fragmenter import (
@@ -56,7 +64,22 @@ from repro.planner.fragmenter import (
     PlanFragment,
     RemoteSourceNode,
 )
-from repro.planner.plan import PlanNode, TableScanNode
+from repro.planner.plan import (
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    TableScanNode,
+)
+
+# Join types whose probe side drops rows lacking a build-side match; only
+# these may have their probe scans dynamically filtered.
+_DYNAMIC_FILTER_JOIN_TYPES = ("inner", "right")
+
+# Adaptive partitioning: rows each hash-stage task should own; the
+# partition count is ceil(observed rows / target), clamped to
+# [1, hash_partitions].
+DEFAULT_TARGET_PARTITION_ROWS = 65_536
 
 
 @dataclass
@@ -121,6 +144,9 @@ class StageScheduler:
         max_task_retries: int = 3,
         retry_backoff_ms: float = 10.0,
         task_timeout_ms: Optional[float] = None,
+        dynamic_filtering: bool = True,
+        adaptive_partitioning: bool = False,
+        target_partition_rows: int = DEFAULT_TARGET_PARTITION_ROWS,
     ) -> None:
         if hash_partitions < 1:
             raise ExecutionError("hash_partitions must be at least 1")
@@ -134,6 +160,19 @@ class StageScheduler:
         self.max_task_retries = max_task_retries
         self.retry_backoff_ms = retry_backoff_ms
         self.task_timeout_ms = task_timeout_ms
+        # Runtime dynamic filters (adaptive execution): summarize each
+        # completed join build side and push the summary into not-yet-
+        # started probe-side scans.  Results are identical either way —
+        # the filter only removes probe rows the join would drop.
+        self.dynamic_filtering = dynamic_filtering
+        # Adaptive exchange sizing: once a stage's inputs are fully
+        # buffered, shrink the downstream hash-partition count so each
+        # task owns ~target_partition_rows rows instead of paying the
+        # per-task overhead of hash_partitions near-empty tasks.
+        if target_partition_rows < 1:
+            raise ExecutionError("target_partition_rows must be at least 1")
+        self.adaptive_partitioning = adaptive_partitioning
+        self.target_partition_rows = target_partition_rows
 
     def run(self, fragmented: FragmentedPlan) -> list[Page]:
         """Run every stage in dependency order; returns the root's pages.
@@ -389,7 +428,21 @@ class StageScheduler:
         if fragment.distribution == "source" and len(scans) == 1:
             scan = scans[0]
             connector = self.ctx.catalog.connector(scan.catalog)
-            splits = connector.split_manager().get_splits(scan.handle)
+            handle = scan.handle
+            filter_set = (self.ctx.dynamic_filters or {}).get(scan.id)
+            if filter_set is not None and filter_set.is_empty:
+                # An empty build side matches nothing: skip every split.
+                skipped = len(connector.split_manager().get_splits(handle))
+                self.ctx.stats.dynamic_filter_splits_skipped += skipped
+                splits = []
+            else:
+                if filter_set is not None and filter_set.expression_dict:
+                    # Split managers that understand the pushed filter
+                    # (hive) prune partitions against it at enumeration.
+                    handle = handle.with_(
+                        dynamic_filter=filter_set.expression_dict
+                    )
+                splits = connector.split_manager().get_splits(handle)
             if splits:
                 return [
                     (
@@ -405,6 +458,9 @@ class StageScheduler:
             return [({scan.id: []}, inputs_for(None), f"stage{fragment.fragment_id}.task0", 0)]
 
         if fragment.distribution == "hash" and partitioned_inputs:
+            # Task count follows the input buffers (adaptive partitioning
+            # may have shrunk them below hash_partitions).
+            partition_count = buffers[partitioned_inputs[0]].partition_count
             return [
                 (
                     None,
@@ -412,7 +468,7 @@ class StageScheduler:
                     f"stage{fragment.fragment_id}.part{partition}",
                     0,
                 )
-                for partition in range(self.hash_partitions)
+                for partition in range(partition_count)
             ]
 
         # Single task: coordinator-side stages, multi-scan fragments (the
@@ -481,6 +537,8 @@ class QueryScheduler:
         self.done = False
         self.failed = False
         self._fragment_index = 0
+        if scheduler.dynamic_filtering and self.ctx.dynamic_filters is None:
+            self.ctx.dynamic_filters = {}
         self._tasks: Optional[list] = None
         self._task_index = 0
         self._out_buffers: list[ExchangeBuffer] = []
@@ -525,6 +583,10 @@ class QueryScheduler:
             self.buffers[exchange] = buffer
             self._out_buffers.append(buffer)
 
+        if scheduler.dynamic_filtering:
+            self._collect_dynamic_filters(fragment)
+        if scheduler.adaptive_partitioning:
+            self._adapt_partition_counts(fragment)
         self._tasks = scheduler._plan_tasks(fragment, self.buffers)
         self._task_index = 0
         self._stage_rows_in = 0
@@ -538,6 +600,131 @@ class QueryScheduler:
                 distribution=fragment.distribution,
                 tasks=len(self._tasks),
             )
+
+    # -- adaptive partitioning ------------------------------------------------
+
+    def _adapt_partition_counts(self, fragment: PlanFragment) -> None:
+        """Right-size this hash stage from its buffered input volume.
+
+        Runs after the producer stages completed (their rows are fully
+        buffered, not yet partitioned — partitioning is lazy) and before
+        this stage's tasks are planned.  Every partitioned input gets the
+        *same* count, keeping join sides co-partitioned.
+        """
+        scheduler = self._scheduler
+        if fragment.distribution != "hash":
+            return
+        partitioned = [
+            self.buffers[e]
+            for e in fragment.inputs
+            if e.partitioned and e in self.buffers
+        ]
+        if not partitioned:
+            return
+        rows = max(buffer.rows_added for buffer in partitioned)
+        target = scheduler.target_partition_rows
+        count = min(
+            scheduler.hash_partitions, max(1, -(-rows // target))
+        )
+        if all(buffer.partition_count == count for buffer in partitioned):
+            return
+        for buffer in partitioned:
+            buffer.set_partition_count(count)
+        scheduler._count_task(
+            "scheduler_adaptive_partitions_total", fragment.fragment_id
+        )
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.instant(
+                "adaptive_partitioning",
+                stage=fragment.fragment_id,
+                rows=rows,
+                partitions=count,
+            )
+
+    # -- dynamic filters ------------------------------------------------------
+
+    def _collect_dynamic_filters(self, fragment: PlanFragment) -> None:
+        """Summarize completed build sides feeding this fragment's joins.
+
+        Runs when the stage begins — the fragmenter schedules every build
+        fragment strictly before the fragment holding its join, so the
+        build exchange buffers are complete here, before any probe-side
+        split has been planned.  Filters are built exactly once per query
+        (this method runs once per stage) and task retries re-read the
+        same :class:`DynamicFilterSet`, so a retried probe task can never
+        observe — or double-apply — a different filter.
+        """
+        ctx = self.ctx
+        assert ctx.dynamic_filters is not None
+        for node in fragment.root.walk():
+            if (
+                not isinstance(node, JoinNode)
+                or node.join_type not in _DYNAMIC_FILTER_JOIN_TYPES
+                or not node.criteria
+                or not isinstance(node.right, RemoteSourceNode)
+            ):
+                continue
+            buffer = self.buffers.get(node.right.exchange)
+            if buffer is None:
+                continue
+            build_names = [v.name for v in node.right.outputs]
+            build_pages = buffer.all_pages()
+            for left_variable, right_variable in node.criteria:
+                if right_variable.name not in build_names:
+                    continue
+                traced = _trace_to_scan_column(node.left, left_variable.name)
+                if traced is None:
+                    continue  # probe key is computed, or lives beyond an exchange
+                scan, column = traced
+                channel = build_names.index(right_variable.name)
+                values = (
+                    value
+                    for page in build_pages
+                    for value in page.block(channel).loaded().to_list()
+                )
+                dynamic_filter = build_dynamic_filter(values)
+                filter_set = ctx.dynamic_filters.setdefault(
+                    scan.id, DynamicFilterSet()
+                )
+                filter_set.filters.setdefault(column, []).append(dynamic_filter)
+                ctx.stats.dynamic_filters_built += 1
+                self._scheduler._count_task(
+                    "scheduler_dynamic_filters_built_total", fragment.fragment_id
+                )
+                if ctx.tracer is not None:
+                    ctx.tracer.instant(
+                        "dynamic_filter",
+                        scan=scan.id,
+                        column=column,
+                        build_rows=dynamic_filter.build_rows,
+                        build_distinct=dynamic_filter.build_distinct,
+                        form="values" if dynamic_filter.values is not None else "bloom",
+                    )
+                self._refresh_filter_expression(scan, filter_set)
+
+    def _refresh_filter_expression(
+        self, scan: TableScanNode, filter_set: DynamicFilterSet
+    ) -> None:
+        """Re-serialize the set's expression form over connector columns."""
+        types_by_variable = {v.name: v.type for v in scan.output_variables}
+        column_types = {
+            column: types_by_variable[variable]
+            for variable, column in scan.assignments
+            if variable in types_by_variable
+        }
+        terms = []
+        for column, filters in filter_set.filters.items():
+            presto_type = column_types.get(column)
+            if presto_type is None:
+                continue
+            for dynamic_filter in filters:
+                expression = dynamic_filter.to_expression(
+                    column, presto_type, self.ctx.registry
+                )
+                if expression is not None:
+                    terms.append(expression)
+        combined = combine_conjuncts(terms)
+        filter_set.expression_dict = None if combined is None else combined.to_dict()
 
     def _end_stage(self, fragment: PlanFragment) -> None:
         stats = self.ctx.stats
@@ -639,6 +826,37 @@ class QueryScheduler:
             query_done=query_done,
             data_bytes=record.data_bytes,
         )
+
+
+def _trace_to_scan_column(
+    node: PlanNode, name: str
+) -> Optional[tuple[TableScanNode, str]]:
+    """Follow probe variable ``name`` down to the scan column feeding it.
+
+    Only forwarding edges are followed — filters, identity/renaming
+    projection assignments, and join sides that carry the variable
+    through unchanged.  A computed expression, an aggregation, or an
+    exchange boundary ends the trace (returns None): pushing a filter
+    below any of those could change which rows reach the join.
+    """
+    if isinstance(node, TableScanNode):
+        column = node.assignments_dict().get(name)
+        return None if column is None else (node, column)
+    if isinstance(node, FilterNode):
+        return _trace_to_scan_column(node.source, name)
+    if isinstance(node, ProjectNode):
+        for variable, expression in node.assignments:
+            if variable.name == name:
+                if isinstance(expression, VariableReferenceExpression):
+                    return _trace_to_scan_column(node.source, expression.name)
+                return None
+        return None
+    if isinstance(node, JoinNode):
+        for side in node.sources():
+            if any(v.name == name for v in side.outputs):
+                return _trace_to_scan_column(side, name)
+        return None
+    return None
 
 
 def _find_table_scans(node: PlanNode) -> list[TableScanNode]:

@@ -66,8 +66,18 @@ class LeafChunk:
         if isinstance(values, np.ndarray) and values.dtype != object:
             if len(values) == 0:
                 return ColumnStatistics(None, None, self.num_slots, self.num_slots)
-            low = values.min().item()
-            high = values.max().item()
+            comparable = values
+            if np.issubdtype(values.dtype, np.floating):
+                # NaN poisons ndarray.min()/max() (both become NaN, which
+                # then defeats every stats-based row-group skip); min/max
+                # summarize the comparable values only.
+                comparable = values[~np.isnan(values)]
+            if len(comparable) == 0:
+                return ColumnStatistics(
+                    None, None, self.num_slots - len(values), self.num_slots
+                )
+            low = comparable.min().item()
+            high = comparable.max().item()
             return ColumnStatistics(low, high, self.num_slots - len(values), self.num_slots)
         return ColumnStatistics.of(list(values), self.num_slots)
 

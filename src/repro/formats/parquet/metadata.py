@@ -42,8 +42,13 @@ class ColumnStatistics:
         defined = [v for v in values if v is not None]
         if not defined:
             return cls(None, None, num_slots, num_slots)
+        # NaN never orders against anything, so a single NaN would make
+        # min()/max() order-dependent garbage: compare the comparable.
+        comparable = [v for v in defined if v == v]
+        if not comparable:
+            return cls(None, None, num_slots - len(defined), num_slots)
         try:
-            low, high = min(defined), max(defined)
+            low, high = min(comparable), max(comparable)
         except TypeError:
             low = high = None  # non-orderable values: no min/max stats
         return cls(low, high, num_slots - len(defined), num_slots)

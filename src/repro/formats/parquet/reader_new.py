@@ -45,6 +45,7 @@ from repro.core.expressions import (
     SpecialForm,
     SpecialFormExpression,
     VariableReferenceExpression,
+    combine_conjuncts,
     conjuncts,
 )
 from repro.core.page import Page
@@ -70,6 +71,10 @@ class ReaderStats:
     row_groups_total: int = 0
     row_groups_skipped_by_stats: int = 0
     row_groups_skipped_by_dictionary: int = 0
+    # Groups eliminated by a runtime dynamic filter's expression form
+    # (min/max or dictionary check) — kept separate from the static
+    # pushdown counters so adaptive execution's effect is measurable.
+    row_groups_skipped_by_dynamic_filter: int = 0
     values_decoded: int = 0
     lazy_loads_avoided: int = 0
 
@@ -95,15 +100,24 @@ class NewParquetReader:
         predicate: Optional[RowExpression] = None,
         evaluator: Optional[Evaluator] = None,
         restrict: Optional[dict[str, Sequence[str]]] = None,
+        dynamic_predicate: Optional[RowExpression] = None,
     ) -> None:
         """``columns`` are dotted output paths; each output block has the
         type at that path (a leaf path yields a scalar block, a struct path
         a RowBlock).  ``restrict`` optionally limits a struct output to a
         subset of its subfield paths — the partial-struct shape nested
-        column pruning produces (``{"base": ["base.city_id"]}``)."""
+        column pruning produces (``{"base": ["base.city_id"]}``).
+        ``dynamic_predicate`` is a runtime dynamic filter's expression
+        form: applied exactly like ``predicate`` but accounted separately
+        (``row_groups_skipped_by_dynamic_filter``)."""
         self.file = file
         self.options = options or ReaderOptions()
         self.predicate = predicate
+        self.dynamic_predicate = dynamic_predicate
+        row_terms = [p for p in (predicate, dynamic_predicate) if p is not None]
+        self._row_predicate: Optional[RowExpression] = (
+            combine_conjuncts(row_terms) if row_terms else None
+        )
         self.stats = ReaderStats()
         self._evaluator = evaluator or Evaluator()
         self._dictionary_cache: dict[tuple[int, str], Block] = {}
@@ -129,9 +143,9 @@ class NewParquetReader:
         return widened
 
     def _predicate_paths(self) -> list[str]:
-        if self.predicate is None:
+        if self._row_predicate is None:
             return []
-        return [v.name for v in self.predicate.variables()]
+        return [v.name for v in self._row_predicate.variables()]
 
     # -- main loop ----------------------------------------------------------------
 
@@ -140,24 +154,36 @@ class NewParquetReader:
         predicate_paths = self._predicate_paths()
         for group_index in range(self.file.num_row_groups()):
             self.stats.row_groups_total += 1
-            if self.predicate is not None and self.options.predicate_pushdown:
-                if self._skippable_by_stats(group_index):
-                    self.stats.row_groups_skipped_by_stats += 1
-                    continue
-                if self.options.dictionary_pushdown and self._skippable_by_dictionary(
-                    group_index
-                ):
-                    self.stats.row_groups_skipped_by_dictionary += 1
-                    continue
+            if self.options.predicate_pushdown:
+                if self.predicate is not None:
+                    if self._skippable_by_stats(group_index, self.predicate):
+                        self.stats.row_groups_skipped_by_stats += 1
+                        continue
+                    if self.options.dictionary_pushdown and self._skippable_by_dictionary(
+                        group_index, self.predicate
+                    ):
+                        self.stats.row_groups_skipped_by_dictionary += 1
+                        continue
+                if self.dynamic_predicate is not None:
+                    if self._skippable_by_stats(
+                        group_index, self.dynamic_predicate
+                    ) or (
+                        self.options.dictionary_pushdown
+                        and self._skippable_by_dictionary(
+                            group_index, self.dynamic_predicate
+                        )
+                    ):
+                        self.stats.row_groups_skipped_by_dynamic_filter += 1
+                        continue
             page = self._read_group(group_index, predicate_paths)
             if page is not None:
                 yield page
 
     # -- statistics / dictionary pushdown ---------------------------------------
 
-    def _skippable_by_stats(self, group_index: int) -> bool:
+    def _skippable_by_stats(self, group_index: int, predicate: RowExpression) -> bool:
         group = self.file.metadata.row_groups[group_index]
-        for conjunct in conjuncts(self.predicate):
+        for conjunct in conjuncts(predicate):
             test = _extract_range_test(conjunct)
             if test is None:
                 continue
@@ -182,9 +208,11 @@ class NewParquetReader:
                 return True
         return False
 
-    def _skippable_by_dictionary(self, group_index: int) -> bool:
+    def _skippable_by_dictionary(
+        self, group_index: int, predicate: RowExpression
+    ) -> bool:
         group = self.file.metadata.row_groups[group_index]
-        for conjunct in conjuncts(self.predicate):
+        for conjunct in conjuncts(predicate):
             test = _extract_range_test(conjunct)
             if test is None or test[1] not in ("equal", "in"):
                 continue
@@ -208,12 +236,12 @@ class NewParquetReader:
 
         # 1. Decode predicate leaves and evaluate the filter on the fly.
         mask: Optional[np.ndarray] = None
-        if self.predicate is not None and self.options.predicate_pushdown:
+        if self._row_predicate is not None and self.options.predicate_pushdown:
             bindings: dict[str, Block] = {}
             for path in predicate_paths:
                 leaf_block = self._decode_leaf_cached(group_index, path, decoded)
                 bindings[path] = leaf_block.block
-            mask = self._evaluator.filter_mask(self.predicate, bindings, num_rows)
+            mask = self._evaluator.filter_mask(self._row_predicate, bindings, num_rows)
             if not mask.any():
                 # Whole group filtered; projected columns never decoded.
                 self.stats.lazy_loads_avoided += len(
@@ -226,7 +254,7 @@ class NewParquetReader:
         blocks: list[Block] = []
         for path in self.columns:
             needed_by_predicate = path in predicate_paths
-            lazy_worthwhile = self.predicate is not None and not needed_by_predicate
+            lazy_worthwhile = self._row_predicate is not None and not needed_by_predicate
             if self.options.lazy_reads and lazy_worthwhile:
                 block = self._lazy_block(group_index, path, num_rows, decoded)
             else:

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 from repro.common.errors import ConnectorError
 from repro.core.types import PrestoType
+from repro.metastore.statistics import TableStatistics
 
 
 @dataclass
@@ -51,6 +52,7 @@ class HiveMetastore:
 
     def __init__(self) -> None:
         self._tables: dict[tuple[str, str], TableInfo] = {}
+        self._statistics: dict[tuple[str, str], TableStatistics] = {}
         self.version = 0
 
     def _bump(self) -> None:
@@ -82,6 +84,7 @@ class HiveMetastore:
 
     def drop_table(self, database: str, name: str) -> None:
         self._tables.pop((database, name), None)
+        self._statistics.pop((database, name), None)
         self._bump()
 
     def update_table_columns(
@@ -134,6 +137,21 @@ class HiveMetastore:
 
     def list_partitions(self, database: str, name: str) -> list[PartitionInfo]:
         return list(self.get_table(database, name).partitions.values())
+
+    # -- statistics ------------------------------------------------------------
+
+    def set_table_statistics(
+        self, database: str, name: str, statistics: TableStatistics
+    ) -> None:
+        """Store ANALYZE results; bumps the version like any mutation."""
+        self.get_table(database, name)  # raises if the table does not exist
+        self._statistics[(database, name)] = statistics
+        self._bump()
+
+    def get_table_statistics(
+        self, database: str, name: str
+    ) -> Optional[TableStatistics]:
+        return self._statistics.get((database, name))
 
     # -- lookup ----------------------------------------------------------------
 

@@ -3,11 +3,17 @@
 The paper's production setup uses "a rule based optimizer, ignoring
 statistics" (section XII.A) — cost-based optimization was abandoned because
 statistics could not be kept fresh.  This optimizer follows that design:
-deterministic rewrite rules applied to fixpoint, no cardinality estimates.
+deterministic rewrite rules applied to fixpoint, no cardinality estimates —
+except for one opt-in adaptive pass: when ``ANALYZE TABLE`` has populated
+metastore statistics, the join-reordering rule uses them for
+smallest-build-first ordering and broadcast-vs-partitioned selection.
+Plans whose tables were never analyzed are untouched by that pass, so the
+rule-only behaviour is preserved by default.
 
 Rule order: cleanup → predicate pushdown (to fixpoint) → geospatial
 rewrite → TopN formation and limit pushdown → aggregation pushdown →
-column pruning (incl. nested paths) → final cleanup.
+cost-based join reordering + distribution selection → column pruning
+(incl. nested paths) → final cleanup.
 """
 
 from __future__ import annotations
@@ -24,7 +30,10 @@ from repro.planner.rules.cleanup import merge_filters, remove_identity_projectio
 from repro.planner.rules.column_pruning import prune_columns
 from repro.planner.rules.geo_rewrite import rewrite_geospatial_joins
 from repro.planner.rules.limit_pushdown import push_limits, sort_limit_to_topn
+from repro.planner.rules.join_reorder import choose_join_distribution, reorder_joins
 from repro.planner.rules.predicate_pushdown import push_predicates
+from repro.planner.cost import CostEstimator
+from repro.planner.stats import StatsProvider
 
 
 @dataclass
@@ -43,6 +52,9 @@ class OptimizerOptions:
     aggregation_pushdown: bool = True
     column_pruning: bool = True
     geo_rewrite: bool = True
+    # Self-gating: only reorders joins whose relations all have ANALYZE
+    # statistics, so un-analyzed workloads are byte-identical either way.
+    cost_based_join_ordering: bool = True
 
 
 class Optimizer:
@@ -78,6 +90,12 @@ class Optimizer:
             result = push_limits(result, ctx)
         if options.aggregation_pushdown:
             result = push_aggregations(result, ctx)
+        estimator = CostEstimator(StatsProvider(self._catalog))
+        if options.cost_based_join_ordering:
+            result = reorder_joins(result, ctx, estimator)
+        # Always resolve distribution='automatic' placeholders — the
+        # fragmenter should only ever see broadcast or partitioned.
+        result = choose_join_distribution(result, ctx, estimator)
         if options.column_pruning:
             # To fixpoint: the first pass may drop identity-forwarding
             # assignments whose bare variable uses were masking narrower

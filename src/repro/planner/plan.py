@@ -49,10 +49,19 @@ class PlanNode:
         for source in self.sources():
             yield from source.walk()
 
-    def pretty(self, indent: int = 0) -> str:
-        """Human-readable plan tree, like EXPLAIN output."""
+    def pretty(self, indent: int = 0, annotate=None) -> str:
+        """Human-readable plan tree, like EXPLAIN output.
+
+        ``annotate`` optionally maps a node to a suffix string (EXPLAIN
+        uses it for estimated row counts); None/empty suffixes are omitted
+        so default rendering is unchanged.
+        """
         line = "  " * indent + self.describe()
-        children = [s.pretty(indent + 1) for s in self.sources()]
+        if annotate is not None:
+            suffix = annotate(self)
+            if suffix:
+                line += " " + suffix
+        children = [s.pretty(indent + 1, annotate) for s in self.sources()]
         return "\n".join([line] + children)
 
     def describe(self) -> str:

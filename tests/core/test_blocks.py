@@ -219,6 +219,29 @@ class TestPage:
         assert page.position_count == 0
         assert page.to_rows() == []
 
+    def test_from_rows_with_nulls(self):
+        rows = [(1, "a"), (None, None), (3, "c")]
+        assert Page.from_rows([BIGINT, VARCHAR], rows).to_rows() == rows
+
+    def test_from_rows_nested_cells_fall_back(self):
+        # Sequence-valued cells confuse the bulk 2-D transpose; they must
+        # take the zip path and still round-trip.
+        rows = [([1, 2], "a"), ([3], "b"), (None, "c")]
+        page = Page.from_rows([ArrayType(BIGINT), VARCHAR], rows)
+        assert page.to_rows() == rows
+
+    def test_from_rows_nan_round_trips(self):
+        page = Page.from_rows([DOUBLE], [(1.5,), (float("nan"),), (None,)])
+        values = [row[0] for row in page.to_rows()]
+        assert values[0] == 1.5
+        assert values[1] != values[1]
+        assert values[2] is None
+
+    def test_from_rows_large_batch_matches_per_value(self):
+        rows = [(i, float(i) * 0.5, f"s{i}") for i in range(1000)]
+        page = Page.from_rows([BIGINT, DOUBLE, VARCHAR], rows)
+        assert page.to_rows() == rows
+
 
 class TestBlockFromValues:
     def test_dispatches_by_type(self):

@@ -1,0 +1,176 @@
+"""Adaptive exchange partitioning tests.
+
+The exchange buffer partitions lazily — producer pages accumulate in
+arrival order and are routed only at the first partitioned read — which
+opens the window where the scheduler right-sizes the downstream stage's
+partition count from the observed build volume.  These tests cover the
+buffer's laziness contract and the end-to-end effect: small intermediate
+volumes run fewer hash tasks, with byte-identical results.
+"""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.core.page import Page
+from repro.core.types import BIGINT, DOUBLE, VARCHAR
+from repro.execution.engine import PrestoEngine
+from repro.execution.exchange import ExchangeBuffer
+from repro.execution.scheduler import DEFAULT_TARGET_PARTITION_ROWS
+from repro.planner.analyzer import Session
+from repro.planner.fragmenter import Exchange, ExchangeKind
+from repro.workloads.tpch import LINEITEM_COLUMNS, generate_lineitem
+
+from repro.connectors.memory import MemoryConnector
+
+
+def page_of(keys):
+    return Page.from_rows([BIGINT], [(k,) for k in keys])
+
+
+def partitioned_buffer(count=4):
+    exchange = Exchange(
+        kind=ExchangeKind.REPARTITION,
+        source_fragment=1,
+        partition_keys=("k",),
+        partitioned=True,
+    )
+    return ExchangeBuffer(exchange, partition_count=count, key_channels=[0])
+
+
+class TestLazyExchangeBuffer:
+    def test_rows_added_counts_before_any_read(self):
+        buffer = partitioned_buffer()
+        buffer.add(page_of(range(10)))
+        buffer.add(page_of(range(7)))
+        assert buffer.rows_added == 17
+
+    def test_set_partition_count_before_read_routes_accordingly(self):
+        buffer = partitioned_buffer(count=4)
+        buffer.add(page_of(range(100)))
+        buffer.set_partition_count(2)
+        rows = [
+            page.position_count
+            for p in range(2)
+            for page in buffer.pages_for_partition(p)
+        ]
+        assert sum(rows) == 100
+        with pytest.raises(IndexError):
+            buffer.pages_for_partition(2)
+
+    def test_all_partitions_cover_all_rows(self):
+        buffer = partitioned_buffer(count=3)
+        buffer.add(page_of(range(50)))
+        seen = sorted(
+            row[0]
+            for p in range(3)
+            for page in buffer.pages_for_partition(p)
+            for row in page.to_rows()
+        )
+        assert seen == list(range(50))
+
+    def test_partition_placement_is_deterministic(self):
+        a = partitioned_buffer(count=4)
+        b = partitioned_buffer(count=4)
+        for buf in (a, b):
+            buf.add(page_of(range(64)))
+        for p in range(4):
+            rows_a = [r for page in a.pages_for_partition(p) for r in page.to_rows()]
+            rows_b = [r for page in b.pages_for_partition(p) for r in page.to_rows()]
+            assert rows_a == rows_b
+
+    def test_all_pages_sees_late_adds(self):
+        buffer = partitioned_buffer(count=2)
+        buffer.add(page_of(range(10)))
+        assert sum(p.position_count for p in buffer.all_pages()) == 10
+        buffer.add(page_of(range(5)))
+        assert sum(p.position_count for p in buffer.all_pages()) == 15
+
+    def test_non_partitioned_buffer_ignores_count(self):
+        buffer = ExchangeBuffer(
+            Exchange(kind=ExchangeKind.GATHER, source_fragment=1)
+        )
+        buffer.add(page_of(range(9)))
+        buffer.set_partition_count(5)  # no-op for GATHER
+        assert buffer.partition_count == 1
+        assert sum(p.position_count for p in buffer.pages_for_partition(0)) == 9
+
+    def test_invalid_partition_count_rejected(self):
+        with pytest.raises(ExecutionError):
+            partitioned_buffer().set_partition_count(0)
+
+
+def make_engine(rows=200, **engine_kwargs):
+    connector = MemoryConnector(split_size=47)
+    connector.create_table("db", "lineitem", LINEITEM_COLUMNS, generate_lineitem(rows))
+    connector.create_table(
+        "db",
+        "dim",
+        [("orderkey", BIGINT), ("label", VARCHAR)],
+        [(i, f"order-{i}") for i in range(1, 60)],
+    )
+    engine = PrestoEngine(
+        session=Session(catalog="memory", schema="db"), hash_partitions=8, **engine_kwargs
+    )
+    engine.register_connector("memory", connector)
+    return engine
+
+
+GROUP_BY_SQL = (
+    "SELECT d.label, sum(l.quantity) FROM lineitem l "
+    "JOIN dim d ON l.orderkey = d.orderkey GROUP BY d.label"
+)
+
+
+class TestAdaptivePartitioning:
+    def test_small_volume_runs_fewer_tasks(self):
+        baseline = make_engine().execute(GROUP_BY_SQL)
+        adaptive = make_engine(
+            adaptive_partitioning=True, target_partition_rows=1_000
+        ).execute(GROUP_BY_SQL)
+        assert adaptive.stats.tasks_total < baseline.stats.tasks_total
+        assert sorted(adaptive.rows) == sorted(baseline.rows)
+
+    def test_large_target_collapses_to_single_partition(self):
+        adaptive = make_engine(
+            adaptive_partitioning=True, target_partition_rows=10_000_000
+        ).execute(GROUP_BY_SQL)
+        baseline = make_engine().execute(GROUP_BY_SQL)
+        assert adaptive.stats.tasks_total < baseline.stats.tasks_total
+        assert sorted(adaptive.rows) == sorted(baseline.rows)
+
+    def test_tiny_target_keeps_configured_partitions(self):
+        # Target of 1 row/partition wants more partitions than configured;
+        # the count is capped at hash_partitions, so plans are unchanged.
+        adaptive = make_engine(
+            adaptive_partitioning=True, target_partition_rows=1
+        ).execute(GROUP_BY_SQL)
+        baseline = make_engine().execute(GROUP_BY_SQL)
+        assert adaptive.stats.tasks_total == baseline.stats.tasks_total
+        assert sorted(adaptive.rows) == sorted(baseline.rows)
+
+    def test_default_is_off(self):
+        engine = make_engine()
+        assert engine.adaptive_partitioning is False
+        assert DEFAULT_TARGET_PARTITION_ROWS == 65_536
+
+    def test_agrees_with_direct_oracle(self):
+        engine = make_engine(adaptive_partitioning=True, target_partition_rows=500)
+        staged = engine.execute(GROUP_BY_SQL)
+        direct = engine.execute_direct(GROUP_BY_SQL)
+        assert sorted(staged.rows) == sorted(direct.rows)
+
+    def test_invalid_target_rejected(self):
+        engine = make_engine(adaptive_partitioning=True, target_partition_rows=0)
+        with pytest.raises(ExecutionError):
+            engine.execute(GROUP_BY_SQL)
+
+    def test_deterministic_across_runs(self):
+        runs = [
+            make_engine(adaptive_partitioning=True, target_partition_rows=1_000)
+            .execute(GROUP_BY_SQL)
+            for _ in range(2)
+        ]
+        assert runs[0].rows == runs[1].rows
+        a, b = (r.stats.as_dict() for r in runs)
+        a.pop("query_id"), b.pop("query_id")
+        assert a == b

@@ -40,14 +40,20 @@ def test_bench_scan_baseline_smoke(tmp_path):
 
     entries = report["benchmarks"]
     assert {b["name"] for b in entries} == {
+        "page_shredding",
         "numeric_q6",
         "varchar_q1_groupby",
         "varchar_filter",
         "varchar_substr_length",
     }
     kinds = {b["name"]: b["kind"] for b in entries}
+    assert kinds["page_shredding"] == "shredding"
     assert kinds["numeric_q6"] == "numeric"
-    assert all(k == "varchar" for n, k in kinds.items() if n != "numeric_q6")
+    assert all(
+        k == "varchar"
+        for n, k in kinds.items()
+        if n not in ("numeric_q6", "page_shredding")
+    )
     for entry in entries:
         assert entry["rows"] == report["rows"]
         assert entry["native_ms"] > 0
