@@ -1,0 +1,212 @@
+"""Streaming lakehouse: freshness vs query latency across compaction cadences.
+
+The paper's realtime pipeline (section XI) trades data freshness against
+commit churn: a short compaction interval keeps the sealed lake within
+seconds of the log head and the in-memory tail near-empty, at the cost
+of many small snapshots and files (the lakehouse small-file problem); a
+long interval amortizes commits into few large files but leaves the
+lake-only lane seconds-to-minutes stale and grows the tail's memory
+residency.
+
+This bench sweeps the compaction interval over the same deterministic
+event stream (``repro.workloads.streaming_events``), produced in small
+ticks interleaved with pipeline steps so ingestion is genuinely
+incremental.  The produce/poll schedule is identical across
+configurations, so every cadence commits the *same* watermark — only
+where the rows live differs.  Per interval it reports sealed-lane
+freshness lag, tail residency, snapshot/file counts, and the simulated
+cost of the hybrid query set.
+
+Gates (full mode): every interval returns byte-identical query rows and
+matches the batch oracle over the replayed log at the committed
+watermark; sealed freshness lag and tail residency grow monotonically
+with the interval; an identical rerun reproduces rows and stats exactly;
+per-interval query throughput must not regress against the committed
+baseline.
+
+All times are simulated milliseconds; results are deterministic per seed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lakehouse_freshness.py            # full
+    PYTHONPATH=src python benchmarks/bench_lakehouse_freshness.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from _harness import assert_no_regression, load_committed_baseline, print_table
+from repro.realtime import StreamingLakehouse, oracle_engine
+from repro.workloads.streaming_events import EVENT_FIELDS, produce_events
+
+QUERIES = [
+    "SELECT city, count(*), sum(amount) FROM events GROUP BY city ORDER BY city",
+    "SELECT count(*) FROM events WHERE amount > 100.0",
+    "SELECT max(order_id), count(*) FROM events WHERE city = 'sf'",
+]
+
+
+def normalized(rows):
+    return [
+        tuple(
+            float(f"{value:.10g}") if isinstance(value, float) else value
+            for value in row
+        )
+        for row in rows
+    ]
+
+
+def run_interval(compaction_interval_ms, events, ticks, seed):
+    lakehouse = StreamingLakehouse(
+        fields=EVENT_FIELDS,
+        poll_interval_ms=150,
+        compaction_interval_ms=compaction_interval_ms,
+    )
+    per_tick = events // ticks
+    produced = 0
+    for tick in range(ticks):
+        produce_events(
+            lakehouse,
+            per_tick,
+            seed=seed,
+            events_per_second=250.0,
+            start_ms=int(lakehouse.clock.now_ms()),
+            start_id=produced,
+        )
+        produced += per_tick
+        lakehouse.pipeline.run_for(200)
+
+    table = lakehouse.table
+    engine = lakehouse.make_engine()
+    entry = {
+        "name": f"compact_{int(compaction_interval_ms)}ms",
+        "compaction_interval_ms": compaction_interval_ms,
+        "rows_committed": table.committed.total(),
+        "rows_sealed": table.sealed_watermark().total(),
+        "tail_rows": table.tail_row_count(),
+        "snapshots_committed": lakehouse.compactor.snapshots_committed,
+        "lake_files": len(lakehouse.lake.current_snapshot().files),
+        # Sealed-lane freshness: how far a lake-only reader trails the
+        # newest committed event, in simulated ms.
+        "sealed_freshness_lag_ms": round(
+            table.max_committed_timestamp_ms - table.sealed_max_timestamp_ms(), 3
+        ),
+        "query_set_sim_ms": 0.0,
+    }
+    rows = []
+    for sql in QUERIES:
+        result = engine.execute(sql)
+        rows.append(normalized(result.rows))
+        entry["query_set_sim_ms"] += result.stats.simulated_ms
+    entry["query_set_sim_ms"] = round(entry["query_set_sim_ms"], 4)
+    entry["query_sets_per_sim_sec"] = round(1000.0 / entry["query_set_sim_ms"], 3)
+
+    # Differential gate: the hybrid answer must equal a batch engine over
+    # the fully replayed log cut at the same watermark.
+    oracle = oracle_engine(lakehouse.broker, lakehouse.topic, table.committed)
+    for sql, got in zip(QUERIES, rows):
+        expected = normalized(oracle.execute_direct(sql).rows)
+        assert got == expected, f"hybrid != oracle for {sql!r}"
+
+    assert entry["rows_committed"] == produced, "pipeline lost events"
+    return entry, rows
+
+
+def run(smoke: bool) -> dict:
+    intervals = [500.0, 2_000.0] if smoke else [500.0, 2_000.0, 8_000.0]
+    events = 300 if smoke else 3_000
+    ticks = 12 if smoke else 60
+    report = {"smoke": smoke, "benchmarks": []}
+    rows_by_interval = {}
+    for interval in intervals:
+        entry, rows = run_interval(interval, events, ticks, seed=7)
+        report["benchmarks"].append(entry)
+        rows_by_interval[interval] = rows
+
+    # Same log, same polls → every cadence answers identically.
+    baseline_rows = rows_by_interval[intervals[0]]
+    for interval, rows in rows_by_interval.items():
+        assert rows == baseline_rows, (
+            f"compaction interval {interval} changed query results"
+        )
+
+    repeat_entry, repeat_rows = run_interval(intervals[-1], events, ticks, seed=7)
+    assert repeat_rows == rows_by_interval[intervals[-1]], "rerun changed rows"
+    assert repeat_entry == report["benchmarks"][-1], "rerun changed stats"
+    report["determinism"] = "rerun reproduced rows and stats exactly"
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny stream + skip gates (CI)"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_lakehouse_freshness.json", help="result JSON path"
+    )
+    args = parser.parse_args()
+
+    baseline = load_committed_baseline("BENCH_lakehouse_freshness.json")
+
+    report = run(args.smoke)
+    print_table(
+        "Streaming lakehouse: compaction cadence vs freshness and query cost",
+        [
+            "config",
+            "committed",
+            "sealed",
+            "tail rows",
+            "snapshots",
+            "lake files",
+            "sealed lag ms",
+            "query sim ms",
+        ],
+        [
+            [
+                e["name"],
+                e["rows_committed"],
+                e["rows_sealed"],
+                e["tail_rows"],
+                e["snapshots_committed"],
+                e["lake_files"],
+                e["sealed_freshness_lag_ms"],
+                e["query_set_sim_ms"],
+            ]
+            for e in report["benchmarks"]
+        ],
+    )
+    print(report["determinism"])
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.output}")
+
+    if not args.smoke:
+        entries = report["benchmarks"]
+        assert len(entries) >= 3, "full mode must sweep >= 3 compaction intervals"
+        lags = [e["sealed_freshness_lag_ms"] for e in entries]
+        tails = [e["tail_rows"] for e in entries]
+        snapshots = [e["snapshots_committed"] for e in entries]
+        assert lags == sorted(lags) and lags[-1] > lags[0], (
+            f"sealed freshness lag not increasing with interval: {lags}"
+        )
+        assert tails == sorted(tails) and tails[-1] > tails[0], (
+            f"tail residency not increasing with interval: {tails}"
+        )
+        assert snapshots == sorted(snapshots, reverse=True) and (
+            snapshots[0] > snapshots[-1]
+        ), f"snapshot count not decreasing with interval: {snapshots}"
+        assert_no_regression(baseline, report, metric="query_sets_per_sim_sec")
+        print(
+            "targets met: freshness lag and tail residency grow with the "
+            "compaction interval, snapshot count shrinks, every cadence "
+            "matches the batch oracle, deterministic rerun, no throughput "
+            "regression"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ from typing import Any, Iterator, Optional, Sequence
 
 from repro.common.clock import SimulatedClock
 from repro.common.errors import ConnectorError
+from repro.common.hashing import stable_hash
 from repro.connectors.spi import (
     ColumnMetadata,
     Connector,
@@ -86,7 +87,10 @@ class KafkaBroker:
                 f"kafka: message has {len(values)} fields, topic {topic!r} has {len(fields)}"
             )
         if partition is None:
-            partition = hash(str(values[0])) % len(partitions)
+            # Key-hash partitioning must be process-stable: builtin hash()
+            # of a string varies with PYTHONHASHSEED, which would scatter
+            # the same produce sequence differently on every run.
+            partition = stable_hash(str(values[0])) % len(partitions)
         log = partitions[partition]
         timestamp = int(
             timestamp_ms if timestamp_ms is not None else self.clock.now_ms()
@@ -111,6 +115,24 @@ class KafkaBroker:
 
     def partition_count(self, topic: str) -> int:
         return len(self._require(topic)[1])
+
+    def end_offsets(self, topic: str) -> list[int]:
+        """Per-partition log-end offsets (the next offset each would assign).
+
+        A metadata lookup, not a consume: costs no simulated time.  The
+        streaming pipeline uses it for consumer-lag gauges.
+        """
+        return [len(log) for log in self._require(topic)[1]]
+
+    def log_records(self, topic: str, partition: int) -> list[_Record]:
+        """The raw partition log, free of charge.
+
+        The differential-oracle surface: test harnesses replay the full
+        event log through a batch engine and compare it against hybrid
+        reads, and that replay must not perturb the simulated clock or the
+        ``records_fetched`` accounting of the run under test.
+        """
+        return list(self._require(topic)[1][partition])
 
     def fetch(
         self,

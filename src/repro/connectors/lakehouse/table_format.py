@@ -41,16 +41,28 @@ class DataFile:
 
 @dataclass(frozen=True)
 class Snapshot:
-    """One committed table version: the set of live data files."""
+    """One committed table version: the set of live data files.
+
+    ``properties`` is the snapshot summary — small string key/value pairs
+    committed atomically with the file list (Iceberg's snapshot summary
+    map).  The streaming pipeline stores its sealed offset watermark here,
+    which is what makes hybrid reads exactly-once: a row's visibility is
+    decided by one atomically-committed value, never by two systems
+    agreeing.
+    """
 
     snapshot_id: int
     operation: str  # 'append' | 'overwrite' | 'delete'
     files: tuple[DataFile, ...]
     parent_id: Optional[int] = None
+    properties: tuple[tuple[str, str], ...] = ()
 
     @property
     def row_count(self) -> int:
         return sum(f.row_count for f in self.files)
+
+    def properties_dict(self) -> dict[str, str]:
+        return dict(self.properties)
 
 
 class IcebergTable:
@@ -86,17 +98,26 @@ class IcebergTable:
     def history(self) -> list[Snapshot]:
         return list(self._snapshots)
 
-    def _commit(self, operation: str, files: Sequence[DataFile]) -> Snapshot:
+    def _commit(
+        self,
+        operation: str,
+        files: Sequence[DataFile],
+        properties: Sequence[tuple[str, str]] = (),
+    ) -> Snapshot:
         parent = self.current_snapshot()
         snapshot = Snapshot(
-            parent.snapshot_id + 1, operation, tuple(files), parent.snapshot_id
+            parent.snapshot_id + 1,
+            operation,
+            tuple(files),
+            parent.snapshot_id,
+            tuple(properties),
         )
         self._snapshots.append(snapshot)
         return snapshot
 
     # -- writes ----------------------------------------------------------------
 
-    def _write_data_file(self, rows: Sequence[tuple]) -> DataFile:
+    def write_data_file(self, rows: Sequence[tuple]) -> DataFile:
         page = Page.from_rows([t for _, t in self.columns], list(rows))
         blob = NativeParquetWriter(
             self.schema, row_group_size=self.row_group_size
@@ -105,13 +126,33 @@ class IcebergTable:
         self.filesystem.create(path, blob)
         return DataFile(path, len(rows))
 
-    def append(self, rows: Sequence[tuple]) -> Snapshot:
+    def append(
+        self,
+        rows: Sequence[tuple],
+        properties: Sequence[tuple[str, str]] = (),
+    ) -> Snapshot:
         """Append rows as a new data file (fast, no rewrites)."""
         if not rows:
-            return self._commit("append", self.current_snapshot().files)
-        new_file = self._write_data_file(rows)
+            return self._commit("append", self.current_snapshot().files, properties)
+        new_file = self.write_data_file(rows)
+        return self.commit_add_files([new_file], properties=properties)
+
+    def commit_add_files(
+        self,
+        new_files: Sequence[DataFile],
+        operation: str = "append",
+        properties: Sequence[tuple[str, str]] = (),
+    ) -> Snapshot:
+        """Atomically commit already-written data files as a new snapshot.
+
+        The write/commit split is what gives writers (the streaming
+        compactor) a real commit point: a crash after :meth:`write_data_file`
+        but before this call leaves an orphan file the table never
+        references — invisible to every reader, exactly like an aborted
+        Iceberg commit.
+        """
         return self._commit(
-            "append", self.current_snapshot().files + (new_file,)
+            operation, self.current_snapshot().files + tuple(new_files), properties
         )
 
     def delete_where(self, predicate: RowExpression) -> Snapshot:
@@ -136,7 +177,7 @@ class IcebergTable:
         kept_files: list[DataFile] = []
         rewritten: list[DataFile] = []
         for data_file in self.current_snapshot().files:
-            rows = self._read_file_rows(data_file)
+            rows = self.read_file_rows(data_file)
             matches = self._matching_mask(rows, predicate)
             if not any(matches):
                 kept_files.append(data_file)  # untouched files stay as-is
@@ -148,12 +189,12 @@ class IcebergTable:
                 elif update is not None:
                     new_rows.append(update(row))
             if new_rows:
-                rewritten.append(self._write_data_file(new_rows))
+                rewritten.append(self.write_data_file(new_rows))
         return self._commit(operation, kept_files + rewritten)
 
     # -- reads ---------------------------------------------------------------------
 
-    def _read_file_rows(self, data_file: DataFile) -> list[tuple]:
+    def read_file_rows(self, data_file: DataFile) -> list[tuple]:
         file = ParquetFile(self.filesystem.open(data_file.path))
         reader = NewParquetReader(file, [n for n, _ in self.columns])
         return [row for page in reader.read_pages() for row in page.loaded().rows()]

@@ -125,6 +125,16 @@ class RealtimeOlapStore:
         segments.append(segment)
         return segment
 
+    def remove_segment(self, datasource: str, segment: Segment) -> None:
+        """Drop one segment (by identity) from a datasource.
+
+        Real-time stores hand their in-memory tail segments off to deep
+        storage and drop them; the streaming compactor does the same after
+        sealing a tail segment into a lakehouse snapshot.
+        """
+        _, segments = self._require(datasource)
+        segments.remove(segment)
+
     def datasource_names(self) -> list[str]:
         return sorted(self._datasources)
 

@@ -51,6 +51,7 @@ class FaultInjector:
         task_failure_rate: float = 0.0,
         split_failure_rate: float = 0.0,
         storage_failure_rate: float = 0.0,
+        pipeline_failure_rate: float = 0.0,
         task_error_category: ErrorCategory = ErrorCategory.INTERNAL_ERROR,
         split_error_category: ErrorCategory = ErrorCategory.EXTERNAL,
     ) -> None:
@@ -58,6 +59,7 @@ class FaultInjector:
             ("task_failure_rate", task_failure_rate),
             ("split_failure_rate", split_failure_rate),
             ("storage_failure_rate", storage_failure_rate),
+            ("pipeline_failure_rate", pipeline_failure_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -65,11 +67,13 @@ class FaultInjector:
         self.task_failure_rate = task_failure_rate
         self.split_failure_rate = split_failure_rate
         self.storage_failure_rate = storage_failure_rate
+        self.pipeline_failure_rate = pipeline_failure_rate
         self.task_error_category = task_error_category
         self.split_error_category = split_error_category
         self.tasks_failed = 0
         self.splits_failed = 0
         self.storage_requests_failed = 0
+        self.pipeline_crashes = 0
         self._storage_sequence = itertools.count()
 
     # -- the deterministic coin ---------------------------------------------
@@ -121,6 +125,37 @@ class FaultInjector:
                 f"injected split read failure: query {query_id!r} stage {stage} "
                 f"task {task} split {split_key!r} attempt {attempt}",
                 category=self.split_error_category,
+            )
+
+    # -- pipeline level ------------------------------------------------------
+    #
+    # Long-running background components (the streaming ingestion pipeline,
+    # the compactor) are not task attempts: they crash at *commit-protocol
+    # points* — just before appending a batch, just before committing
+    # offsets, between writing a data file and committing the snapshot —
+    # and then restart and recover.  The coin hashes the component name,
+    # the step (poll / compaction cycle), the sub-unit (partition), and the
+    # injection point, so a given seed always crashes the same points of
+    # the same cycles, independent of wall interleaving.
+
+    def should_crash_pipeline(
+        self, component: str, step: int, unit: int, point: str
+    ) -> bool:
+        return (
+            self._chance("pipeline", component, step, unit, point)
+            < self.pipeline_failure_rate
+        )
+
+    def maybe_crash_pipeline(
+        self, component: str, step: int, unit: int, point: str
+    ) -> None:
+        """Raise an :class:`InjectedFaultError` if this point is doomed."""
+        if self.should_crash_pipeline(component, step, unit, point):
+            self.pipeline_crashes += 1
+            raise InjectedFaultError(
+                f"injected pipeline crash: {component} step {step} "
+                f"unit {unit} at {point!r}",
+                category=ErrorCategory.INTERNAL_ERROR,
             )
 
     # -- storage level -------------------------------------------------------

@@ -11,9 +11,11 @@ Plans whose tables were never analyzed are untouched by that pass, so the
 rule-only behaviour is preserved by default.
 
 Rule order: cleanup → predicate pushdown (to fixpoint) → geospatial
-rewrite → TopN formation and limit pushdown → aggregation pushdown →
-cost-based join reordering + distribution selection → column pruning
-(incl. nested paths) → final cleanup.
+rewrite → TopN formation and limit pushdown → materialized-view
+substitution → aggregation pushdown → cost-based join reordering +
+distribution selection → column pruning (incl. nested paths) → final
+cleanup.  MV substitution precedes aggregation pushdown so a matching
+view wins; both rules self-gate, leaving unmatched plans untouched.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from repro.planner.rules.column_pruning import prune_columns
 from repro.planner.rules.geo_rewrite import rewrite_geospatial_joins
 from repro.planner.rules.limit_pushdown import push_limits, sort_limit_to_topn
 from repro.planner.rules.join_reorder import choose_join_distribution, reorder_joins
+from repro.planner.rules.mv_substitution import substitute_materialized_views
 from repro.planner.rules.predicate_pushdown import push_predicates
 from repro.planner.cost import CostEstimator
 from repro.planner.stats import StatsProvider
@@ -52,6 +55,9 @@ class OptimizerOptions:
     aggregation_pushdown: bool = True
     column_pruning: bool = True
     geo_rewrite: bool = True
+    # Self-gating: only rewrites aggregations whose connector offers a
+    # materialized view at the query's exact read watermark.
+    mv_substitution: bool = True
     # Self-gating: only reorders joins whose relations all have ANALYZE
     # statistics, so un-analyzed workloads are byte-identical either way.
     cost_based_join_ordering: bool = True
@@ -88,6 +94,8 @@ class Optimizer:
         result = sort_limit_to_topn(result, ctx)
         if options.limit_pushdown:
             result = push_limits(result, ctx)
+        if options.mv_substitution:
+            result = substitute_materialized_views(result, ctx)
         if options.aggregation_pushdown:
             result = push_aggregations(result, ctx)
         estimator = CostEstimator(StatsProvider(self._catalog))

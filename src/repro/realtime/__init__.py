@@ -1,0 +1,45 @@
+"""The streaming lakehouse: seconds-fresh hybrid queries (Figs 15–16).
+
+Composes the Kafka connector (durable log), the realtime store (the
+in-memory tail), and the Iceberg table format (the sealed past) into one
+exactly-once queryable table; see :mod:`repro.realtime.hybrid` for the
+watermark protocol and :mod:`repro.realtime.lakehouse` for one-call
+assembly.
+"""
+
+from repro.realtime.connector import (
+    HybridTableConnector,
+    parse_table_name,
+    watermark_table_name,
+)
+from repro.realtime.hybrid import HybridTable, TailSegment
+from repro.realtime.lakehouse import StreamingLakehouse
+from repro.realtime.mv import MaterializedView, ViewAggregate
+from repro.realtime.oracle import (
+    assert_exactly_once,
+    expected_log_keys,
+    oracle_engine,
+    replayed_log_rows,
+    visible_log_keys,
+)
+from repro.realtime.pipeline import Compactor, IngestionPipeline
+from repro.realtime.watermark import Watermark
+
+__all__ = [
+    "Compactor",
+    "HybridTable",
+    "HybridTableConnector",
+    "IngestionPipeline",
+    "MaterializedView",
+    "StreamingLakehouse",
+    "TailSegment",
+    "ViewAggregate",
+    "Watermark",
+    "assert_exactly_once",
+    "expected_log_keys",
+    "oracle_engine",
+    "parse_table_name",
+    "replayed_log_rows",
+    "visible_log_keys",
+    "watermark_table_name",
+]

@@ -1,0 +1,413 @@
+"""The hybrid connector: one table spanning the lake and the live tail.
+
+A ``SELECT`` against a hybrid table is answered as a union of two kinds
+of splits, pinned to one consistent watermark at split-generation time:
+
+- one **lake split** per sealed parquet data file of the pinned snapshot
+  (with predicate pushdown into the parquet reader, and — for time
+  travel below the sealed watermark — an offset *cut* that masks rows
+  the read watermark does not cover);
+- one **tail split** per partition with unsealed visible rows.  Tail
+  splits carry their row tuples *in the split* (``ConnectorSplit.info``):
+  between split generation and split execution the concurrent scheduler
+  may interleave ingestion polls and compaction cycles, and pinning the
+  rows makes the query's result a pure function of its splits — no
+  interleaving can lose or duplicate a row, and per-seed replay is
+  byte-identical.
+
+Time travel uses the table-name suffix ``events$watermark=5-7-3`` to pin
+a historical read watermark; plain names read at the committed watermark
+of split-generation time.  Materialized views registered on the
+connector are exposed as tables too (their finalized rows pinned the
+same way), which is what the planner's MV-substitution rule rewrites
+matching aggregations into.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.common.errors import ConnectorError
+from repro.connectors.spi import (
+    ColumnMetadata,
+    Connector,
+    ConnectorMetadata,
+    ConnectorRecordSetProvider,
+    ConnectorSplit,
+    ConnectorSplitManager,
+    ConnectorTableHandle,
+    FilterPushdownResult,
+    TableMetadata,
+)
+from repro.core.blocks import Block, block_from_values
+from repro.core.evaluator import Evaluator
+from repro.core.expressions import RowExpression, and_, expression_from_dict
+from repro.core.page import Page
+from repro.core.types import PrestoType
+from repro.formats.parquet.file import ParquetFile
+from repro.formats.parquet.reader_new import NewParquetReader
+from repro.realtime.hybrid import SEALED_WATERMARK_PROPERTY, HybridTable
+from repro.realtime.mv import MaterializedView
+from repro.realtime.watermark import Watermark
+
+WATERMARK_SUFFIX = "$watermark="
+
+
+def parse_table_name(name: str) -> tuple[str, Optional[Watermark]]:
+    """``events$watermark=5-7-3`` → ("events", Watermark(5-7-3))."""
+    if WATERMARK_SUFFIX in name:
+        base, _, encoded = name.partition(WATERMARK_SUFFIX)
+        try:
+            return base, Watermark.decode(encoded)
+        except ValueError as error:
+            raise ConnectorError(f"bad watermark in table name {name!r}") from error
+    return name, None
+
+
+def watermark_table_name(base: str, watermark: Watermark) -> str:
+    """The time-travel name pinning ``base`` at ``watermark``."""
+    return f"{base}{WATERMARK_SUFFIX}{watermark.encode()}"
+
+
+class HybridTableConnector(Connector):
+    """Connector over registered hybrid tables and materialized views."""
+
+    name = "hybrid"
+
+    def __init__(self, schema_name: str = "rt") -> None:
+        self.schema_name = schema_name
+        self._tables: dict[str, HybridTable] = {}
+        self._views: dict[str, MaterializedView] = {}
+        self._metadata = _HybridMetadata(self)
+        self._split_manager = _HybridSplitManager(self)
+        self._provider = _HybridProvider(self)
+
+    def register_table(self, table: HybridTable) -> None:
+        self._tables[table.name] = table
+
+    def register_view(self, view: MaterializedView) -> None:
+        if view.name in self._tables:
+            raise ConnectorError(f"hybrid: name {view.name!r} already a table")
+        self._views[view.name] = view
+
+    def table(self, name: str) -> HybridTable:
+        table = self._tables.get(name)
+        if table is None:
+            raise ConnectorError(f"hybrid: no table {name!r}")
+        return table
+
+    def view(self, name: str) -> MaterializedView:
+        view = self._views.get(name)
+        if view is None:
+            raise ConnectorError(f"hybrid: no view {name!r}")
+        return view
+
+    def metadata(self) -> ConnectorMetadata:
+        return self._metadata
+
+    def split_manager(self) -> ConnectorSplitManager:
+        return self._split_manager
+
+    def record_set_provider(self) -> ConnectorRecordSetProvider:
+        return self._provider
+
+    # -- planner surface ------------------------------------------------------
+
+    def find_materialized_view(
+        self,
+        table_name: str,
+        grouping_columns: Sequence[str],
+        aggregates: Sequence[tuple[str, Optional[str]]],
+    ) -> Optional[tuple[str, dict]]:
+        """A view answering this aggregation at the read watermark.
+
+        ``table_name`` may carry a ``$watermark=`` suffix; plain names
+        read at the committed watermark.  A view qualifies only when its
+        shape matches *and* its own watermark equals the read watermark —
+        a stale or over-fresh view would silently change results, so it
+        is simply not offered.  Returns ``(view_name, outputs)`` where
+        ``outputs`` maps each ``(function, input-column)`` pair to the
+        view column holding that aggregate; group columns keep the base
+        table's column names.
+        """
+        base, pinned = parse_table_name(table_name)
+        table = self._tables.get(base)
+        if table is None:
+            return None
+        read = pinned if pinned is not None else table.committed
+        for name in sorted(self._views):
+            view = self._views[name]
+            if (
+                view.table is table
+                and view.watermark == read
+                and view.matches(grouping_columns, aggregates)
+            ):
+                outputs = {
+                    (a.function, a.input): a.output for a in view.aggregates
+                }
+                return name, outputs
+        return None
+
+    def _columns(self, name: str) -> list[tuple[str, PrestoType]]:
+        base, _ = parse_table_name(name)
+        if base in self._tables:
+            return list(self._tables[base].columns)
+        if base in self._views:
+            return list(self._views[base].columns)
+        raise ConnectorError(f"hybrid: no table or view {name!r}")
+
+
+class _HybridMetadata(ConnectorMetadata):
+    def __init__(self, connector: HybridTableConnector) -> None:
+        self._connector = connector
+
+    def list_schemas(self) -> list[str]:
+        return [self._connector.schema_name]
+
+    def list_tables(self, schema_name: str) -> list[str]:
+        return sorted(self._connector._tables) + sorted(self._connector._views)
+
+    def get_table_handle(
+        self, schema_name: str, table_name: str
+    ) -> Optional[ConnectorTableHandle]:
+        base, watermark = parse_table_name(table_name)
+        connector = self._connector
+        if base in connector._tables:
+            table = connector._tables[base]
+            if watermark is not None:
+                if watermark.partitions != table.partitions:
+                    raise ConnectorError(
+                        f"hybrid: watermark arity {watermark.partitions} != "
+                        f"{table.partitions} partitions of {base!r}"
+                    )
+                if not table.committed.dominates(watermark):
+                    raise ConnectorError(
+                        f"hybrid: cannot read {base!r} at future watermark "
+                        f"{watermark.encode()} (committed "
+                        f"{table.committed.encode()})"
+                    )
+            return ConnectorTableHandle(schema_name, table_name)
+        if base in connector._views:
+            view = connector._views[base]
+            if watermark is not None and view.watermark != watermark:
+                raise ConnectorError(
+                    f"hybrid: view {base!r} is at {view.watermark.encode()}, "
+                    f"not {watermark.encode()}"
+                )
+            return ConnectorTableHandle(schema_name, table_name)
+        return None
+
+    def get_table_metadata(self, handle: ConnectorTableHandle) -> TableMetadata:
+        return TableMetadata(
+            handle.schema_name,
+            handle.table_name,
+            tuple(
+                ColumnMetadata(n, t)
+                for n, t in self._connector._columns(handle.table_name)
+            ),
+        )
+
+    def apply_filter(
+        self, handle: ConnectorTableHandle, predicate: RowExpression
+    ) -> Optional[FilterPushdownResult]:
+        columns = {n for n, _ in self._connector._columns(handle.table_name)}
+        if not all(v.name in columns for v in predicate.variables()):
+            return None
+        if handle.constraint is not None:
+            predicate = and_(expression_from_dict(handle.constraint), predicate)
+        return FilterPushdownResult(handle.with_(constraint=predicate.to_dict()), None)
+
+    def apply_projection(
+        self, handle: ConnectorTableHandle, columns: Sequence[str]
+    ) -> Optional[ConnectorTableHandle]:
+        top_level: list[str] = []
+        for path in columns:
+            top = path.split(".")[0]
+            if top not in top_level:
+                top_level.append(top)
+        return handle.with_(projected_columns=tuple(top_level))
+
+
+class _HybridSplitManager(ConnectorSplitManager):
+    def __init__(self, connector: HybridTableConnector) -> None:
+        self._connector = connector
+
+    def get_splits(self, handle: ConnectorTableHandle) -> list[ConnectorSplit]:
+        base, pinned = parse_table_name(handle.table_name)
+        connector = self._connector
+        if base in connector._views:
+            view = connector.view(base)
+            rows = tuple(view.rows())
+            return [
+                ConnectorSplit(
+                    split_id=f"hybrid:view:{base}@{view.watermark.encode()}",
+                    info=(("kind", "view"), ("view", base), ("rows", rows)),
+                )
+            ]
+
+        table = connector.table(base)
+        # Pin one consistent cut: the snapshot, its sealed watermark, and
+        # the read watermark are captured together, here, once.
+        snapshot = table.lake.current_snapshot()
+        sealed_encoded = snapshot.properties_dict().get(SEALED_WATERMARK_PROPERTY)
+        sealed = (
+            Watermark.decode(sealed_encoded)
+            if sealed_encoded is not None
+            else Watermark.zero(table.partitions)
+        )
+        read = pinned if pinned is not None else table.committed
+
+        splits: list[ConnectorSplit] = []
+        # Lake side: rows with offset < min(read, sealed).  When the read
+        # watermark dominates the sealed one, every lake row qualifies and
+        # no cut mask is needed; time travel below it carries the cut.
+        cut = None if read.dominates(sealed) else read.meet(sealed).encode()
+        for data_file in snapshot.files:
+            splits.append(
+                ConnectorSplit(
+                    split_id=f"hybrid:lake:{data_file.path}@{snapshot.snapshot_id}",
+                    info=(
+                        ("kind", "lake"),
+                        ("table", base),
+                        ("path", data_file.path),
+                        ("data_version", snapshot.snapshot_id),
+                        ("cut", cut),
+                    ),
+                )
+            )
+        # Tail side: committed rows with sealed[p] <= offset < read[p],
+        # pinned by value so later compaction/pruning cannot touch them.
+        for partition in range(table.partitions):
+            if read.offset(partition) <= sealed.offset(partition):
+                continue
+            rows = tuple(
+                table.visible_tail_rows(sealed, read, partition=partition)
+            )
+            if not rows:
+                continue
+            splits.append(
+                ConnectorSplit(
+                    split_id=(
+                        f"hybrid:tail:{base}:{partition}"
+                        f"@{sealed.offset(partition)}-{read.offset(partition)}"
+                    ),
+                    info=(
+                        ("kind", "tail"),
+                        ("table", base),
+                        ("partition", partition),
+                        ("rows", rows),
+                    ),
+                )
+            )
+        return splits or [
+            ConnectorSplit(
+                split_id=f"hybrid:{base}@{read.encode()}:empty",
+                info=(("kind", "empty"), ("table", base)),
+            )
+        ]
+
+
+class _HybridProvider(ConnectorRecordSetProvider):
+    def __init__(self, connector: HybridTableConnector) -> None:
+        self._connector = connector
+        self._evaluator = Evaluator()
+
+    def pages(
+        self,
+        handle: ConnectorTableHandle,
+        split: ConnectorSplit,
+        columns: Sequence[str],
+    ) -> Iterator[Page]:
+        info = split.info_dict()
+        kind = info["kind"]
+        layout = self._connector._columns(handle.table_name)
+        column_types = dict(layout)
+        output_types = [column_types[c.split(".")[0]] for c in columns]
+
+        if kind == "empty":
+            yield Page.from_columns(output_types, [[] for _ in columns])
+            return
+
+        if kind == "lake":
+            yield from self._lake_pages(handle, info, columns, layout, output_types)
+            return
+
+        # Tail and view splits carry their rows pinned in the split.
+        rows = list(info["rows"])
+        if kind == "tail":
+            table = self._connector.table(info["table"])
+            # Charge an index-free columnar scan of the pinned micro-batch.
+            table.clock.advance(
+                len(rows) * len(layout) * table.store.cost.scan_ns_per_value / 1e6
+            )
+        rows = self._filter(rows, layout, handle.constraint)
+        names = [n for n, _ in layout]
+        indexes = [names.index(c.split(".")[0]) for c in columns]
+        yield Page.from_rows(
+            output_types, [tuple(row[i] for i in indexes) for row in rows]
+        )
+
+    def _lake_pages(
+        self,
+        handle: ConnectorTableHandle,
+        info: dict,
+        columns: Sequence[str],
+        layout: list[tuple[str, PrestoType]],
+        output_types: list[PrestoType],
+    ) -> Iterator[Page]:
+        table = self._connector.table(info["table"])
+        file = ParquetFile(table.lake.filesystem.open(info["path"]))
+        predicate = (
+            expression_from_dict(handle.constraint)
+            if handle.constraint is not None
+            else None
+        )
+        cut = info.get("cut")
+        if cut is None:
+            # The whole file is visible: stream straight from the reader
+            # with predicate pushdown, exactly like the iceberg connector.
+            reader = NewParquetReader(file, list(columns), predicate=predicate)
+            produced = False
+            for page in reader.read_pages():
+                produced = True
+                yield page
+            if not produced:
+                yield Page.from_columns(output_types, [[] for _ in columns])
+            return
+        # Time travel below the sealed watermark: materialize full rows,
+        # mask by the pinned offset cut, then filter and project.
+        watermark = Watermark.decode(cut)
+        names = [n for n, _ in layout]
+        reader = NewParquetReader(file, names)
+        rows = [row for page in reader.read_pages() for row in page.loaded().rows()]
+        partition_index = names.index("_partition_id")
+        offset_index = names.index("_offset")
+        rows = [
+            row
+            for row in rows
+            if watermark.covers(row[partition_index], row[offset_index])
+        ]
+        rows = self._filter(rows, layout, handle.constraint)
+        indexes = [names.index(c.split(".")[0]) for c in columns]
+        yield Page.from_rows(
+            output_types, [tuple(row[i] for i in indexes) for row in rows]
+        )
+
+    def _filter(
+        self,
+        rows: list[tuple],
+        layout: list[tuple[str, PrestoType]],
+        constraint: Optional[dict],
+    ) -> list[tuple]:
+        if constraint is None or not rows:
+            return rows
+        predicate = expression_from_dict(constraint)
+        names = [n for n, _ in layout]
+        bindings: dict[str, Block] = {}
+        for variable in predicate.variables():
+            index = names.index(variable.name)
+            bindings[variable.name] = block_from_values(
+                layout[index][1], [row[index] for row in rows]
+            )
+        mask = self._evaluator.filter_mask(predicate, bindings, len(rows))
+        return [row for row, keep in zip(rows, mask) if keep]

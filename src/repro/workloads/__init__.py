@@ -16,6 +16,11 @@ from repro.workloads.traffic_storm import (
     build_traffic_storm,
     make_storm_engine,
 )
+from repro.workloads.streaming_events import (
+    EVENT_FIELDS,
+    event_stream,
+    produce_events,
+)
 
 __all__ = [
     "StormQuery",
@@ -32,4 +37,7 @@ __all__ = [
     "generate_trip_points",
     "DruidWorkload",
     "build_druid_workload",
+    "EVENT_FIELDS",
+    "event_stream",
+    "produce_events",
 ]

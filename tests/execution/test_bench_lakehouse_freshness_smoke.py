@@ -1,0 +1,53 @@
+"""Smoke test for benchmarks/bench_lakehouse_freshness.py.
+
+Runs the compaction-cadence sweep in ``--smoke`` mode (tiny stream, no
+monotonicity gates) and validates the ``BENCH_lakehouse_freshness.json``
+schema.  The correctness gates — every cadence matches the batch oracle
+over the replayed log, equal rows across cadences, deterministic rerun —
+hold even in smoke mode; only the freshness/churn targets are skipped.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_lakehouse_freshness.py"
+
+
+def test_bench_lakehouse_freshness_smoke(tmp_path):
+    output = tmp_path / "BENCH_lakehouse_freshness.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--smoke", "--output", str(output)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    report = json.loads(output.read_text())
+    assert report["smoke"] is True
+    assert report["determinism"] == "rerun reproduced rows and stats exactly"
+
+    entries = report["benchmarks"]
+    assert len(entries) >= 2
+    assert [e["name"] for e in entries] == sorted(
+        (e["name"] for e in entries),
+        key=lambda n: int(n.removeprefix("compact_").removesuffix("ms")),
+    )
+    for entry in entries:
+        assert entry["rows_committed"] > 0
+        assert entry["rows_sealed"] + entry["tail_rows"] == entry["rows_committed"]
+        assert entry["snapshots_committed"] >= 1
+        assert entry["sealed_freshness_lag_ms"] >= 0
+        assert entry["query_set_sim_ms"] > 0
+        assert entry["query_sets_per_sim_sec"] > 0
